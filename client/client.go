@@ -1,0 +1,264 @@
+// Package client is a Go client for the caar HTTP API served by
+// cmd/adserver (see internal/server for the endpoint contract). It lets a
+// second process — a feed renderer, an advertiser dashboard, a load driver —
+// talk to a running recommender without linking the engine in.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+
+	caar "caar"
+)
+
+// Client talks to one adserver instance. Safe for concurrent use.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// Option configures a Client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the underlying *http.Client (timeouts,
+// transports, test doubles).
+func WithHTTPClient(h *http.Client) Option { return func(c *Client) { c.http = h } }
+
+// New creates a client for a base URL like "http://localhost:8080".
+func New(baseURL string, opts ...Option) (*Client, error) {
+	u, err := url.Parse(baseURL)
+	if err != nil || u.Scheme == "" || u.Host == "" {
+		return nil, fmt.Errorf("client: invalid base URL %q", baseURL)
+	}
+	c := &Client{
+		base: strings.TrimRight(baseURL, "/"),
+		http: &http.Client{Timeout: 30 * time.Second},
+	}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c, nil
+}
+
+// APIError is a non-2xx response from the server.
+type APIError struct {
+	StatusCode int
+	Message    string
+}
+
+// Error implements error.
+func (e *APIError) Error() string {
+	return fmt.Sprintf("client: server returned %d: %s", e.StatusCode, e.Message)
+}
+
+// IsNotFound reports whether err is an APIError with status 404.
+func IsNotFound(err error) bool {
+	var ae *APIError
+	return errors.As(err, &ae) && ae.StatusCode == http.StatusNotFound
+}
+
+// IsConflict reports whether err is an APIError with status 409.
+func IsConflict(err error) bool {
+	var ae *APIError
+	return errors.As(err, &ae) && ae.StatusCode == http.StatusConflict
+}
+
+func (c *Client) do(ctx context.Context, method, path string, body, into any) error {
+	var rdr io.Reader
+	if body != nil {
+		buf, err := json.Marshal(body)
+		if err != nil {
+			return fmt.Errorf("client: encode request: %w", err)
+		}
+		rdr = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rdr)
+	if err != nil {
+		return fmt.Errorf("client: build request: %w", err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return fmt.Errorf("client: %s %s: %w", method, path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		var eb struct {
+			Error string `json:"error"`
+		}
+		_ = json.NewDecoder(resp.Body).Decode(&eb)
+		return &APIError{StatusCode: resp.StatusCode, Message: eb.Error}
+	}
+	if into != nil && resp.StatusCode != http.StatusNoContent {
+		if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+			return fmt.Errorf("client: decode response: %w", err)
+		}
+	}
+	return nil
+}
+
+// AddUser registers a user handle.
+func (c *Client) AddUser(ctx context.Context, handle string) error {
+	return c.do(ctx, http.MethodPost, "/v1/users", map[string]string{"handle": handle}, nil)
+}
+
+// Follow makes follower receive followee's posts.
+func (c *Client) Follow(ctx context.Context, follower, followee string) error {
+	return c.do(ctx, http.MethodPost, "/v1/follow",
+		map[string]string{"follower": follower, "followee": followee}, nil)
+}
+
+// Unfollow removes a follow edge.
+func (c *Client) Unfollow(ctx context.Context, follower, followee string) error {
+	return c.do(ctx, http.MethodDelete, "/v1/follow",
+		map[string]string{"follower": follower, "followee": followee}, nil)
+}
+
+// CheckIn updates a user's location.
+func (c *Client) CheckIn(ctx context.Context, user string, lat, lng float64, at time.Time) error {
+	return c.do(ctx, http.MethodPost, "/v1/checkins", map[string]any{
+		"user": user, "lat": lat, "lng": lng, "at": at.Format(time.RFC3339),
+	}, nil)
+}
+
+// Post publishes a message to the author's followers.
+func (c *Client) Post(ctx context.Context, author, text string, at time.Time) error {
+	return c.do(ctx, http.MethodPost, "/v1/posts", map[string]string{
+		"author": author, "text": text, "at": at.Format(time.RFC3339),
+	}, nil)
+}
+
+// AddCampaign registers a budgeted campaign.
+func (c *Client) AddCampaign(ctx context.Context, name string, budget float64, start, end time.Time) error {
+	return c.do(ctx, http.MethodPost, "/v1/campaigns", map[string]any{
+		"name": name, "budget": budget,
+		"start": start.Format(time.RFC3339), "end": end.Format(time.RFC3339),
+	}, nil)
+}
+
+// AddAd registers an advertisement.
+func (c *Client) AddAd(ctx context.Context, ad caar.Ad) error {
+	body := map[string]any{
+		"id":   ad.ID,
+		"text": ad.Text,
+		"bid":  ad.Bid,
+	}
+	if ad.Campaign != "" {
+		body["campaign"] = ad.Campaign
+	}
+	if ad.Target != nil {
+		body["lat"] = ad.Target.Lat
+		body["lng"] = ad.Target.Lng
+		body["radius_km"] = ad.Target.RadiusKm
+	}
+	if len(ad.Slots) > 0 {
+		slots := make([]string, len(ad.Slots))
+		for i, s := range ad.Slots {
+			slots[i] = string(s)
+		}
+		body["slots"] = slots
+	}
+	return c.do(ctx, http.MethodPost, "/v1/ads", body, nil)
+}
+
+// RemoveAd withdraws an advertisement.
+func (c *Client) RemoveAd(ctx context.Context, id string) error {
+	return c.do(ctx, http.MethodDelete, "/v1/ads/"+url.PathEscape(id), nil, nil)
+}
+
+// Recommend fetches the top-k ads for a user at time at.
+func (c *Client) Recommend(ctx context.Context, user string, k int, at time.Time) ([]caar.Recommendation, error) {
+	q := url.Values{}
+	q.Set("user", user)
+	q.Set("k", strconv.Itoa(k))
+	q.Set("at", at.Format(time.RFC3339))
+	var out struct {
+		Recommendations []caar.Recommendation `json:"recommendations"`
+	}
+	if err := c.do(ctx, http.MethodGet, "/v1/recommendations?"+q.Encode(), nil, &out); err != nil {
+		return nil, err
+	}
+	return out.Recommendations, nil
+}
+
+// RecommendWithPolicy is Recommend with server-side serving-policy
+// constraints (frequency capping, campaign diversity).
+func (c *Client) RecommendWithPolicy(ctx context.Context, user string, k int, at time.Time, policy caar.ServingPolicy) ([]caar.Recommendation, error) {
+	q := url.Values{}
+	q.Set("user", user)
+	q.Set("k", strconv.Itoa(k))
+	q.Set("at", at.Format(time.RFC3339))
+	if policy.FrequencyCap > 0 {
+		q.Set("freq_cap", strconv.Itoa(policy.FrequencyCap))
+		q.Set("freq_window", policy.FrequencyWindow.String())
+	}
+	if policy.MaxPerCampaign > 0 {
+		q.Set("max_per_campaign", strconv.Itoa(policy.MaxPerCampaign))
+	}
+	var out struct {
+		Recommendations []caar.Recommendation `json:"recommendations"`
+	}
+	if err := c.do(ctx, http.MethodGet, "/v1/recommendations?"+q.Encode(), nil, &out); err != nil {
+		return nil, err
+	}
+	return out.Recommendations, nil
+}
+
+// RecordImpressionTo bills one impression seen by a specific user, feeding
+// server-side frequency capping.
+func (c *Client) RecordImpressionTo(ctx context.Context, user, adID string, at time.Time) (bool, error) {
+	var out struct {
+		Served bool `json:"served"`
+	}
+	err := c.do(ctx, http.MethodPost, "/v1/impressions", map[string]string{
+		"ad": adID, "user": user, "at": at.Format(time.RFC3339),
+	}, &out)
+	return out.Served, err
+}
+
+// ServeImpression bills one impression; served=false means the campaign is
+// out of released budget.
+func (c *Client) ServeImpression(ctx context.Context, adID string, at time.Time) (bool, error) {
+	var out struct {
+		Served bool `json:"served"`
+	}
+	err := c.do(ctx, http.MethodPost, "/v1/impressions", map[string]string{
+		"ad": adID, "at": at.Format(time.RFC3339),
+	}, &out)
+	return out.Served, err
+}
+
+// Trending fetches the top-k trending terms of a time slot ("morning",
+// "afternoon", "night"; empty = the server's current slot).
+func (c *Client) Trending(ctx context.Context, slot caar.Slot, k int) ([]caar.TrendingTerm, error) {
+	q := url.Values{}
+	if slot != "" {
+		q.Set("slot", string(slot))
+	}
+	q.Set("k", strconv.Itoa(k))
+	var out struct {
+		Terms []caar.TrendingTerm `json:"terms"`
+	}
+	if err := c.do(ctx, http.MethodGet, "/v1/trending?"+q.Encode(), nil, &out); err != nil {
+		return nil, err
+	}
+	return out.Terms, nil
+}
+
+// Stats fetches the engine's monitoring snapshot.
+func (c *Client) Stats(ctx context.Context) (caar.Stats, error) {
+	var st caar.Stats
+	err := c.do(ctx, http.MethodGet, "/v1/stats", nil, &st)
+	return st, err
+}

@@ -1,0 +1,66 @@
+package client
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	caar "caar"
+)
+
+func TestClientPolicyRoundTrip(t *testing.T) {
+	c := newClientServer(t)
+	ctx := context.Background()
+	day := time.Date(2026, 7, 6, 0, 0, 0, 0, time.UTC)
+	at := day.Add(10 * time.Hour)
+
+	if err := c.AddUser(ctx, "alice"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddCampaign(ctx, "mega", 1000, day, day.Add(48*time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	ads := []caar.Ad{
+		{ID: "mega-1", Text: "sneaker sale flash", Campaign: "mega", Bid: 0.9},
+		{ID: "mega-2", Text: "sneaker sale encore", Campaign: "mega", Bid: 0.8},
+		{ID: "indie", Text: "sneaker cleaning kit", Bid: 0.2},
+	}
+	for _, ad := range ads {
+		if err := c.AddAd(ctx, ad); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Post(ctx, "alice", "sneaker hunting", at); err != nil {
+		t.Fatal(err)
+	}
+
+	// Diversity through the client.
+	recs, err := c.RecommendWithPolicy(ctx, "alice", 2, at.Add(time.Minute),
+		caar.ServingPolicy{MaxPerCampaign: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mega := 0
+	for _, r := range recs {
+		if r.AdID == "mega-1" || r.AdID == "mega-2" {
+			mega++
+		}
+	}
+	if len(recs) != 2 || mega != 1 {
+		t.Fatalf("policy recs = %+v", recs)
+	}
+
+	// Frequency cap through the client.
+	served, err := c.RecordImpressionTo(ctx, "alice", "mega-1", at.Add(time.Minute))
+	if err != nil || !served {
+		t.Fatalf("impression: %v %v", served, err)
+	}
+	recs, err = c.RecommendWithPolicy(ctx, "alice", 1, at.Add(2*time.Minute),
+		caar.ServingPolicy{FrequencyCap: 1, FrequencyWindow: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].AdID == "mega-1" {
+		t.Fatalf("capped recs = %+v", recs)
+	}
+}

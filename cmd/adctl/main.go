@@ -1,0 +1,254 @@
+// Command adctl is a command-line client for a running adserver.
+//
+// Usage:
+//
+//	adctl [-server http://localhost:8080] <command> [args]
+//
+// Commands:
+//
+//	add-user <handle>
+//	follow <follower> <followee>
+//	unfollow <follower> <followee>
+//	check-in <user> <lat> <lng>
+//	post <author> <text...>
+//	add-campaign <name> <budget> <start RFC3339> <end RFC3339>
+//	add-ad <id> <bid> [-campaign c] [-geo lat,lng,radiusKm] [-slots morning,afternoon] <text...>
+//	remove-ad <id>
+//	recommend <user> [k]
+//	impression <ad-id>
+//	trending [slot] [k]
+//	stats
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	caar "caar"
+	"caar/client"
+)
+
+func main() {
+	server := flag.String("server", "http://localhost:8080", "adserver base URL")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	c, err := client.New(*server)
+	if err != nil {
+		log.Fatalf("adctl: %v", err)
+	}
+	ctx := context.Background()
+	now := time.Now()
+
+	cmd, rest := args[0], args[1:]
+	if err := run(ctx, c, cmd, rest, now); err != nil {
+		log.Fatalf("adctl: %s: %v", cmd, err)
+	}
+}
+
+func run(ctx context.Context, c *client.Client, cmd string, args []string, now time.Time) error {
+	need := func(n int) error {
+		if len(args) < n {
+			return fmt.Errorf("need %d argument(s), got %d", n, len(args))
+		}
+		return nil
+	}
+	switch cmd {
+	case "add-user":
+		if err := need(1); err != nil {
+			return err
+		}
+		return c.AddUser(ctx, args[0])
+	case "follow":
+		if err := need(2); err != nil {
+			return err
+		}
+		return c.Follow(ctx, args[0], args[1])
+	case "unfollow":
+		if err := need(2); err != nil {
+			return err
+		}
+		return c.Unfollow(ctx, args[0], args[1])
+	case "check-in":
+		if err := need(3); err != nil {
+			return err
+		}
+		lat, err := strconv.ParseFloat(args[1], 64)
+		if err != nil {
+			return fmt.Errorf("lat: %w", err)
+		}
+		lng, err := strconv.ParseFloat(args[2], 64)
+		if err != nil {
+			return fmt.Errorf("lng: %w", err)
+		}
+		return c.CheckIn(ctx, args[0], lat, lng, now)
+	case "post":
+		if err := need(2); err != nil {
+			return err
+		}
+		return c.Post(ctx, args[0], strings.Join(args[1:], " "), now)
+	case "add-campaign":
+		if err := need(4); err != nil {
+			return err
+		}
+		budget, err := strconv.ParseFloat(args[1], 64)
+		if err != nil {
+			return fmt.Errorf("budget: %w", err)
+		}
+		start, err := time.Parse(time.RFC3339, args[2])
+		if err != nil {
+			return fmt.Errorf("start: %w", err)
+		}
+		end, err := time.Parse(time.RFC3339, args[3])
+		if err != nil {
+			return fmt.Errorf("end: %w", err)
+		}
+		return c.AddCampaign(ctx, args[0], budget, start, end)
+	case "add-ad":
+		return addAd(ctx, c, args)
+	case "remove-ad":
+		if err := need(1); err != nil {
+			return err
+		}
+		return c.RemoveAd(ctx, args[0])
+	case "recommend":
+		if err := need(1); err != nil {
+			return err
+		}
+		k := 5
+		if len(args) > 1 {
+			var err error
+			if k, err = strconv.Atoi(args[1]); err != nil {
+				return fmt.Errorf("k: %w", err)
+			}
+		}
+		recs, err := c.Recommend(ctx, args[0], k, now)
+		if err != nil {
+			return err
+		}
+		if len(recs) == 0 {
+			fmt.Println("(no eligible ads)")
+			return nil
+		}
+		for i, r := range recs {
+			fmt.Printf("%2d. %-24s score=%.4f text=%.4f geo=%.4f bid=%.4f\n",
+				i+1, r.AdID, r.Score, r.Text, r.Geo, r.Bid)
+		}
+		return nil
+	case "impression":
+		if err := need(1); err != nil {
+			return err
+		}
+		served, err := c.ServeImpression(ctx, args[0], now)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("served=%v\n", served)
+		return nil
+	case "trending":
+		slot := caar.Slot("")
+		if len(args) > 0 {
+			slot = caar.Slot(args[0])
+		}
+		k := 10
+		if len(args) > 1 {
+			var err error
+			if k, err = strconv.Atoi(args[1]); err != nil {
+				return fmt.Errorf("k: %w", err)
+			}
+		}
+		terms, err := c.Trending(ctx, slot, k)
+		if err != nil {
+			return err
+		}
+		if len(terms) == 0 {
+			fmt.Println("(no trending terms in this slot yet)")
+			return nil
+		}
+		for i, tt := range terms {
+			fmt.Printf("%2d. %-24s %d\n", i+1, tt.Term, tt.Count)
+		}
+		return nil
+	case "stats":
+		st, err := c.Stats(ctx)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("users            %d\n", st.Users)
+		fmt.Printf("ads              %d\n", st.Ads)
+		fmt.Printf("follow edges     %d\n", st.FollowEdges)
+		fmt.Printf("posts delivered  %d\n", st.PostsDelivered)
+		fmt.Printf("check-ins        %d\n", st.CheckIns)
+		fmt.Printf("shards           %d\n", st.Shards)
+		return nil
+	default:
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+}
+
+// addAd parses: <id> <bid> [-campaign c] [-geo lat,lng,radius] [-slots a,b] <text...>
+func addAd(ctx context.Context, c *client.Client, args []string) error {
+	if len(args) < 3 {
+		return fmt.Errorf("usage: add-ad <id> <bid> [options] <text...>")
+	}
+	ad := caar.Ad{ID: args[0]}
+	bid, err := strconv.ParseFloat(args[1], 64)
+	if err != nil {
+		return fmt.Errorf("bid: %w", err)
+	}
+	ad.Bid = bid
+	rest := args[2:]
+	for len(rest) > 0 && strings.HasPrefix(rest[0], "-") {
+		switch rest[0] {
+		case "-campaign":
+			if len(rest) < 2 {
+				return fmt.Errorf("-campaign needs a value")
+			}
+			ad.Campaign = rest[1]
+			rest = rest[2:]
+		case "-geo":
+			if len(rest) < 2 {
+				return fmt.Errorf("-geo needs lat,lng,radiusKm")
+			}
+			parts := strings.Split(rest[1], ",")
+			if len(parts) != 3 {
+				return fmt.Errorf("-geo needs lat,lng,radiusKm")
+			}
+			var vals [3]float64
+			for i, p := range parts {
+				v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+				if err != nil {
+					return fmt.Errorf("-geo component %d: %w", i, err)
+				}
+				vals[i] = v
+			}
+			ad.Target = &caar.Target{Lat: vals[0], Lng: vals[1], RadiusKm: vals[2]}
+			rest = rest[2:]
+		case "-slots":
+			if len(rest) < 2 {
+				return fmt.Errorf("-slots needs a value")
+			}
+			for _, s := range strings.Split(rest[1], ",") {
+				ad.Slots = append(ad.Slots, caar.Slot(strings.TrimSpace(s)))
+			}
+			rest = rest[2:]
+		default:
+			return fmt.Errorf("unknown option %q", rest[0])
+		}
+	}
+	if len(rest) == 0 {
+		return fmt.Errorf("missing ad text")
+	}
+	ad.Text = strings.Join(rest, " ")
+	return c.AddAd(ctx, ad)
+}

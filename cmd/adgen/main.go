@@ -1,0 +1,80 @@
+// Command adgen generates a synthetic social-ads workload (the substitute
+// for the original Twitter crawl; see DESIGN.md §4) and writes it as JSON
+// lines in the workload trace format, or inspects an existing trace.
+//
+// Usage:
+//
+//	adgen -users 2000 -ads 10000 -messages 20000 -seed 1 > workload.jsonl
+//	adgen -stats                          # statistics of a fresh workload
+//	adgen -load workload.jsonl -stats     # statistics of a saved trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"caar/workload"
+)
+
+func main() {
+	cfg := workload.DefaultConfig()
+	flag.Int64Var(&cfg.Seed, "seed", cfg.Seed, "generator seed")
+	flag.IntVar(&cfg.Users, "users", cfg.Users, "number of users")
+	flag.IntVar(&cfg.Ads, "ads", cfg.Ads, "number of ads")
+	flag.IntVar(&cfg.Messages, "messages", cfg.Messages, "number of posts")
+	flag.IntVar(&cfg.Topics, "topics", cfg.Topics, "latent topics")
+	flag.IntVar(&cfg.AvgFollowees, "followees", cfg.AvgFollowees, "average followees per user")
+	statsOnly := flag.Bool("stats", false, "print workload statistics instead of the trace")
+	load := flag.String("load", "", "load a trace file instead of generating")
+	flag.Parse()
+
+	var (
+		w   *workload.Workload
+		err error
+	)
+	if *load != "" {
+		f, ferr := os.Open(*load)
+		if ferr != nil {
+			log.Fatalf("adgen: %v", ferr)
+		}
+		defer f.Close()
+		w, err = workload.LoadTrace(f)
+	} else {
+		w, err = workload.Generate(cfg)
+	}
+	if err != nil {
+		log.Fatalf("adgen: %v", err)
+	}
+
+	if *statsOnly {
+		printStats(w)
+		return
+	}
+	if err := w.ExportTrace(os.Stdout); err != nil {
+		log.Fatalf("adgen: export: %v", err)
+	}
+}
+
+func printStats(w *workload.Workload) {
+	posts, checkins := 0, 0
+	for _, e := range w.Events {
+		if e.Kind == workload.EventPost {
+			posts++
+		} else {
+			checkins++
+		}
+	}
+	_, maxFan := w.Graph.MaxFanout()
+	fmt.Printf("users          %d\n", len(w.Users))
+	fmt.Printf("edges          %d\n", w.Graph.Edges())
+	fmt.Printf("max fan-out    %d\n", maxFan)
+	fmt.Printf("ads            %d\n", len(w.Ads))
+	fmt.Printf("posts          %d\n", posts)
+	fmt.Printf("check-ins      %d\n", checkins)
+	if len(w.Events) > 0 {
+		fmt.Printf("span           %v\n", w.Events[len(w.Events)-1].Time.Sub(w.Events[0].Time).Round(time.Second))
+	}
+}

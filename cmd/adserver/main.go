@@ -1,0 +1,119 @@
+// Command adserver runs the context-aware ad recommender as an HTTP/JSON
+// service (see internal/server for the endpoint list).
+//
+// Usage:
+//
+//	adserver -addr :8080 -algorithm CAP -shards 4
+//
+// The service starts empty; load users, follows, ads and campaigns through
+// the API. Optionally -demo preloads a small demo dataset.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	caar "caar"
+	"caar/internal/server"
+	"caar/journal"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	algorithm := flag.String("algorithm", "CAP", "engine: CAP, IL or RS")
+	shards := flag.Int("shards", 1, "user shards processed in parallel")
+	windowSize := flag.Int("window", 32, "feed window size in messages")
+	halfLife := flag.Duration("half-life", 2*time.Hour, "feed content decay half-life (0 = none)")
+	journalPath := flag.String("journal", "", "append-only event log; replayed at startup, appended at runtime")
+	demo := flag.Bool("demo", false, "preload a small demo dataset")
+	flag.Parse()
+
+	cfg := caar.DefaultConfig()
+	cfg.Algorithm = caar.Algorithm(*algorithm)
+	cfg.Shards = *shards
+	cfg.WindowSize = *windowSize
+	cfg.DecayHalfLife = *halfLife
+
+	eng, err := caar.Open(cfg)
+	if err != nil {
+		log.Fatalf("adserver: %v", err)
+	}
+
+	var api server.API = eng
+	if *journalPath != "" {
+		f, err := os.OpenFile(*journalPath, os.O_CREATE|os.O_RDWR, 0o644)
+		if err != nil {
+			log.Fatalf("adserver: journal: %v", err)
+		}
+		stats, err := journal.Replay(f, eng)
+		if err != nil {
+			log.Fatalf("adserver: journal replay: %v", err)
+		}
+		log.Printf("journal replayed: %d applied, %d skipped, torn tail: %v",
+			stats.Applied, stats.Skipped, stats.Torn)
+		if _, err := f.Seek(0, io.SeekEnd); err != nil {
+			log.Fatalf("adserver: journal seek: %v", err)
+		}
+		w := journal.NewWriter(f)
+		w.Sync = f.Sync
+		api = journal.NewLogged(eng, w)
+	}
+
+	if *demo {
+		if err := loadDemo(eng); err != nil {
+			log.Fatalf("adserver: demo data: %v", err)
+		}
+		log.Print("demo dataset loaded (users alice/bob/carol, ads shoes/cafe/vpn)")
+	}
+
+	log.Printf("adserver listening on %s (algorithm=%s shards=%d)", *addr, eng.Algorithm(), *shards)
+	if err := http.ListenAndServe(*addr, server.New(api).Handler()); err != nil {
+		log.Fatalf("adserver: %v", err)
+	}
+}
+
+func loadDemo(eng *caar.Engine) error {
+	now := time.Now()
+	for _, u := range []string{"alice", "bob", "carol"} {
+		if err := eng.AddUser(u); err != nil {
+			return err
+		}
+	}
+	follows := [][2]string{{"alice", "bob"}, {"carol", "bob"}, {"bob", "alice"}}
+	for _, f := range follows {
+		if err := eng.Follow(f[0], f[1]); err != nil {
+			return err
+		}
+	}
+	ads := []caar.Ad{
+		{ID: "shoes", Text: "marathon running shoes spring sale", Bid: 0.4},
+		{ID: "cafe", Text: "espresso pastries downtown coffee", Bid: 0.3,
+			Target: &caar.Target{Lat: 1.5, Lng: 1.5, RadiusKm: 30}},
+		{ID: "vpn", Text: "secure fast vpn service", Bid: 0.6},
+	}
+	for _, a := range ads {
+		if err := eng.AddAd(a); err != nil {
+			return err
+		}
+	}
+	if err := eng.CheckIn("alice", 1.5, 1.5, now); err != nil {
+		return err
+	}
+	posts := []struct{ author, text string }{
+		{"bob", "long marathon run this morning, shoes finally broke in"},
+		{"alice", "espresso after the run hits different"},
+		{"bob", "coffee and pastries with the running club"},
+	}
+	for _, p := range posts {
+		if err := eng.Post(p.author, p.text, now); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Println("demo ready: try GET /v1/recommendations?user=alice&k=3")
+	return err
+}

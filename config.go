@@ -1,0 +1,109 @@
+package caar
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"caar/internal/core"
+	"caar/internal/geo"
+	"caar/internal/timeslot"
+)
+
+// Config configures an Engine. The zero value is not usable; start from
+// DefaultConfig.
+type Config struct {
+	// Algorithm selects the engine; default CAP.
+	Algorithm Algorithm
+
+	// AlphaText, BetaGeo and GammaBid are the non-negative mixing weights of
+	// the scoring function Score = α·TextRel + β·GeoProx + γ·Bid.
+	AlphaText float64
+	BetaGeo   float64
+	GammaBid  float64
+
+	// DecayHalfLife ages feed content: a message's influence halves every
+	// half-life. Zero disables decay.
+	DecayHalfLife time.Duration
+
+	// WindowSize is the per-user feed window capacity in messages.
+	WindowSize int
+
+	// Region is the spatial coverage; GridRows × GridCols is the resolution
+	// of the spatial pre-filter.
+	Region   Region
+	GridRows int
+	GridCols int
+
+	// Shards splits users across this many engine instances that share one
+	// budget store, letting posts fan out in parallel. 0 or 1 disables
+	// sharding. Only meaningful for CAP and IL.
+	Shards int
+
+	// FanoutSharing and RebuildEvery tune the CAP engine (see
+	// DESIGN.md §3.1); ignored by other algorithms.
+	FanoutSharing bool
+	RebuildEvery  int
+
+	// ContinuousK, when positive, recomputes the top-ContinuousK ads of
+	// every affected follower after each post and invokes OnRecommend.
+	// This is the paper's continuous "ads with every feed refresh" mode.
+	ContinuousK int
+	// OnRecommend receives continuous-mode results. It may be called from
+	// multiple goroutines when Shards > 1.
+	OnRecommend func(user string, recs []Recommendation)
+}
+
+// DefaultConfig returns a production-shaped configuration: CAP engine,
+// text-dominant scoring, 2-hour half-life, 32-message windows, a city-scale
+// region with a 64×64 grid.
+func DefaultConfig() Config {
+	return Config{
+		Algorithm:     AlgorithmCAP,
+		AlphaText:     0.6,
+		BetaGeo:       0.25,
+		GammaBid:      0.15,
+		DecayHalfLife: 2 * time.Hour,
+		WindowSize:    32,
+		Region:        Region{MinLat: 0, MinLng: 0, MaxLat: 4, MaxLng: 4},
+		GridRows:      64,
+		GridCols:      64,
+		FanoutSharing: true,
+		RebuildEvery:  256,
+	}
+}
+
+// ErrBadConfig reports an invalid engine configuration.
+var ErrBadConfig = errors.New("caar: invalid configuration")
+
+func (c Config) validate() error {
+	switch c.Algorithm {
+	case AlgorithmCAP, AlgorithmIL, AlgorithmRS, "":
+	default:
+		return fmt.Errorf("%w: unknown algorithm %q", ErrBadConfig, c.Algorithm)
+	}
+	if c.Shards < 0 {
+		return fmt.Errorf("%w: negative shard count %d", ErrBadConfig, c.Shards)
+	}
+	if c.ContinuousK < 0 {
+		return fmt.Errorf("%w: negative ContinuousK", ErrBadConfig)
+	}
+	if c.ContinuousK > 0 && c.OnRecommend == nil {
+		return fmt.Errorf("%w: ContinuousK set without OnRecommend callback", ErrBadConfig)
+	}
+	rect := geo.Rect(c.Region)
+	if !rect.Valid() || rect.MinLat == rect.MaxLat || rect.MinLng == rect.MaxLng {
+		return fmt.Errorf("%w: region %+v", ErrBadConfig, c.Region)
+	}
+	return nil
+}
+
+func (c Config) scoring() core.Scoring {
+	return core.Scoring{
+		AlphaText: c.AlphaText,
+		BetaGeo:   c.BetaGeo,
+		GammaBid:  c.GammaBid,
+		Decay:     timeslot.NewDecay(c.DecayHalfLife),
+		WindowCap: c.WindowSize,
+	}
+}

@@ -1,0 +1,458 @@
+package caar
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"caar/internal/adstore"
+	"caar/internal/core"
+	"caar/internal/feed"
+	"caar/internal/geo"
+	"caar/internal/textproc"
+	"caar/internal/timeslot"
+)
+
+// Engine is the public recommender. It is safe for concurrent use: the text
+// pipeline and ad store are concurrency-safe, and per-shard locks serialize
+// engine-state mutation while allowing posts to fan out across shards in
+// parallel.
+type Engine struct {
+	cfg      Config
+	pipeline *textproc.Pipeline
+	store    *adstore.Store
+	graph    *feed.Graph
+
+	mu      sync.RWMutex // guards users, adIDs, adNames
+	users   map[string]feed.UserID
+	names   []string
+	adIDs   map[string]adstore.AdID
+	adNames map[adstore.AdID]string
+	nextAd  adstore.AdID
+
+	shards      []shard
+	msgSeq      atomic.Int64
+	impressions *impressionLog
+	trends      *trendTracker
+
+	postsDelivered atomic.Uint64
+	checkIns       atomic.Uint64
+}
+
+// shard is one engine instance plus its serializing lock.
+type shard struct {
+	mu  *sync.Mutex
+	eng core.Shardable
+}
+
+// Common errors returned by Engine methods.
+var (
+	ErrUnknownUser = errors.New("caar: unknown user")
+	ErrUnknownAd   = errors.New("caar: unknown ad")
+	ErrDuplicate   = errors.New("caar: duplicate identifier")
+)
+
+// Open creates an engine from a configuration.
+func Open(cfg Config) (*Engine, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	nShards := cfg.Shards
+	if nShards < 1 {
+		nShards = 1
+	}
+	e := &Engine{
+		cfg:         cfg,
+		pipeline:    textproc.NewPipeline(),
+		store:       adstore.NewStore(),
+		graph:       feed.NewGraph(),
+		users:       make(map[string]feed.UserID),
+		adIDs:       make(map[string]adstore.AdID),
+		adNames:     make(map[adstore.AdID]string),
+		nextAd:      1,
+		impressions: newImpressionLog(),
+		trends:      newTrendTracker(),
+	}
+	scoring := cfg.scoring()
+	region := geo.Rect(cfg.Region)
+	rows, cols := cfg.GridRows, cfg.GridCols
+	if rows < 1 {
+		rows = 32
+	}
+	if cols < 1 {
+		cols = 32
+	}
+	for i := 0; i < nShards; i++ {
+		var (
+			eng core.Shardable
+			err error
+		)
+		switch cfg.Algorithm {
+		case AlgorithmRS:
+			eng, err = core.NewRS(scoring, e.store)
+		case AlgorithmIL:
+			eng, err = core.NewIL(scoring, e.store, region, rows, cols)
+		default:
+			eng, err = core.NewCAP(scoring, e.store, region, rows, cols, core.CAPOptions{
+				FanoutSharing: cfg.FanoutSharing,
+				RebuildEvery:  cfg.RebuildEvery,
+			})
+		}
+		if err != nil {
+			return nil, err
+		}
+		e.shards = append(e.shards, shard{mu: new(sync.Mutex), eng: eng})
+	}
+	return e, nil
+}
+
+// Algorithm returns the configured algorithm name.
+func (e *Engine) Algorithm() Algorithm {
+	if e.cfg.Algorithm == "" {
+		return AlgorithmCAP
+	}
+	return e.cfg.Algorithm
+}
+
+func (e *Engine) shardOf(u feed.UserID) shard {
+	return e.shards[int(u)%len(e.shards)]
+}
+
+// AddUser registers a user handle. Duplicate handles are rejected.
+func (e *Engine) AddUser(handle string) error {
+	if handle == "" {
+		return fmt.Errorf("%w: empty user handle", ErrBadConfig)
+	}
+	e.mu.Lock()
+	if _, dup := e.users[handle]; dup {
+		e.mu.Unlock()
+		return fmt.Errorf("%w: user %q", ErrDuplicate, handle)
+	}
+	id := feed.UserID(len(e.names))
+	e.users[handle] = id
+	e.names = append(e.names, handle)
+	e.mu.Unlock()
+
+	e.graph.AddUser(id)
+	sh := e.shardOf(id)
+	sh.mu.Lock()
+	sh.eng.AddUser(id)
+	sh.mu.Unlock()
+	return nil
+}
+
+func (e *Engine) lookupUser(handle string) (feed.UserID, error) {
+	e.mu.RLock()
+	id, ok := e.users[handle]
+	e.mu.RUnlock()
+	if !ok {
+		return 0, fmt.Errorf("%w: %q", ErrUnknownUser, handle)
+	}
+	return id, nil
+}
+
+// Follow makes follower receive followee's posts.
+func (e *Engine) Follow(follower, followee string) error {
+	fid, err := e.lookupUser(follower)
+	if err != nil {
+		return err
+	}
+	pid, err := e.lookupUser(followee)
+	if err != nil {
+		return err
+	}
+	return e.graph.Follow(fid, pid)
+}
+
+// Unfollow removes a follow edge.
+func (e *Engine) Unfollow(follower, followee string) error {
+	fid, err := e.lookupUser(follower)
+	if err != nil {
+		return err
+	}
+	pid, err := e.lookupUser(followee)
+	if err != nil {
+		return err
+	}
+	return e.graph.Unfollow(fid, pid)
+}
+
+// AddCampaign registers an ad campaign with a paced budget over a flight
+// window.
+func (e *Engine) AddCampaign(name string, budget float64, start, end time.Time) error {
+	c, err := adstore.NewCampaign(name, budget, start, end)
+	if err != nil {
+		return err
+	}
+	return e.store.AddCampaign(c)
+}
+
+// AddAd validates and registers an advertisement.
+func (e *Engine) AddAd(ad Ad) error {
+	if ad.ID == "" {
+		return fmt.Errorf("%w: empty ad ID", ErrBadConfig)
+	}
+	vec := e.pipeline.Vector(ad.Text)
+	if len(vec) == 0 {
+		return fmt.Errorf("caar: ad %q has no indexable keywords in %q", ad.ID, ad.Text)
+	}
+	slots := timeslot.AllSlots
+	if len(ad.Slots) > 0 {
+		slots = 0
+		for _, s := range ad.Slots {
+			sl, ok := s.internal()
+			if !ok {
+				return fmt.Errorf("%w: unknown slot %q", ErrBadConfig, s)
+			}
+			slots |= timeslot.NewSet(sl)
+		}
+	}
+	internal := &adstore.Ad{
+		Campaign: ad.Campaign,
+		Vec:      vec,
+		Slots:    slots,
+		Bid:      ad.Bid,
+	}
+	if ad.Target == nil {
+		internal.Global = true
+	} else {
+		internal.Target = geo.Circle{
+			Center:   geo.Point{Lat: ad.Target.Lat, Lng: ad.Target.Lng},
+			RadiusKm: ad.Target.RadiusKm,
+		}
+	}
+
+	e.mu.Lock()
+	if _, dup := e.adIDs[ad.ID]; dup {
+		e.mu.Unlock()
+		return fmt.Errorf("%w: ad %q", ErrDuplicate, ad.ID)
+	}
+	internal.ID = e.nextAd
+	e.nextAd++
+	e.adIDs[ad.ID] = internal.ID
+	e.adNames[internal.ID] = ad.ID
+	e.mu.Unlock()
+
+	if err := internal.Validate(); err != nil {
+		e.unmapAd(ad.ID, internal.ID)
+		return err
+	}
+	if err := e.store.Add(internal); err != nil {
+		e.unmapAd(ad.ID, internal.ID)
+		return err
+	}
+	for _, sh := range e.shards {
+		sh.mu.Lock()
+		sh.eng.RegisterAd(internal)
+		sh.mu.Unlock()
+	}
+	return nil
+}
+
+func (e *Engine) unmapAd(name string, id adstore.AdID) {
+	e.mu.Lock()
+	delete(e.adIDs, name)
+	delete(e.adNames, id)
+	e.mu.Unlock()
+}
+
+// RemoveAd withdraws an advertisement.
+func (e *Engine) RemoveAd(id string) error {
+	e.mu.RLock()
+	internalID, ok := e.adIDs[id]
+	e.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownAd, id)
+	}
+	if err := e.store.Remove(internalID); err != nil {
+		return err
+	}
+	for _, sh := range e.shards {
+		sh.mu.Lock()
+		sh.eng.UnregisterAd(internalID)
+		sh.mu.Unlock()
+	}
+	e.unmapAd(id, internalID)
+	return nil
+}
+
+// CheckIn updates a user's location context.
+func (e *Engine) CheckIn(user string, lat, lng float64, at time.Time) error {
+	uid, err := e.lookupUser(user)
+	if err != nil {
+		return err
+	}
+	sh := e.shardOf(uid)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if err := sh.eng.CheckIn(uid, geo.Point{Lat: lat, Lng: lng}, at); err != nil {
+		return err
+	}
+	e.checkIns.Add(1)
+	return nil
+}
+
+// Post publishes a message: the text is semantically processed once and the
+// message fans out to the author's followers (and the author's own feed).
+// With Shards > 1, the fan-out is processed in parallel across shards.
+func (e *Engine) Post(author, text string, at time.Time) error {
+	uid, err := e.lookupUser(author)
+	if err != nil {
+		return err
+	}
+	msg := feed.Message{
+		ID:     feed.MessageID(e.msgSeq.Add(1)),
+		Author: uid,
+		Time:   at,
+		Vec:    e.pipeline.Vector(text),
+	}
+	e.trends.observe(timeslot.Of(at), msg.Vec)
+	followers := e.graph.Followers(uid)
+	all := make([]feed.UserID, 0, len(followers)+1)
+	all = append(all, uid) // the author sees their own post
+	all = append(all, followers...)
+	return e.deliver(msg, all, at)
+}
+
+func (e *Engine) deliver(msg feed.Message, all []feed.UserID, at time.Time) error {
+	// Group followers by shard.
+	groups := make([][]feed.UserID, len(e.shards))
+	for _, u := range all {
+		si := int(u) % len(e.shards)
+		groups[si] = append(groups[si], u)
+	}
+
+	var (
+		wg       sync.WaitGroup
+		firstErr error
+		errMu    sync.Mutex
+	)
+	for si, group := range groups {
+		if len(group) == 0 {
+			continue
+		}
+		run := func(si int, group []feed.UserID) {
+			sh := e.shards[si]
+			sh.mu.Lock()
+			defer sh.mu.Unlock()
+			if err := sh.eng.Deliver(msg, group); err != nil {
+				errMu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				errMu.Unlock()
+				return
+			}
+			if e.cfg.ContinuousK > 0 {
+				for _, u := range group {
+					recs, err := sh.eng.TopAds(u, e.cfg.ContinuousK, at)
+					if err != nil {
+						continue
+					}
+					e.cfg.OnRecommend(e.userName(u), e.toRecommendations(recs))
+				}
+			}
+		}
+		if len(e.shards) == 1 {
+			run(si, group)
+		} else {
+			wg.Add(1)
+			go func(si int, group []feed.UserID) {
+				defer wg.Done()
+				run(si, group)
+			}(si, group)
+		}
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	e.postsDelivered.Add(1)
+	return nil
+}
+
+// Recommend returns the top-k ads for a user at the given time.
+func (e *Engine) Recommend(user string, k int, at time.Time) ([]Recommendation, error) {
+	uid, err := e.lookupUser(user)
+	if err != nil {
+		return nil, err
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("%w: k=%d", ErrBadConfig, k)
+	}
+	sh := e.shardOf(uid)
+	sh.mu.Lock()
+	scored, err := sh.eng.TopAds(uid, k, at)
+	sh.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	return e.toRecommendations(scored), nil
+}
+
+// ServeImpression bills one impression of an ad against its campaign's
+// paced budget. It reports whether the impression may be shown; false means
+// the campaign is out of (released) budget.
+func (e *Engine) ServeImpression(adID string, at time.Time) (bool, error) {
+	e.mu.RLock()
+	internalID, ok := e.adIDs[adID]
+	e.mu.RUnlock()
+	if !ok {
+		return false, fmt.Errorf("%w: %q", ErrUnknownAd, adID)
+	}
+	return e.store.ChargeImpression(internalID, at)
+}
+
+func (e *Engine) userName(u feed.UserID) string {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if int(u) < len(e.names) {
+		return e.names[u]
+	}
+	return fmt.Sprintf("user-%d", u)
+}
+
+func (e *Engine) toRecommendations(scored []core.Scored) []Recommendation {
+	out := make([]Recommendation, 0, len(scored))
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	for _, s := range scored {
+		name, ok := e.adNames[s.Ad]
+		if !ok {
+			continue // withdrawn concurrently
+		}
+		out = append(out, Recommendation{
+			AdID:  name,
+			Score: s.Score,
+			Text:  s.Text,
+			Geo:   s.Geo,
+			Bid:   s.Bid,
+		})
+	}
+	return out
+}
+
+// Stats returns a monitoring snapshot.
+func (e *Engine) Stats() Stats {
+	st := Stats{
+		Ads:            e.store.Len(),
+		FollowEdges:    e.graph.Edges(),
+		PostsDelivered: e.postsDelivered.Load(),
+		CheckIns:       e.checkIns.Load(),
+		Shards:         len(e.shards),
+	}
+	e.mu.RLock()
+	st.Users = len(e.users)
+	e.mu.RUnlock()
+	for _, sh := range e.shards {
+		sh.mu.Lock()
+		if c, ok := sh.eng.(*core.CAP); ok {
+			st.CachedMessages += c.CachedMessages()
+			st.CandidateBufferEntries += c.TotalBufferEntries()
+		}
+		sh.mu.Unlock()
+	}
+	return st
+}

@@ -1,0 +1,426 @@
+package caar
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+var morning = time.Date(2026, 7, 6, 9, 0, 0, 0, time.UTC)
+
+func testConfig() Config {
+	cfg := DefaultConfig()
+	cfg.DecayHalfLife = 30 * time.Minute
+	cfg.WindowSize = 8
+	return cfg
+}
+
+func openEngine(t *testing.T, cfg Config) *Engine {
+	t.Helper()
+	e, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestOpenValidation(t *testing.T) {
+	cfg := testConfig()
+	cfg.Algorithm = "MAGIC"
+	if _, err := Open(cfg); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("bad algorithm: %v", err)
+	}
+	cfg = testConfig()
+	cfg.Region = Region{MinLat: 5, MaxLat: 1}
+	if _, err := Open(cfg); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("bad region: %v", err)
+	}
+	cfg = testConfig()
+	cfg.ContinuousK = 3 // no callback
+	if _, err := Open(cfg); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("continuous without callback: %v", err)
+	}
+	cfg = testConfig()
+	cfg.WindowSize = 0
+	if _, err := Open(cfg); err == nil {
+		t.Fatal("zero window accepted")
+	}
+}
+
+func TestEndToEndRecommendation(t *testing.T) {
+	e := openEngine(t, testConfig())
+	for _, u := range []string{"alice", "bob", "carol"} {
+		if err := e.AddUser(u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Follow("alice", "bob"); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.AddAd(Ad{ID: "shoes", Text: "marathon running shoes with cushioned sole", Bid: 0.4}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.AddAd(Ad{ID: "pizza", Text: "fresh pizza delivered hot tonight", Bid: 0.4}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Post("bob", "great marathon today, my running shoes held up", morning); err != nil {
+		t.Fatal(err)
+	}
+
+	recs, err := e.Recommend("alice", 2, morning)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[0].AdID != "shoes" {
+		t.Fatalf("recs = %+v, want shoes first", recs)
+	}
+	if recs[0].Text <= recs[1].Text {
+		t.Fatalf("shoes should win on text: %+v", recs)
+	}
+	// carol follows nobody: her feed is empty, ranking is bid-only ties.
+	recs, err = e.Recommend("carol", 2, morning)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		if r.Text != 0 {
+			t.Fatalf("carol has no feed, text must be 0: %+v", r)
+		}
+	}
+}
+
+func TestEngineErrors(t *testing.T) {
+	e := openEngine(t, testConfig())
+	e.AddUser("alice")
+	if err := e.AddUser("alice"); !errors.Is(err, ErrDuplicate) {
+		t.Fatalf("dup user: %v", err)
+	}
+	if err := e.AddUser(""); err == nil {
+		t.Fatal("empty handle accepted")
+	}
+	if err := e.Follow("alice", "ghost"); !errors.Is(err, ErrUnknownUser) {
+		t.Fatalf("follow ghost: %v", err)
+	}
+	if err := e.Post("ghost", "hi", morning); !errors.Is(err, ErrUnknownUser) {
+		t.Fatalf("post as ghost: %v", err)
+	}
+	if _, err := e.Recommend("ghost", 3, morning); !errors.Is(err, ErrUnknownUser) {
+		t.Fatalf("recommend ghost: %v", err)
+	}
+	if _, err := e.Recommend("alice", 0, morning); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("k=0: %v", err)
+	}
+	if err := e.AddAd(Ad{ID: "", Text: "x y z", Bid: 0.5}); err == nil {
+		t.Fatal("empty ad ID accepted")
+	}
+	if err := e.AddAd(Ad{ID: "a1", Text: "the of and", Bid: 0.5}); err == nil {
+		t.Fatal("stopword-only ad accepted")
+	}
+	if err := e.AddAd(Ad{ID: "a1", Text: "great sneakers", Bid: 0}); err == nil {
+		t.Fatal("zero bid accepted")
+	}
+	if err := e.AddAd(Ad{ID: "a1", Text: "great sneakers", Bid: 0.5, Slots: []Slot{"brunch"}}); err == nil {
+		t.Fatal("unknown slot accepted")
+	}
+	if err := e.AddAd(Ad{ID: "a1", Text: "great sneakers", Bid: 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.AddAd(Ad{ID: "a1", Text: "more sneakers", Bid: 0.5}); !errors.Is(err, ErrDuplicate) {
+		t.Fatalf("dup ad: %v", err)
+	}
+	if err := e.RemoveAd("nope"); !errors.Is(err, ErrUnknownAd) {
+		t.Fatalf("remove unknown: %v", err)
+	}
+	if _, err := e.ServeImpression("nope", morning); !errors.Is(err, ErrUnknownAd) {
+		t.Fatalf("serve unknown: %v", err)
+	}
+	if err := e.CheckIn("alice", 99, 0, morning); err == nil {
+		t.Fatal("out-of-region check-in accepted")
+	}
+}
+
+func TestFailedAdDoesNotLeakID(t *testing.T) {
+	e := openEngine(t, testConfig())
+	if err := e.AddAd(Ad{ID: "bad", Text: "sneakers", Bid: 2}); err == nil {
+		t.Fatal("bid 2 accepted")
+	}
+	// The name must be reusable after the failed insert.
+	if err := e.AddAd(Ad{ID: "bad", Text: "sneakers", Bid: 0.5}); err != nil {
+		t.Fatalf("name not released: %v", err)
+	}
+}
+
+func TestGeoTargetedRecommendation(t *testing.T) {
+	e := openEngine(t, testConfig())
+	e.AddUser("alice")
+	if err := e.AddAd(Ad{
+		ID: "local-cafe", Text: "espresso and pastries downtown",
+		Target: &Target{Lat: 2, Lng: 2, RadiusKm: 20}, Bid: 0.3,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.AddAd(Ad{ID: "vpn", Text: "fast vpn service anywhere", Bid: 0.3}); err != nil {
+		t.Fatal(err)
+	}
+	e.Post("alice", "need espresso and pastries right now", morning)
+
+	// No location: only the global ad is eligible.
+	recs, _ := e.Recommend("alice", 5, morning)
+	if len(recs) != 1 || recs[0].AdID != "vpn" {
+		t.Fatalf("no-location recs = %+v", recs)
+	}
+	// Inside the circle: the café wins on text + geo.
+	if err := e.CheckIn("alice", 2.01, 2.01, morning); err != nil {
+		t.Fatal(err)
+	}
+	recs, _ = e.Recommend("alice", 5, morning)
+	if len(recs) != 2 || recs[0].AdID != "local-cafe" {
+		t.Fatalf("in-range recs = %+v", recs)
+	}
+	// Far away: café drops out again.
+	if err := e.CheckIn("alice", 3.9, 3.9, morning); err != nil {
+		t.Fatal(err)
+	}
+	recs, _ = e.Recommend("alice", 5, morning)
+	if len(recs) != 1 || recs[0].AdID != "vpn" {
+		t.Fatalf("out-of-range recs = %+v", recs)
+	}
+}
+
+func TestCampaignBudgetIntegration(t *testing.T) {
+	e := openEngine(t, testConfig())
+	e.AddUser("alice")
+	flightEnd := morning.Add(time.Hour)
+	if err := e.AddCampaign("summer", 1.0, morning, flightEnd); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.AddCampaign("summer", 1.0, morning, flightEnd); err == nil {
+		t.Fatal("dup campaign accepted")
+	}
+	if err := e.AddAd(Ad{ID: "sale", Text: "summer sneaker sale", Campaign: "summer", Bid: 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.AddAd(Ad{ID: "nocamp", Text: "unbudgeted sneakers", Bid: 0.1}); err != nil {
+		t.Fatal(err)
+	}
+	mid := morning.Add(40 * time.Minute)
+	ok, err := e.ServeImpression("sale", mid)
+	if err != nil || !ok {
+		t.Fatalf("first impression: %v %v", ok, err)
+	}
+	// 0.5 of 1.0 spent; at 40 min only ~0.67 released → next 0.5 denied.
+	ok, err = e.ServeImpression("sale", mid)
+	if err != nil || ok {
+		t.Fatalf("second impression should be paced out: %v %v", ok, err)
+	}
+	// Paced-out ads disappear from recommendations too.
+	e.Post("alice", "sneaker sale hunting", mid)
+	recs, _ := e.Recommend("alice", 5, mid)
+	for _, r := range recs {
+		if r.AdID == "sale" {
+			t.Fatalf("paced-out ad recommended: %+v", recs)
+		}
+	}
+}
+
+func TestRemoveAdDisappears(t *testing.T) {
+	e := openEngine(t, testConfig())
+	e.AddUser("alice")
+	e.AddAd(Ad{ID: "x", Text: "sneaker sale", Bid: 0.5})
+	e.Post("alice", "sneaker sale", morning)
+	recs, _ := e.Recommend("alice", 3, morning)
+	if len(recs) != 1 {
+		t.Fatalf("recs = %+v", recs)
+	}
+	if err := e.RemoveAd("x"); err != nil {
+		t.Fatal(err)
+	}
+	recs, _ = e.Recommend("alice", 3, morning)
+	if len(recs) != 0 {
+		t.Fatalf("removed ad still recommended: %+v", recs)
+	}
+	// The external ID is reusable after removal.
+	if err := e.AddAd(Ad{ID: "x", Text: "new sneakers", Bid: 0.4}); err != nil {
+		t.Fatalf("ID not reusable: %v", err)
+	}
+}
+
+func TestAlgorithmsAgreeThroughFacade(t *testing.T) {
+	build := func(alg Algorithm) *Engine {
+		cfg := testConfig()
+		cfg.Algorithm = alg
+		e := openEngine(t, cfg)
+		for _, u := range []string{"u0", "u1", "u2", "u3"} {
+			e.AddUser(u)
+		}
+		e.Follow("u0", "u1")
+		e.Follow("u2", "u1")
+		e.Follow("u3", "u0")
+		e.AddAd(Ad{ID: "run", Text: "running shoes marathon gear", Bid: 0.3})
+		e.AddAd(Ad{ID: "eat", Text: "pizza pasta dinner specials", Bid: 0.6})
+		e.AddAd(Ad{ID: "geo", Text: "running track downtown", Bid: 0.4,
+			Target: &Target{Lat: 1, Lng: 1, RadiusKm: 50}})
+		e.CheckIn("u0", 1.0, 1.0, morning)
+		e.CheckIn("u2", 3.5, 3.5, morning)
+		e.Post("u1", "marathon training with new running shoes", morning)
+		e.Post("u0", "pizza night after the run", morning.Add(time.Minute))
+		return e
+	}
+	var results [][]Recommendation
+	for _, alg := range []Algorithm{AlgorithmRS, AlgorithmIL, AlgorithmCAP} {
+		e := build(alg)
+		var all []Recommendation
+		for _, u := range []string{"u0", "u1", "u2", "u3"} {
+			recs, err := e.Recommend(u, 3, morning.Add(2*time.Minute))
+			if err != nil {
+				t.Fatalf("%s: %v", alg, err)
+			}
+			all = append(all, recs...)
+		}
+		results = append(results, all)
+	}
+	for i := 1; i < len(results); i++ {
+		if !reflect.DeepEqual(roundRecs(results[0]), roundRecs(results[i])) {
+			t.Fatalf("engine %d disagrees:\nRS:  %+v\ngot: %+v", i, results[0], results[i])
+		}
+	}
+}
+
+// roundRecs quantizes scores so cross-engine float noise cannot fail the
+// comparison.
+func roundRecs(recs []Recommendation) []string {
+	out := make([]string, len(recs))
+	for i, r := range recs {
+		out[i] = fmt.Sprintf("%s:%.6f", r.AdID, r.Score)
+	}
+	return out
+}
+
+func TestShardedEngineMatchesSingle(t *testing.T) {
+	run := func(shards int) []string {
+		cfg := testConfig()
+		cfg.Shards = shards
+		e := openEngine(t, cfg)
+		users := make([]string, 20)
+		for i := range users {
+			users[i] = fmt.Sprintf("u%02d", i)
+			e.AddUser(users[i])
+		}
+		for i := 1; i < 20; i++ {
+			e.Follow(users[i], users[0])
+		}
+		e.AddAd(Ad{ID: "run", Text: "running shoes marathon", Bid: 0.3})
+		e.AddAd(Ad{ID: "eat", Text: "pizza dinner tonight", Bid: 0.6})
+		for i := 0; i < 10; i++ {
+			e.Post(users[0], "marathon running update number", morning.Add(time.Duration(i)*time.Minute))
+		}
+		var out []string
+		for _, u := range users {
+			recs, err := e.Recommend(u, 2, morning.Add(time.Hour))
+			if err != nil {
+				panic(err)
+			}
+			out = append(out, roundRecs(recs)...)
+		}
+		return out
+	}
+	single := run(1)
+	for _, p := range []int{2, 4} {
+		if got := run(p); !reflect.DeepEqual(single, got) {
+			t.Fatalf("shards=%d diverges from single:\n%v\n%v", p, single, got)
+		}
+	}
+}
+
+func TestContinuousMode(t *testing.T) {
+	var mu sync.Mutex
+	calls := map[string][]Recommendation{}
+	cfg := testConfig()
+	cfg.ContinuousK = 2
+	cfg.OnRecommend = func(user string, recs []Recommendation) {
+		mu.Lock()
+		calls[user] = recs
+		mu.Unlock()
+	}
+	e := openEngine(t, cfg)
+	e.AddUser("alice")
+	e.AddUser("bob")
+	e.Follow("alice", "bob")
+	e.AddAd(Ad{ID: "shoes", Text: "running shoes", Bid: 0.5})
+	e.Post("bob", "running today", morning)
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(calls) != 2 { // bob (own feed) + alice
+		t.Fatalf("continuous calls = %v", calls)
+	}
+	if len(calls["alice"]) != 1 || calls["alice"][0].AdID != "shoes" {
+		t.Fatalf("alice continuous recs = %+v", calls["alice"])
+	}
+}
+
+func TestStats(t *testing.T) {
+	cfg := testConfig()
+	cfg.Shards = 2
+	e := openEngine(t, cfg)
+	e.AddUser("a")
+	e.AddUser("b")
+	e.Follow("a", "b")
+	e.AddAd(Ad{ID: "x", Text: "sneaker sale", Bid: 0.5})
+	e.Post("b", "sneaker day", morning)
+	e.CheckIn("a", 1, 1, morning)
+	st := e.Stats()
+	if st.Users != 2 || st.Ads != 1 || st.FollowEdges != 1 || st.Shards != 2 {
+		t.Fatalf("Stats = %+v", st)
+	}
+	if st.PostsDelivered != 1 || st.CheckIns != 1 {
+		t.Fatalf("counters = %+v", st)
+	}
+	if st.CandidateBufferEntries == 0 {
+		t.Fatalf("CAP buffers empty: %+v", st)
+	}
+	if e.Algorithm() != AlgorithmCAP {
+		t.Fatalf("Algorithm = %v", e.Algorithm())
+	}
+}
+
+func TestConcurrentFacadeUse(t *testing.T) {
+	cfg := testConfig()
+	cfg.Shards = 4
+	e := openEngine(t, cfg)
+	for i := 0; i < 40; i++ {
+		e.AddUser(fmt.Sprintf("u%02d", i))
+	}
+	for i := 1; i < 40; i++ {
+		e.Follow(fmt.Sprintf("u%02d", i), "u00")
+	}
+	e.AddAd(Ad{ID: "base", Text: "sneaker sale downtown", Bid: 0.5})
+
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				at := morning.Add(time.Duration(w*50+i) * time.Second)
+				switch i % 4 {
+				case 0:
+					e.Post("u00", "sneaker sale running", at)
+				case 1:
+					e.Recommend(fmt.Sprintf("u%02d", i%40), 3, at)
+				case 2:
+					e.CheckIn(fmt.Sprintf("u%02d", i%40), 1.5, 1.5, at)
+				default:
+					e.AddAd(Ad{ID: fmt.Sprintf("ad-%d-%d", w, i), Text: "flash sneaker deal", Bid: 0.2})
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if st := e.Stats(); st.PostsDelivered == 0 || st.Ads < 2 {
+		t.Fatalf("concurrent run lost work: %+v", st)
+	}
+}

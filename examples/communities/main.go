@@ -1,0 +1,95 @@
+// Communities: the triadic formal concept analysis library on the worked
+// example from the TFCA literature — five users, three locations, five topic
+// URIs, three time slots. Extracts location-focused and topic-focused
+// communities as triadic concepts and matches an "Adidas" advertisement
+// context against them.
+//
+//	go run ./examples/communities
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"caar/fca"
+)
+
+func main() {
+	// Check-in context: (user, location, slot) — Table 3 of the example.
+	checkins, err := fca.NewTriContext(
+		[]string{"Tom", "Luke", "Anna", "Sam", "Lia"},
+		[]string{"m1", "m2", "m3"},
+		[]string{"t1", "t2", "t3"},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, tr := range [][3]string{
+		{"Tom", "m1", "t1"}, {"Tom", "m1", "t2"}, {"Tom", "m1", "t3"},
+		{"Luke", "m2", "t1"}, {"Luke", "m2", "t2"}, {"Luke", "m3", "t3"},
+		{"Sam", "m1", "t3"},
+		{"Lia", "m2", "t1"}, {"Lia", "m2", "t2"}, {"Lia", "m2", "t3"},
+	} {
+		if err := checkins.Relate(tr[0], tr[1], tr[2]); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Tweet context: fuzzy (user, topic URI, slot) with annotation
+	// confidences — Table 4 of the example.
+	tweets, err := fca.NewFuzzyTriContext(
+		[]string{"Tom", "Luke", "Anna", "Sam", "Lia"},
+		[]string{"URI1", "URI2", "URI3", "URI4", "URI5"},
+		[]string{"t1", "t2", "t3"},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	type fz struct {
+		u, uri, t string
+		d         float64
+	}
+	for _, f := range []fz{
+		{"Tom", "URI1", "t1", 1.0}, {"Luke", "URI1", "t1", 1.0}, {"Anna", "URI3", "t1", 0.9},
+		{"Sam", "URI2", "t1", 1.0}, {"Lia", "URI5", "t1", 1.0},
+		{"Tom", "URI1", "t2", 1.0}, {"Luke", "URI4", "t2", 0.8}, {"Anna", "URI3", "t2", 0.8},
+		{"Sam", "URI5", "t2", 0.75}, {"Lia", "URI5", "t2", 0.8},
+		{"Tom", "URI3", "t3", 0.8}, {"Luke", "URI1", "t3", 1.0}, {"Anna", "URI3", "t3", 1.0},
+		{"Sam", "URI2", "t3", 1.0}, {"Lia", "URI5", "t3", 1.0},
+	} {
+		if err := tweets.Set(f.u, f.uri, f.t, f.d); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	fmt.Println("all triadic concepts of the check-in context:")
+	for _, tc := range checkins.Concepts() {
+		fmt.Printf("  ({%s}, {%s}, {%s})\n",
+			strings.Join(checkins.ExtentNames(tc), ", "),
+			strings.Join(checkins.IntentNames(tc), ", "),
+			strings.Join(checkins.ModusNames(tc), ", "))
+	}
+
+	fmt.Println("\nlocation-focused communities at m2:")
+	for _, c := range fca.Communities(checkins, "m2") {
+		fmt.Printf("  users %v during %v\n", c.Users, c.Slots)
+	}
+
+	cut := tweets.AlphaCut(0.6)
+	fmt.Println("\ntopic communities for URI1 (α-cut 0.6):")
+	for _, c := range fca.Communities(cut, "URI1") {
+		fmt.Printf("  users %v during %v\n", c.Users, c.Slots)
+	}
+
+	// The advertisement scenario: an Adidas ad shown at location m2,
+	// characterized by topic URIs URI1 and URI2.
+	recs := fca.Recommend(checkins, cut, fca.AdContext{
+		Location: "m2",
+		URIs:     []string{"URI1", "URI2"},
+	})
+	fmt.Println("\ntarget users for the Adidas ad at m2 (URIs: URI1, URI2):")
+	for _, r := range recs {
+		fmt.Printf("  %s during %v\n", r.User, r.Slots)
+	}
+}

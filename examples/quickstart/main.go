@@ -1,0 +1,59 @@
+// Quickstart: the smallest end-to-end use of the caar engine — three users,
+// two ads, one post, one recommendation call.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	caar "caar"
+)
+
+func main() {
+	eng, err := caar.Open(caar.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A tiny social graph: alice follows bob.
+	for _, u := range []string{"alice", "bob"} {
+		if err := eng.AddUser(u); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := eng.Follow("alice", "bob"); err != nil {
+		log.Fatal(err)
+	}
+
+	// Two ads with equal bids: only text relevance can separate them.
+	ads := []caar.Ad{
+		{ID: "marathon-shoes", Text: "cushioned marathon running shoes, spring sale", Bid: 0.4},
+		{ID: "pizza-night", Text: "fresh pizza delivered hot to your door", Bid: 0.4},
+	}
+	for _, ad := range ads {
+		if err := eng.AddAd(ad); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Bob posts; the message lands in alice's feed and becomes her context.
+	now := time.Date(2026, 7, 6, 9, 0, 0, 0, time.UTC)
+	if err := eng.Post("bob", "great marathon this morning, my running shoes held up", now); err != nil {
+		log.Fatal(err)
+	}
+
+	recs, err := eng.Recommend("alice", 2, now)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("recommendations for alice:")
+	for i, r := range recs {
+		fmt.Printf("  %d. %-16s score=%.4f (text=%.4f geo=%.4f bid=%.4f)\n",
+			i+1, r.AdID, r.Score, r.Text, r.Geo, r.Bid)
+	}
+	// The running-shoes ad wins on textual relevance to what alice is
+	// reading right now; the pizza ad scores on bid alone.
+}

@@ -1,0 +1,86 @@
+// Recovery: durability through snapshots and the event journal. The example
+// builds an engine, snapshots its durable state, journals the live traffic
+// that follows, simulates a crash, and reconstructs an equivalent engine by
+// restoring the snapshot and replaying the journal tail.
+//
+//	go run ./examples/recovery
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"time"
+
+	caar "caar"
+	"caar/journal"
+)
+
+func main() {
+	day := time.Date(2026, 7, 6, 0, 0, 0, 0, time.UTC)
+	morning := day.Add(9 * time.Hour)
+
+	// ----- phase 1: build the pre-snapshot world ------------------------
+	eng, err := caar.Open(caar.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, u := range []string{"alice", "bob"} {
+		must(eng.AddUser(u))
+	}
+	must(eng.Follow("alice", "bob"))
+	must(eng.AddCampaign("spring", 100, day, day.Add(48*time.Hour)))
+	must(eng.AddAd(caar.Ad{ID: "shoes", Text: "marathon running shoes", Campaign: "spring", Bid: 0.4}))
+	must(eng.AddAd(caar.Ad{ID: "vpn", Text: "fast vpn anywhere", Bid: 0.6}))
+	if _, err := eng.ServeImpression("shoes", morning); err != nil {
+		log.Fatal(err)
+	}
+
+	var snapshot bytes.Buffer
+	must(eng.Snapshot(&snapshot))
+	fmt.Printf("snapshot taken: %d bytes (users, graph, ads, campaign spend)\n", snapshot.Len())
+
+	// ----- phase 2: journaled live traffic ------------------------------
+	var wal bytes.Buffer
+	live := journal.NewLogged(eng, journal.NewWriter(&wal))
+	must(live.AddUser("carol"))
+	must(live.Follow("carol", "bob"))
+	must(live.Post("bob", "marathon training with new shoes", morning))
+	must(live.CheckIn("carol", 1.5, 1.5, morning))
+	fmt.Printf("journal captured %d bytes of post-snapshot traffic\n", wal.Len())
+
+	before, err := live.Recommend("carol", 2, morning.Add(time.Minute))
+	must(err)
+
+	// ----- phase 3: crash and recover ------------------------------------
+	restored, err := caar.Restore(caar.DefaultConfig(), &snapshot)
+	must(err)
+	stats, err := journal.Replay(&wal, restored)
+	must(err)
+	fmt.Printf("recovered: snapshot + %d journal entries (%d skipped)\n", stats.Applied, stats.Skipped)
+
+	after, err := restored.Recommend("carol", 2, morning.Add(time.Minute))
+	must(err)
+
+	fmt.Println("\nrecommendations for carol before the crash:")
+	print(before)
+	fmt.Println("recommendations for carol after recovery:")
+	print(after)
+	if len(before) == len(after) && len(before) > 0 && before[0].AdID == after[0].AdID {
+		fmt.Println("\nrecovered engine agrees with the original ✔")
+	} else {
+		fmt.Println("\nMISMATCH — recovery failed")
+	}
+}
+
+func print(recs []caar.Recommendation) {
+	for i, r := range recs {
+		fmt.Printf("  %d. %-8s score=%.4f\n", i+1, r.AdID, r.Score)
+	}
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,100 @@
+// Streaming: the high-speed continuous-serving mode. A sharded engine
+// ingests a simulated social stream; after every post, the engine pushes
+// refreshed top-k recommendations for each affected follower through the
+// OnRecommend callback — the paper's "ads with every feed refresh" model.
+//
+//	go run ./examples/streaming
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"sync/atomic"
+	"time"
+
+	caar "caar"
+)
+
+// topics the simulated users post about, with matching ads.
+var topics = map[string][]string{
+	"running": {"morning run felt amazing", "marathon training week four", "new personal best on the trail"},
+	"coffee":  {"espresso tasting downtown", "latte art attempt number nine", "single origin beans arrived"},
+	"tech":    {"new keyboard day", "debugging all afternoon", "shipped the feature finally"},
+}
+
+func main() {
+	var pushes atomic.Int64
+	cfg := caar.DefaultConfig()
+	cfg.Shards = 4
+	cfg.ContinuousK = 3
+	cfg.OnRecommend = func(user string, recs []caar.Recommendation) {
+		// In production this callback would attach the ads to the user's
+		// feed refresh. Here we count pushes and sample a few for display.
+		if n := pushes.Add(1); n <= 3 && len(recs) > 0 {
+			fmt.Printf("  push → %-8s top ad %q (score %.3f)\n", user, recs[0].AdID, recs[0].Score)
+		}
+	}
+	eng, err := caar.Open(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(42))
+	const nUsers = 200
+	users := make([]string, nUsers)
+	for i := range users {
+		users[i] = fmt.Sprintf("user%03d", i)
+		if err := eng.AddUser(users[i]); err != nil {
+			log.Fatal(err)
+		}
+	}
+	// A few celebrity accounts with big fan-outs plus random edges.
+	for i, u := range users {
+		for f := 0; f < 6; f++ {
+			target := users[rng.Intn(10)] // celebrities
+			if rng.Float64() < 0.5 {
+				target = users[rng.Intn(nUsers)]
+			}
+			if target != u {
+				eng.Follow(u, target) // duplicates are rejected; fine
+			}
+		}
+		_ = i
+	}
+
+	adTexts := map[string]string{
+		"trail-shoes":  "trail running shoes grip any terrain marathon ready",
+		"espresso-bar": "espresso bar single origin latte downtown",
+		"mech-keys":    "mechanical keyboard for debugging marathons",
+	}
+	for id, text := range adTexts {
+		if err := eng.AddAd(caar.Ad{ID: id, Text: text, Bid: 0.3 + rng.Float64()*0.4}); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	fmt.Println("replaying 2000 posts through the sharded engine…")
+	topicNames := []string{"running", "coffee", "tech"}
+	now := time.Date(2026, 7, 6, 9, 0, 0, 0, time.UTC)
+	start := time.Now()
+	for i := 0; i < 2000; i++ {
+		now = now.Add(time.Duration(rng.Intn(3000)) * time.Millisecond)
+		topic := topicNames[rng.Intn(len(topicNames))]
+		text := topics[topic][rng.Intn(len(topics[topic]))]
+		if err := eng.Post(users[rng.Intn(nUsers)], text, now); err != nil {
+			log.Fatal(err)
+		}
+	}
+	elapsed := time.Since(start)
+
+	st := eng.Stats()
+	fmt.Printf("\nprocessed %d posts in %v (%.0f posts/sec)\n",
+		st.PostsDelivered, elapsed.Round(time.Millisecond),
+		float64(st.PostsDelivered)/elapsed.Seconds())
+	fmt.Printf("continuous pushes delivered: %d\n", pushes.Load())
+	fmt.Printf("engine: %d users, %d ads, %d follow edges, %d shards\n",
+		st.Users, st.Ads, st.FollowEdges, st.Shards)
+	fmt.Printf("CAP state: %d candidate-buffer entries, %d cached delta lists\n",
+		st.CandidateBufferEntries, st.CachedMessages)
+}

@@ -1,0 +1,209 @@
+package fca
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Context is a dyadic formal context (G, M, I): a set of objects G, a set of
+// attributes M, and an incidence relation I ⊆ G×M. Objects and attributes
+// carry string names; internally they are dense indexes.
+type Context struct {
+	objects    []string
+	attributes []string
+	objIndex   map[string]int
+	attrIndex  map[string]int
+	rows       []BitSet // per object: its attributes
+	cols       []BitSet // per attribute: its objects
+}
+
+// NewContext creates a context with the given object and attribute names.
+// Names must be unique within their kind.
+func NewContext(objects, attributes []string) (*Context, error) {
+	c := &Context{
+		objects:    append([]string(nil), objects...),
+		attributes: append([]string(nil), attributes...),
+		objIndex:   make(map[string]int, len(objects)),
+		attrIndex:  make(map[string]int, len(attributes)),
+	}
+	for i, o := range objects {
+		if _, dup := c.objIndex[o]; dup {
+			return nil, fmt.Errorf("fca: duplicate object %q", o)
+		}
+		c.objIndex[o] = i
+	}
+	for j, a := range attributes {
+		if _, dup := c.attrIndex[a]; dup {
+			return nil, fmt.Errorf("fca: duplicate attribute %q", a)
+		}
+		c.attrIndex[a] = j
+	}
+	c.rows = make([]BitSet, len(objects))
+	for i := range c.rows {
+		c.rows[i] = NewBitSet(len(attributes))
+	}
+	c.cols = make([]BitSet, len(attributes))
+	for j := range c.cols {
+		c.cols[j] = NewBitSet(len(objects))
+	}
+	return c, nil
+}
+
+// Objects returns the object names (shared slice; do not mutate).
+func (c *Context) Objects() []string { return c.objects }
+
+// Attributes returns the attribute names (shared slice; do not mutate).
+func (c *Context) Attributes() []string { return c.attributes }
+
+// NumObjects returns |G|.
+func (c *Context) NumObjects() int { return len(c.objects) }
+
+// NumAttributes returns |M|.
+func (c *Context) NumAttributes() int { return len(c.attributes) }
+
+// AddObject appends a new object with the given attribute set (a bitset
+// over this context's attributes). Used by attribute exploration to absorb
+// counterexamples.
+func (c *Context) AddObject(name string, attrs BitSet) error {
+	if _, dup := c.objIndex[name]; dup {
+		return fmt.Errorf("fca: duplicate object %q", name)
+	}
+	if attrs.Cap() != len(c.attributes) {
+		return fmt.Errorf("fca: attribute set capacity %d ≠ %d attributes", attrs.Cap(), len(c.attributes))
+	}
+	i := len(c.objects)
+	c.objIndex[name] = i
+	c.objects = append(c.objects, name)
+	c.rows = append(c.rows, attrs.Clone())
+	for j := range c.cols {
+		grown := NewBitSet(len(c.objects))
+		c.cols[j].ForEach(func(o int) { grown.Set(o) })
+		if attrs.Test(j) {
+			grown.Set(i)
+		}
+		c.cols[j] = grown
+	}
+	return nil
+}
+
+// Relate adds (object, attribute) to the incidence relation by name.
+func (c *Context) Relate(object, attribute string) error {
+	i, ok := c.objIndex[object]
+	if !ok {
+		return fmt.Errorf("fca: unknown object %q", object)
+	}
+	j, ok := c.attrIndex[attribute]
+	if !ok {
+		return fmt.Errorf("fca: unknown attribute %q", attribute)
+	}
+	c.RelateIdx(i, j)
+	return nil
+}
+
+// RelateIdx adds (object i, attribute j) by index.
+func (c *Context) RelateIdx(i, j int) {
+	c.rows[i].Set(j)
+	c.cols[j].Set(i)
+}
+
+// Incident reports whether object i has attribute j.
+func (c *Context) Incident(i, j int) bool { return c.rows[i].Test(j) }
+
+// ObjectsDerive returns the attributes common to all objects in ext (the ′
+// operator on object sets). For the empty set it returns all attributes.
+func (c *Context) ObjectsDerive(ext BitSet) BitSet {
+	out := NewBitSet(len(c.attributes))
+	out.Fill()
+	ext.ForEach(func(i int) { out.AndWith(c.rows[i]) })
+	return out
+}
+
+// AttributesDerive returns the objects possessing all attributes in int
+// (the ′ operator on attribute sets). For the empty set it returns all
+// objects.
+func (c *Context) AttributesDerive(intent BitSet) BitSet {
+	out := NewBitSet(len(c.objects))
+	out.Fill()
+	intent.ForEach(func(j int) { out.AndWith(c.cols[j]) })
+	return out
+}
+
+// CloseAttributes returns the closure A″ of an attribute set.
+func (c *Context) CloseAttributes(intent BitSet) BitSet {
+	return c.ObjectsDerive(c.AttributesDerive(intent))
+}
+
+// Concept is a formal concept: a maximal rectangle (Extent × Intent) ⊆ I
+// with Extent′ = Intent and Intent′ = Extent.
+type Concept struct {
+	Extent BitSet // objects
+	Intent BitSet // attributes
+}
+
+// ExtentNames resolves the extent to object names.
+func (c *Context) ExtentNames(cc Concept) []string {
+	return names(c.objects, cc.Extent)
+}
+
+// IntentNames resolves the intent to attribute names.
+func (c *Context) IntentNames(cc Concept) []string {
+	return names(c.attributes, cc.Intent)
+}
+
+func names(all []string, s BitSet) []string {
+	out := make([]string, 0, s.Count())
+	s.ForEach(func(i int) { out = append(out, all[i]) })
+	sort.Strings(out)
+	return out
+}
+
+// Concepts enumerates every formal concept of the context using Ganter's
+// NextClosure algorithm, in lectic order of intents. The number of concepts
+// can be exponential in the context size; callers working with adversarial
+// inputs should bound their contexts.
+func (c *Context) Concepts() []Concept {
+	m := len(c.attributes)
+	var out []Concept
+
+	intent := c.CloseAttributes(NewBitSet(m))
+	for {
+		out = append(out, Concept{Extent: c.AttributesDerive(intent), Intent: intent.Clone()})
+		next, ok := c.nextClosure(intent)
+		if !ok {
+			return out
+		}
+		intent = next
+	}
+}
+
+// nextClosure computes the lectically next closed attribute set after the
+// given closed set, or ok=false when it was the last one (the full set).
+func (c *Context) nextClosure(a BitSet) (BitSet, bool) {
+	m := len(c.attributes)
+	for i := m - 1; i >= 0; i-- {
+		if a.Test(i) {
+			continue
+		}
+		// candidate = closure((a ∩ {0..i−1}) ∪ {i})
+		cand := NewBitSet(m)
+		for j := 0; j < i; j++ {
+			if a.Test(j) {
+				cand.Set(j)
+			}
+		}
+		cand.Set(i)
+		closed := c.CloseAttributes(cand)
+		// Accept if no new element below i was introduced.
+		ok := true
+		for j := 0; j < i; j++ {
+			if closed.Test(j) && !cand.Test(j) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return closed, true
+		}
+	}
+	return BitSet{}, false
+}

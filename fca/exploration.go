@@ -1,0 +1,111 @@
+package fca
+
+import "fmt"
+
+// Attribute exploration (Ganter): interactively complete a partially
+// observed domain. The algorithm walks the would-be stem base of the
+// current context; for each candidate implication it asks an expert whether
+// the implication holds in the full domain. Accepted implications join the
+// basis; rejections must come with a counterexample object, which is added
+// to the context and the exploration continues. On termination the basis is
+// sound and complete for the expert's domain, and the context contains
+// enough objects to witness every non-implication.
+
+// Expert answers implication queries during exploration.
+type Expert interface {
+	// Ask is posed a candidate implication (premise → conclusion over the
+	// context's attributes). Return accept=true when the implication holds
+	// in the whole domain; otherwise return a counterexample: a new object
+	// name and its attribute set, which must satisfy the premise but not
+	// the full conclusion.
+	Ask(imp Implication) (accept bool, objName string, objAttrs BitSet)
+}
+
+// ExpertFunc adapts a function to the Expert interface.
+type ExpertFunc func(imp Implication) (bool, string, BitSet)
+
+// Ask implements Expert.
+func (f ExpertFunc) Ask(imp Implication) (bool, string, BitSet) { return f(imp) }
+
+// maxExplorationSteps caps runaway experts (e.g. one that keeps returning
+// fresh counterexamples that do not actually refute anything is rejected
+// earlier, but a domain with astronomically many implications would loop
+// for its full exponential course otherwise).
+const maxExplorationSteps = 1 << 20
+
+// Explore runs attribute exploration on the context, mutating it with the
+// expert's counterexamples, and returns the accepted implication basis.
+func Explore(c *Context, expert Expert) ([]Implication, error) {
+	m := len(c.attributes)
+	var impls []Implication
+
+	a := NewBitSet(m)
+	a = lStarClose(impls, a)
+	for steps := 0; ; steps++ {
+		if steps > maxExplorationSteps {
+			return nil, fmt.Errorf("fca: exploration exceeded %d steps", maxExplorationSteps)
+		}
+		closed := c.CloseAttributes(a)
+		if !a.Equal(closed) {
+			imp := Implication{Premise: a.Clone(), Conclusion: closed}
+			accept, name, attrs := expert.Ask(imp)
+			if accept {
+				impls = append(impls, imp)
+			} else {
+				if err := validCounterexample(imp, attrs); err != nil {
+					return nil, fmt.Errorf("fca: counterexample %q: %w", name, err)
+				}
+				if err := c.AddObject(name, attrs); err != nil {
+					return nil, err
+				}
+				// The context changed: re-examine the same premise.
+				continue
+			}
+		}
+		if a.Count() == m {
+			return impls, nil
+		}
+		next, ok := c.nextLStar(impls, a)
+		if !ok {
+			return impls, nil
+		}
+		a = next
+	}
+}
+
+// validCounterexample checks that the object's attributes refute the
+// implication: premise satisfied, conclusion not.
+func validCounterexample(imp Implication, attrs BitSet) error {
+	if attrs.Cap() != imp.Conclusion.Cap() {
+		return fmt.Errorf("attribute set capacity %d ≠ %d", attrs.Cap(), imp.Conclusion.Cap())
+	}
+	if !imp.Premise.IsSubsetOf(attrs) {
+		return fmt.Errorf("does not satisfy the premise %s", imp.Premise)
+	}
+	if imp.Conclusion.IsSubsetOf(attrs) {
+		return fmt.Errorf("satisfies the conclusion %s — not a counterexample", imp.Conclusion)
+	}
+	return nil
+}
+
+// DomainExpert answers exploration queries from a reference context over
+// the same attributes — the standard way to test exploration, and useful in
+// production to reconcile a sample context against a full dataset that is
+// too large to run StemBase on directly.
+type DomainExpert struct {
+	Domain *Context
+	serial int
+}
+
+// Ask implements Expert: accept when the implication holds in the domain,
+// otherwise return the lectically first violating domain object.
+func (d *DomainExpert) Ask(imp Implication) (bool, string, BitSet) {
+	for i := range d.Domain.objects {
+		row := d.Domain.rows[i]
+		if imp.Premise.IsSubsetOf(row) && !imp.Conclusion.IsSubsetOf(row) {
+			d.serial++
+			return false, fmt.Sprintf("cx%d-%s", d.serial, d.Domain.objects[i]), row.Clone()
+		}
+	}
+	return true, "", BitSet{}
+}

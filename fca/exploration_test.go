@@ -1,0 +1,157 @@
+package fca
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestExplorationRecoversHiddenTheory: exploring an empty visible context
+// against a hidden domain must produce a basis equivalent to the hidden
+// context's stem base.
+func TestExplorationRecoversHiddenTheory(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 30; trial++ {
+		nAttr := 2 + rng.Intn(5)
+		hidden := randomContext(t, rng, 3+rng.Intn(6), nAttr, 0.3+0.4*rng.Float64())
+
+		visible, err := NewContext(nil, hidden.Attributes())
+		if err != nil {
+			t.Fatal(err)
+		}
+		basis, err := Explore(visible, &DomainExpert{Domain: hidden})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		// Equivalence: the explored basis closes every attribute set exactly
+		// like the hidden context does.
+		for mask := 0; mask < 1<<nAttr; mask++ {
+			x := NewBitSet(nAttr)
+			for j := 0; j < nAttr; j++ {
+				if mask&(1<<j) != 0 {
+					x.Set(j)
+				}
+			}
+			got := CloseUnder(basis, x)
+			want := hidden.CloseAttributes(x)
+			if !got.Equal(want) {
+				t.Fatalf("trial %d set %s: explored %s, hidden %s", trial, x, got, want)
+			}
+		}
+		// The counterexamples that were absorbed are real domain rows: every
+		// visible object refutes something, i.e. visible incidences appear
+		// in the hidden context too (same attribute universe).
+		for i := range visible.Objects() {
+			row := visible.rows[i]
+			found := false
+			for j := range hidden.Objects() {
+				if hidden.rows[j].Equal(row) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("trial %d: fabricated counterexample row %s", trial, row)
+			}
+		}
+	}
+}
+
+// TestExplorationFromPartialSample: starting from a sample of the domain
+// must converge to the same theory.
+func TestExplorationFromPartialSample(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	hidden := randomContext(t, rng, 8, 5, 0.4)
+	visible, err := NewContext(hidden.Objects()[:3], hidden.Attributes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		hidden.rows[i].ForEach(func(j int) { visible.RelateIdx(i, j) })
+	}
+	basis, err := Explore(visible, &DomainExpert{Domain: hidden})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for mask := 0; mask < 1<<5; mask++ {
+		x := NewBitSet(5)
+		for j := 0; j < 5; j++ {
+			if mask&(1<<j) != 0 {
+				x.Set(j)
+			}
+		}
+		if !CloseUnder(basis, x).Equal(hidden.CloseAttributes(x)) {
+			t.Fatalf("set %s: theories differ", x)
+		}
+	}
+}
+
+func TestExplorationAcceptEverythingEqualsStemBase(t *testing.T) {
+	// An expert that accepts every implication leaves the context unchanged
+	// and must return exactly the stem base.
+	c := classicContext(t)
+	want := c.StemBase()
+	got, err := Explore(c, ExpertFunc(func(Implication) (bool, string, BitSet) {
+		return true, "", BitSet{}
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("basis sizes differ: %d vs %d", len(got), len(want))
+	}
+	for i := range want {
+		if !got[i].Premise.Equal(want[i].Premise) || !got[i].Conclusion.Equal(want[i].Conclusion) {
+			t.Fatalf("implication %d differs", i)
+		}
+	}
+}
+
+func TestExplorationRejectsBadCounterexample(t *testing.T) {
+	c := classicContext(t)
+	// An expert that rejects but hands back an object satisfying the
+	// conclusion (not a counterexample).
+	_, err := Explore(c, ExpertFunc(func(imp Implication) (bool, string, BitSet) {
+		full := NewBitSet(c.NumAttributes())
+		full.Fill()
+		return false, "liar", full
+	}))
+	if err == nil {
+		t.Fatal("fabricated counterexample accepted")
+	}
+	// An expert returning a wrong-capacity set.
+	_, err = Explore(classicContext(t), ExpertFunc(func(imp Implication) (bool, string, BitSet) {
+		return false, "liar", NewBitSet(3)
+	}))
+	if err == nil {
+		t.Fatal("wrong-capacity counterexample accepted")
+	}
+}
+
+func TestAddObject(t *testing.T) {
+	c, err := NewContext([]string{"a"}, []string{"x", "y"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Relate("a", "x")
+	attrs := NewBitSet(2)
+	attrs.Set(1)
+	if err := c.AddObject("b", attrs); err != nil {
+		t.Fatal(err)
+	}
+	if c.NumObjects() != 2 || !c.Incident(1, 1) || c.Incident(1, 0) {
+		t.Fatal("AddObject state wrong")
+	}
+	// Derivations see the new object.
+	ys := NewBitSet(2)
+	ys.Set(1)
+	ext := c.AttributesDerive(ys)
+	if ext.Count() != 1 || !ext.Test(1) {
+		t.Fatalf("extent of y = %s", ext)
+	}
+	if err := c.AddObject("a", attrs); err == nil {
+		t.Fatal("duplicate object accepted")
+	}
+	if err := c.AddObject("c", NewBitSet(5)); err == nil {
+		t.Fatal("wrong-capacity attrs accepted")
+	}
+}

@@ -1,0 +1,106 @@
+package fca
+
+import "fmt"
+
+// FuzzyTriContext is a triadic context whose incidence carries membership
+// degrees in [0, 1] instead of booleans — the representation of
+// (user, topic, slot) relations weighted by annotation confidence. Crisp
+// analysis is performed on α-cuts.
+type FuzzyTriContext struct {
+	objects    []string
+	attributes []string
+	conditions []string
+	objIndex   map[string]int
+	attrIndex  map[string]int
+	condIndex  map[string]int
+	deg        map[[3]int]float64
+}
+
+// NewFuzzyTriContext creates an empty fuzzy triadic context.
+func NewFuzzyTriContext(objects, attributes, conditions []string) (*FuzzyTriContext, error) {
+	f := &FuzzyTriContext{
+		objects:    append([]string(nil), objects...),
+		attributes: append([]string(nil), attributes...),
+		conditions: append([]string(nil), conditions...),
+		objIndex:   make(map[string]int, len(objects)),
+		attrIndex:  make(map[string]int, len(attributes)),
+		condIndex:  make(map[string]int, len(conditions)),
+		deg:        make(map[[3]int]float64),
+	}
+	for i, o := range objects {
+		if _, dup := f.objIndex[o]; dup {
+			return nil, fmt.Errorf("fca: duplicate object %q", o)
+		}
+		f.objIndex[o] = i
+	}
+	for j, a := range attributes {
+		if _, dup := f.attrIndex[a]; dup {
+			return nil, fmt.Errorf("fca: duplicate attribute %q", a)
+		}
+		f.attrIndex[a] = j
+	}
+	for k, b := range conditions {
+		if _, dup := f.condIndex[b]; dup {
+			return nil, fmt.Errorf("fca: duplicate condition %q", b)
+		}
+		f.condIndex[b] = k
+	}
+	return f, nil
+}
+
+// Set records a membership degree; degrees outside [0, 1] are rejected.
+// Setting an existing triple keeps the maximum of the old and new degree
+// (a user who posts about a topic twice is at least as related to it).
+func (f *FuzzyTriContext) Set(object, attribute, condition string, degree float64) error {
+	if degree < 0 || degree > 1 {
+		return fmt.Errorf("fca: degree %v outside [0,1]", degree)
+	}
+	i, ok := f.objIndex[object]
+	if !ok {
+		return fmt.Errorf("fca: unknown object %q", object)
+	}
+	j, ok := f.attrIndex[attribute]
+	if !ok {
+		return fmt.Errorf("fca: unknown attribute %q", attribute)
+	}
+	k, ok := f.condIndex[condition]
+	if !ok {
+		return fmt.Errorf("fca: unknown condition %q", condition)
+	}
+	key := [3]int{i, j, k}
+	if old, exists := f.deg[key]; !exists || degree > old {
+		f.deg[key] = degree
+	}
+	return nil
+}
+
+// Degree returns the membership of a triple (0 when absent or unknown).
+func (f *FuzzyTriContext) Degree(object, attribute, condition string) float64 {
+	i, ok1 := f.objIndex[object]
+	j, ok2 := f.attrIndex[attribute]
+	k, ok3 := f.condIndex[condition]
+	if !ok1 || !ok2 || !ok3 {
+		return 0
+	}
+	return f.deg[[3]int{i, j, k}]
+}
+
+// Len returns the number of non-zero triples.
+func (f *FuzzyTriContext) Len() int { return len(f.deg) }
+
+// AlphaCut returns the crisp triadic context containing the triples whose
+// degree is strictly greater than alpha (the "> α" convention of the
+// evaluation: α = 0 keeps every non-zero triple, α = 1 keeps none).
+func (f *FuzzyTriContext) AlphaCut(alpha float64) *TriContext {
+	t, err := NewTriContext(f.objects, f.attributes, f.conditions)
+	if err != nil {
+		// The fuzzy context validated the same name sets at construction.
+		panic("fca: alpha-cut reconstruction: " + err.Error())
+	}
+	for key, d := range f.deg {
+		if d > alpha {
+			t.RelateIdx(key[0], key[1], key[2])
+		}
+	}
+	return t
+}

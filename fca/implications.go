@@ -1,0 +1,142 @@
+package fca
+
+// Implications: attribute dependencies of a formal context. The
+// Duquenne–Guigues ("stem") base is the canonical minimum-cardinality set
+// of implications from which every attribute implication that holds in the
+// context can be derived — the standard FCA tool for dependency analysis
+// ("every user who checks in at the stadium in the evening also posts about
+// sports").
+
+// Implication states: every object having all Premise attributes also has
+// all Conclusion attributes. Conclusion is stored closed (it contains the
+// premise's full closure).
+type Implication struct {
+	Premise    BitSet
+	Conclusion BitSet
+}
+
+// Holds reports whether the implication is valid in the context: the
+// premise's extent is contained in the conclusion's extent.
+func (imp Implication) Holds(c *Context) bool {
+	return c.AttributesDerive(imp.Premise).IsSubsetOf(c.AttributesDerive(imp.Conclusion))
+}
+
+// PremiseNames resolves the premise to attribute names.
+func (c *Context) PremiseNames(imp Implication) []string {
+	return names(c.attributes, imp.Premise)
+}
+
+// ConclusionNames resolves the conclusion to attribute names.
+func (c *Context) ConclusionNames(imp Implication) []string {
+	return names(c.attributes, imp.Conclusion)
+}
+
+// CloseUnder returns the syntactic closure of X under the implication set:
+// the smallest superset of X closed under every implication (premise ⊆ set
+// ⇒ conclusion ⊆ set). For a sound and complete basis this equals the
+// context closure X″.
+func CloseUnder(impls []Implication, x BitSet) BitSet {
+	out := x.Clone()
+	for changed := true; changed; {
+		changed = false
+		for _, imp := range impls {
+			if imp.Premise.IsSubsetOf(out) && !imp.Conclusion.IsSubsetOf(out) {
+				out.OrWith(imp.Conclusion)
+				changed = true
+			}
+		}
+	}
+	return out
+}
+
+// lStarClose closes X under the implications using the PROPER-premise rule
+// (apply P→C only when P ⊊ X). Its fixpoints are exactly the intents plus
+// the pseudo-intents, which is the closure system the stem-base enumeration
+// walks.
+func lStarClose(impls []Implication, x BitSet) BitSet {
+	out := x.Clone()
+	for changed := true; changed; {
+		changed = false
+		for _, imp := range impls {
+			if imp.Premise.IsSubsetOf(out) && !imp.Premise.Equal(out) && !imp.Conclusion.IsSubsetOf(out) {
+				out.OrWith(imp.Conclusion)
+				changed = true
+			}
+		}
+	}
+	return out
+}
+
+// StemBase computes the Duquenne–Guigues base of the context with Ganter's
+// NextClosure-style enumeration of pseudo-intents. The result derives every
+// valid attribute implication (see CloseUnder) with the minimum possible
+// number of implications.
+//
+// Worst-case cost is exponential in the attribute count (the base itself
+// can be exponential); intended for the analysis-sized contexts this
+// package targets.
+func (c *Context) StemBase() []Implication {
+	m := len(c.attributes)
+	var impls []Implication
+
+	a := lStarClose(impls, NewBitSet(m))
+	for {
+		closed := c.CloseAttributes(a)
+		if !a.Equal(closed) {
+			// a is a pseudo-intent: record its implication.
+			impls = append(impls, Implication{Premise: a.Clone(), Conclusion: closed})
+		}
+		if a.Count() == m {
+			return impls
+		}
+		next, ok := c.nextLStar(impls, a)
+		if !ok {
+			return impls
+		}
+		a = next
+	}
+}
+
+// nextLStar is the NextClosure step over the intents-plus-pseudo-intents
+// closure system.
+func (c *Context) nextLStar(impls []Implication, a BitSet) (BitSet, bool) {
+	m := len(c.attributes)
+	for i := m - 1; i >= 0; i-- {
+		if a.Test(i) {
+			continue
+		}
+		cand := NewBitSet(m)
+		for j := 0; j < i; j++ {
+			if a.Test(j) {
+				cand.Set(j)
+			}
+		}
+		cand.Set(i)
+		closed := lStarClose(impls, cand)
+		ok := true
+		for j := 0; j < i; j++ {
+			if closed.Test(j) && !cand.Test(j) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return closed, true
+		}
+	}
+	return BitSet{}, false
+}
+
+// AttributeSet builds a BitSet over the context's attributes from names.
+// Unknown names are reported.
+func (c *Context) AttributeSet(names ...string) (BitSet, bool) {
+	s := NewBitSet(len(c.attributes))
+	for _, n := range names {
+		j, ok := c.attrIndex[n]
+		if !ok {
+			return BitSet{}, false
+		}
+		s.Set(j)
+	}
+	return s, true
+}

@@ -1,0 +1,178 @@
+package fca
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randomContext builds a small random context for basis property tests.
+func randomContext(t *testing.T, rng *rand.Rand, nObj, nAttr int, density float64) *Context {
+	t.Helper()
+	objs := make([]string, nObj)
+	attrs := make([]string, nAttr)
+	for i := range objs {
+		objs[i] = "o" + string(rune('0'+i))
+	}
+	for j := range attrs {
+		attrs[j] = "a" + string(rune('0'+j))
+	}
+	c, err := NewContext(objs, attrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < nObj; i++ {
+		for j := 0; j < nAttr; j++ {
+			if rng.Float64() < density {
+				c.RelateIdx(i, j)
+			}
+		}
+	}
+	return c
+}
+
+func TestStemBaseSound(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 40; trial++ {
+		c := randomContext(t, rng, 2+rng.Intn(6), 2+rng.Intn(6), 0.3+0.4*rng.Float64())
+		for _, imp := range c.StemBase() {
+			if !imp.Holds(c) {
+				t.Fatalf("trial %d: implication %v → %v does not hold",
+					trial, c.PremiseNames(imp), c.ConclusionNames(imp))
+			}
+		}
+	}
+}
+
+// TestStemBaseComplete: the syntactic closure under the base must equal the
+// context closure for EVERY attribute subset — soundness + completeness in
+// one check.
+func TestStemBaseComplete(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	for trial := 0; trial < 40; trial++ {
+		nAttr := 2 + rng.Intn(6)
+		c := randomContext(t, rng, 2+rng.Intn(6), nAttr, 0.3+0.4*rng.Float64())
+		base := c.StemBase()
+		for mask := 0; mask < 1<<nAttr; mask++ {
+			x := NewBitSet(nAttr)
+			for j := 0; j < nAttr; j++ {
+				if mask&(1<<j) != 0 {
+					x.Set(j)
+				}
+			}
+			syntactic := CloseUnder(base, x)
+			semantic := c.CloseAttributes(x)
+			if !syntactic.Equal(semantic) {
+				t.Fatalf("trial %d set %s: syntactic %s ≠ semantic %s (base size %d)",
+					trial, x, syntactic, semantic, len(base))
+			}
+		}
+	}
+}
+
+// TestStemBaseNonRedundant: dropping any implication breaks completeness —
+// the defining minimality property of the Duquenne–Guigues base.
+func TestStemBaseNonRedundant(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	for trial := 0; trial < 25; trial++ {
+		c := randomContext(t, rng, 2+rng.Intn(5), 2+rng.Intn(5), 0.4)
+		base := c.StemBase()
+		for drop := range base {
+			reduced := make([]Implication, 0, len(base)-1)
+			reduced = append(reduced, base[:drop]...)
+			reduced = append(reduced, base[drop+1:]...)
+			// The dropped implication's premise must no longer close to its
+			// full conclusion.
+			syn := CloseUnder(reduced, base[drop].Premise)
+			if syn.Equal(c.CloseAttributes(base[drop].Premise)) {
+				t.Fatalf("trial %d: implication %d is redundant in stem base",
+					trial, drop)
+			}
+		}
+	}
+}
+
+func TestStemBasePremisesArePseudoIntents(t *testing.T) {
+	c := classicContext(t)
+	base := c.StemBase()
+	if len(base) == 0 {
+		t.Fatal("classic context should have implications")
+	}
+	for _, imp := range base {
+		// A pseudo-intent is never closed.
+		if imp.Premise.Equal(c.CloseAttributes(imp.Premise)) {
+			t.Fatalf("premise %v is closed", c.PremiseNames(imp))
+		}
+		// Conclusions are stored closed.
+		if !imp.Conclusion.Equal(c.CloseAttributes(imp.Conclusion)) {
+			t.Fatalf("conclusion %v not closed", c.ConclusionNames(imp))
+		}
+	}
+}
+
+func TestStemBaseClassicExamples(t *testing.T) {
+	c := classicContext(t)
+	base := c.StemBase()
+	// "suckles → needs-water, lives-on-land, can-move, has-limbs, suckles"
+	// (only the dog suckles) must be derivable.
+	suckles, ok := c.AttributeSet("suckles")
+	if !ok {
+		t.Fatal("attribute lookup failed")
+	}
+	closure := CloseUnder(base, suckles)
+	want, _ := c.AttributeSet("suckles", "needs-water", "lives-on-land", "can-move", "has-limbs")
+	if !want.IsSubsetOf(closure) {
+		t.Fatalf("suckles closure %s misses %s", closure, want)
+	}
+	// Everything implies needs-water (every object needs water): the empty
+	// set's closure contains it.
+	empty := NewBitSet(c.NumAttributes())
+	closure = CloseUnder(base, empty)
+	needsWater, _ := c.AttributeSet("needs-water")
+	if !needsWater.IsSubsetOf(closure) {
+		t.Fatalf("∅ closure %s misses needs-water", closure)
+	}
+}
+
+func TestAttributeSetUnknown(t *testing.T) {
+	c := classicContext(t)
+	if _, ok := c.AttributeSet("no-such"); ok {
+		t.Fatal("unknown attribute accepted")
+	}
+}
+
+func TestCloseUnderEmptyBase(t *testing.T) {
+	x := NewBitSet(5)
+	x.Set(2)
+	got := CloseUnder(nil, x)
+	if !got.Equal(x) {
+		t.Fatalf("empty base closure changed the set: %s", got)
+	}
+}
+
+func BenchmarkStemBaseClassic(b *testing.B) {
+	c, err := NewContext(
+		[]string{"leech", "bream", "frog", "dog", "spike-weed", "reed", "bean", "maize"},
+		[]string{"nw", "liw", "lol", "nc", "tsl", "osl", "cm", "hl", "s"},
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rel := [][2]int{
+		{0, 0}, {0, 1}, {0, 6},
+		{1, 0}, {1, 1}, {1, 6}, {1, 7},
+		{2, 0}, {2, 1}, {2, 2}, {2, 6}, {2, 7},
+		{3, 0}, {3, 2}, {3, 6}, {3, 7}, {3, 8},
+		{4, 0}, {4, 1}, {4, 3}, {4, 5},
+		{5, 0}, {5, 1}, {5, 2}, {5, 3}, {5, 5},
+		{6, 0}, {6, 2}, {6, 3}, {6, 4},
+		{7, 0}, {7, 2}, {7, 3}, {7, 5},
+	}
+	for _, p := range rel {
+		c.RelateIdx(p[0], p[1])
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.StemBase()
+	}
+}

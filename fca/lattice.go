@@ -1,0 +1,101 @@
+package fca
+
+import "sort"
+
+// Lattice is the concept lattice of a dyadic context: all concepts ordered
+// by extent inclusion, with the cover (Hasse diagram) relation computed.
+type Lattice struct {
+	ctx      *Context
+	concepts []Concept
+	// upper[i] lists the indexes of the immediate super-concepts of i
+	// (larger extents); lower[i] the immediate sub-concepts.
+	upper [][]int
+	lower [][]int
+}
+
+// NewLattice builds the lattice of a context. Cost is O(n²·|G|/64) over the
+// n concepts for the order relation plus transitive reduction.
+func NewLattice(ctx *Context) *Lattice {
+	concepts := ctx.Concepts()
+	// Sort by ascending extent size so that order i < j can only hold with
+	// |extent_i| ≤ |extent_j|, simplifying cover computation.
+	sort.Slice(concepts, func(i, j int) bool {
+		ci, cj := concepts[i].Extent.Count(), concepts[j].Extent.Count()
+		if ci != cj {
+			return ci < cj
+		}
+		return concepts[i].Intent.String() < concepts[j].Intent.String()
+	})
+	n := len(concepts)
+	l := &Lattice{
+		ctx:      ctx,
+		concepts: concepts,
+		upper:    make([][]int, n),
+		lower:    make([][]int, n),
+	}
+	// leq[i][j] = extent_i ⊂ extent_j (strict)
+	leq := make([][]bool, n)
+	for i := range leq {
+		leq[i] = make([]bool, n)
+		for j := 0; j < n; j++ {
+			if i != j && concepts[i].Extent.IsSubsetOf(concepts[j].Extent) &&
+				!concepts[i].Extent.Equal(concepts[j].Extent) {
+				leq[i][j] = true
+			}
+		}
+	}
+	// Cover: i ⋖ j iff i < j with no strictly intermediate concept.
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if !leq[i][j] {
+				continue
+			}
+			cover := true
+			for h := 0; h < n; h++ {
+				if leq[i][h] && leq[h][j] {
+					cover = false
+					break
+				}
+			}
+			if cover {
+				l.upper[i] = append(l.upper[i], j)
+				l.lower[j] = append(l.lower[j], i)
+			}
+		}
+	}
+	return l
+}
+
+// Concepts returns the lattice's concepts in ascending extent-size order.
+func (l *Lattice) Concepts() []Concept { return l.concepts }
+
+// Len returns the number of concepts.
+func (l *Lattice) Len() int { return len(l.concepts) }
+
+// Top returns the index of the top concept (full extent).
+func (l *Lattice) Top() int { return len(l.concepts) - 1 }
+
+// Bottom returns the index of the bottom concept (smallest extent).
+func (l *Lattice) Bottom() int { return 0 }
+
+// UpperCovers returns the immediate super-concepts of concept i.
+func (l *Lattice) UpperCovers(i int) []int { return l.upper[i] }
+
+// LowerCovers returns the immediate sub-concepts of concept i.
+func (l *Lattice) LowerCovers(i int) []int { return l.lower[i] }
+
+// ConceptFor returns the most specific concept whose intent contains all the
+// given attributes — the standard "query the lattice" operation. ok is false
+// for unknown attribute names.
+func (l *Lattice) ConceptFor(attributes ...string) (Concept, bool) {
+	intent := NewBitSet(l.ctx.NumAttributes())
+	for _, a := range attributes {
+		j, known := l.ctx.attrIndex[a]
+		if !known {
+			return Concept{}, false
+		}
+		intent.Set(j)
+	}
+	ext := l.ctx.AttributesDerive(intent)
+	return Concept{Extent: ext, Intent: l.ctx.ObjectsDerive(ext)}, true
+}

@@ -1,0 +1,171 @@
+package fca
+
+import "sort"
+
+// This file implements the triadic-concept ad-matching model used as the
+// TFCA effectiveness baseline: location-focused communities and topic-based
+// communities are extracted as triadic concepts, and an advertisement
+// context (location, topic URIs, optional slot) selects target users as the
+// join of the matching communities.
+
+// Community is a user community induced by a triadic concept: the users of
+// the extent, active on the anchor attribute during the modus slots.
+type Community struct {
+	Users []string
+	Slots []string
+}
+
+// ConceptIndex precomputes a context's triadic concepts (one TRIAS run) and
+// serves community lookups per anchor attribute — use it when sweeping many
+// ads or thresholds over the same context.
+type ConceptIndex struct {
+	t      *TriContext
+	byAttr map[string][]Community
+}
+
+// NewConceptIndex runs TRIAS once and indexes the single-attribute concepts
+// by their anchor attribute.
+func NewConceptIndex(t *TriContext) *ConceptIndex {
+	ix := &ConceptIndex{t: t, byAttr: make(map[string][]Community)}
+	for _, tc := range t.Concepts() {
+		if tc.Intent.Count() != 1 || tc.Extent.IsEmpty() {
+			continue
+		}
+		name := t.attributes[tc.Intent.Elements()[0]]
+		ix.byAttr[name] = append(ix.byAttr[name], Community{
+			Users: t.ExtentNames(tc),
+			Slots: t.ModusNames(tc),
+		})
+	}
+	return ix
+}
+
+// Communities returns the communities anchored on attribute m (nil when m is
+// unknown or has no concepts).
+func (ix *ConceptIndex) Communities(m string) []Community { return ix.byAttr[m] }
+
+// Communities returns the communities anchored on a single attribute m: the
+// extents of the m-triadic concepts (Comm(H, m) of the location analysis, or
+// Comm(TFC, uri) of the topic analysis). Unknown attributes yield nil.
+// For repeated queries over one context build a ConceptIndex instead.
+func Communities(t *TriContext, m string) []Community {
+	tcs, ok := t.MTriadicConcepts(m)
+	if !ok {
+		return nil
+	}
+	out := make([]Community, 0, len(tcs))
+	for _, tc := range tcs {
+		if tc.Extent.IsEmpty() {
+			continue
+		}
+		out = append(out, Community{
+			Users: t.ExtentNames(tc),
+			Slots: t.ModusNames(tc),
+		})
+	}
+	return out
+}
+
+// AdContext describes one advertisement for TFCA matching: where it is
+// relevant, which concept URIs characterize its copy, and (optionally) the
+// slot it should run in (empty = any slot).
+type AdContext struct {
+	Location string
+	URIs     []string
+	Slot     string
+}
+
+// Recommendation is the TFCA output: target users with, per user, the slots
+// in which both their location community and a topic community are active.
+type Recommendation struct {
+	User  string
+	Slots []string
+}
+
+// Recommend selects target users for an ad: the users present both in a
+// location community of ad.Location (from the check-in context) and in a
+// topic community of some URI in ad.URIs (from the tweet context), with the
+// slot intersection non-empty (and containing ad.Slot when given). Users are
+// returned alphabetically; their slots sorted.
+func Recommend(checkins, tweets *TriContext, ad AdContext) []Recommendation {
+	return RecommendIndexed(NewConceptIndex(checkins), NewConceptIndex(tweets), ad)
+}
+
+// RecommendIndexed is Recommend over precomputed concept indexes, for
+// sweeps that query many ads against the same contexts.
+func RecommendIndexed(checkins, tweets *ConceptIndex, ad AdContext) []Recommendation {
+	locComms := checkins.Communities(ad.Location)
+	if len(locComms) == 0 {
+		return nil
+	}
+	var topicComms []Community
+	for _, uri := range ad.URIs {
+		topicComms = append(topicComms, tweets.Communities(uri)...)
+	}
+	if len(topicComms) == 0 {
+		return nil
+	}
+
+	userSlots := map[string]map[string]bool{}
+	for _, lc := range locComms {
+		for _, tc := range topicComms {
+			common := intersectStrings(lc.Users, tc.Users)
+			slots := intersectStrings(lc.Slots, tc.Slots)
+			if ad.Slot != "" {
+				if !containsString(slots, ad.Slot) {
+					continue
+				}
+				slots = []string{ad.Slot}
+			}
+			if len(slots) == 0 {
+				continue
+			}
+			for _, u := range common {
+				set := userSlots[u]
+				if set == nil {
+					set = map[string]bool{}
+					userSlots[u] = set
+				}
+				for _, s := range slots {
+					set[s] = true
+				}
+			}
+		}
+	}
+
+	out := make([]Recommendation, 0, len(userSlots))
+	for u, set := range userSlots {
+		slots := make([]string, 0, len(set))
+		for s := range set {
+			slots = append(slots, s)
+		}
+		sort.Strings(slots)
+		out = append(out, Recommendation{User: u, Slots: slots})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].User < out[j].User })
+	return out
+}
+
+func intersectStrings(a, b []string) []string {
+	set := make(map[string]bool, len(a))
+	for _, x := range a {
+		set[x] = true
+	}
+	var out []string
+	for _, y := range b {
+		if set[y] {
+			out = append(out, y)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func containsString(xs []string, x string) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,3 @@
+module caar
+
+go 1.23

@@ -1,0 +1,178 @@
+package adstore
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Store is the registry of live ads and their campaigns. It is safe for
+// concurrent use; the indexes in internal/index subscribe to its mutations
+// through the engine, which serializes writes.
+type Store struct {
+	mu        sync.RWMutex
+	ads       map[AdID]*Ad
+	campaigns map[string]*Campaign
+	order     []AdID // insertion order for deterministic scans
+	dirty     bool   // order contains tombstones
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{
+		ads:       make(map[AdID]*Ad),
+		campaigns: make(map[string]*Campaign),
+	}
+}
+
+// AddCampaign registers a campaign. Re-registering an existing name is an
+// error.
+func (s *Store) AddCampaign(c *Campaign) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.campaigns[c.Name]; ok {
+		return fmt.Errorf("adstore: campaign %q already exists", c.Name)
+	}
+	s.campaigns[c.Name] = c
+	return nil
+}
+
+// Campaign returns a campaign by name, or nil.
+func (s *Store) Campaign(name string) *Campaign {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.campaigns[name]
+}
+
+// ForEachCampaign calls fn for every campaign in name order. fn must not
+// mutate the store.
+func (s *Store) ForEachCampaign(fn func(*Campaign)) {
+	s.mu.RLock()
+	names := make([]string, 0, len(s.campaigns))
+	for name := range s.campaigns {
+		names = append(names, name)
+	}
+	s.mu.RUnlock()
+	sort.Strings(names)
+	for _, name := range names {
+		if c := s.Campaign(name); c != nil {
+			fn(c)
+		}
+	}
+}
+
+// Add validates and inserts an ad. The ad's campaign, when named, must exist.
+func (s *Store) Add(a *Ad) error {
+	if err := a.Validate(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.ads[a.ID]; dup {
+		return fmt.Errorf("%w: %d", ErrDuplicateID, a.ID)
+	}
+	if a.Campaign != "" {
+		if _, ok := s.campaigns[a.Campaign]; !ok {
+			return fmt.Errorf("adstore: ad %d references unknown campaign %q", a.ID, a.Campaign)
+		}
+	}
+	s.ads[a.ID] = a
+	s.order = append(s.order, a.ID)
+	return nil
+}
+
+// Remove deletes an ad.
+func (s *Store) Remove(id AdID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.ads[id]; !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownAd, id)
+	}
+	delete(s.ads, id)
+	s.dirty = true
+	return nil
+}
+
+// Get returns an ad by ID, or nil when absent. The returned ad is shared;
+// callers must not mutate it.
+func (s *Store) Get(id AdID) *Ad {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.ads[id]
+}
+
+// Len returns the number of live ads.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.ads)
+}
+
+// ForEach calls fn for every live ad in insertion order. fn must not mutate
+// the store. Iteration order is deterministic for reproducible experiments.
+func (s *Store) ForEach(fn func(*Ad)) {
+	s.mu.Lock()
+	if s.dirty {
+		live := s.order[:0]
+		for _, id := range s.order {
+			if _, ok := s.ads[id]; ok {
+				live = append(live, id)
+			}
+		}
+		s.order = live
+		s.dirty = false
+	}
+	order := make([]AdID, len(s.order))
+	copy(order, s.order)
+	ads := s.ads
+	s.mu.Unlock()
+
+	for _, id := range order {
+		s.mu.RLock()
+		a := ads[id]
+		s.mu.RUnlock()
+		if a != nil {
+			fn(a)
+		}
+	}
+}
+
+// ChargeImpression attempts to bill one impression of ad id at time t. Ads
+// without a campaign are always servable and free. It reports whether the
+// impression may be served.
+func (s *Store) ChargeImpression(id AdID, t time.Time) (bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	a, ok := s.ads[id]
+	if !ok {
+		return false, fmt.Errorf("%w: %d", ErrUnknownAd, id)
+	}
+	if a.Campaign == "" {
+		return true, nil
+	}
+	c := s.campaigns[a.Campaign]
+	if c == nil {
+		return false, fmt.Errorf("adstore: ad %d campaign %q vanished", id, a.Campaign)
+	}
+	if !c.CanSpend(a.Bid, t) {
+		return false, nil
+	}
+	return true, c.Spend(a.Bid, t)
+}
+
+// HasBudget reports whether the ad could currently be billed, without
+// spending.
+func (s *Store) HasBudget(id AdID, t time.Time) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	a, ok := s.ads[id]
+	if !ok {
+		return false
+	}
+	if a.Campaign == "" {
+		return true
+	}
+	c := s.campaigns[a.Campaign]
+	return c != nil && c.CanSpend(a.Bid, t)
+}

@@ -1,0 +1,162 @@
+package adstore
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestStoreAddGetRemove(t *testing.T) {
+	s := NewStore()
+	a := validAd(1)
+	if err := s.Add(a); err != nil {
+		t.Fatalf("Add: %v", err)
+	}
+	if err := s.Add(validAd(1)); !errors.Is(err, ErrDuplicateID) {
+		t.Fatalf("duplicate Add = %v", err)
+	}
+	if got := s.Get(1); got != a {
+		t.Fatal("Get returned wrong ad")
+	}
+	if s.Get(2) != nil {
+		t.Fatal("Get of absent ad should be nil")
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if err := s.Remove(1); err != nil {
+		t.Fatalf("Remove: %v", err)
+	}
+	if err := s.Remove(1); !errors.Is(err, ErrUnknownAd) {
+		t.Fatalf("double Remove = %v", err)
+	}
+	if s.Len() != 0 || s.Get(1) != nil {
+		t.Fatal("ad still present after Remove")
+	}
+}
+
+func TestStoreRejectsInvalidAd(t *testing.T) {
+	s := NewStore()
+	bad := validAd(1)
+	bad.Bid = 0
+	if err := s.Add(bad); err == nil {
+		t.Fatal("invalid ad accepted")
+	}
+}
+
+func TestStoreUnknownCampaignRejected(t *testing.T) {
+	s := NewStore()
+	a := validAd(1)
+	a.Campaign = "nope"
+	if err := s.Add(a); err == nil {
+		t.Fatal("ad with unknown campaign accepted")
+	}
+}
+
+func TestStoreForEachDeterministicOrder(t *testing.T) {
+	s := NewStore()
+	for id := AdID(1); id <= 5; id++ {
+		if err := s.Add(validAd(id)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Remove(3)
+	var got []AdID
+	s.ForEach(func(a *Ad) { got = append(got, a.ID) })
+	want := []AdID{1, 2, 4, 5}
+	if len(got) != len(want) {
+		t.Fatalf("ForEach visited %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ForEach order %v, want %v", got, want)
+		}
+	}
+	// Second pass (after tombstone compaction) must agree.
+	var again []AdID
+	s.ForEach(func(a *Ad) { again = append(again, a.ID) })
+	for i := range want {
+		if again[i] != want[i] {
+			t.Fatalf("second ForEach order %v, want %v", again, want)
+		}
+	}
+}
+
+func TestStoreChargeImpression(t *testing.T) {
+	s := NewStore()
+	end := flightStart.Add(time.Hour)
+	c, _ := NewCampaign("sale", 1.0, flightStart, end)
+	if err := s.AddCampaign(c); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddCampaign(c); err == nil {
+		t.Fatal("duplicate campaign accepted")
+	}
+	a := validAd(1)
+	a.Campaign = "sale"
+	a.Bid = 0.5
+	if err := s.Add(a); err != nil {
+		t.Fatal(err)
+	}
+
+	// Mid-flight: 0.5 of the 1.0 budget is released — exactly one impression.
+	mid := flightStart.Add(30 * time.Minute)
+	if !s.HasBudget(1, mid) {
+		t.Fatal("should have budget mid-flight")
+	}
+	ok, err := s.ChargeImpression(1, mid)
+	if err != nil || !ok {
+		t.Fatalf("first impression: ok=%v err=%v", ok, err)
+	}
+	ok, err = s.ChargeImpression(1, mid)
+	if err != nil || ok {
+		t.Fatalf("second impression should be paced out: ok=%v err=%v", ok, err)
+	}
+	if s.HasBudget(1, mid) {
+		t.Fatal("HasBudget should be false when paced out")
+	}
+	// Campaign-less ads are free.
+	free := validAd(2)
+	if err := s.Add(free); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		ok, err := s.ChargeImpression(2, mid)
+		if err != nil || !ok {
+			t.Fatalf("free ad impression %d: ok=%v err=%v", i, ok, err)
+		}
+	}
+	if _, err := s.ChargeImpression(99, mid); err == nil {
+		t.Fatal("charging unknown ad should error")
+	}
+}
+
+func TestStoreConcurrentReadsAndCharges(t *testing.T) {
+	s := NewStore()
+	end := flightStart.Add(time.Hour)
+	c, _ := NewCampaign("c", 50, flightStart, end)
+	s.AddCampaign(c)
+	a := validAd(1)
+	a.Campaign = "c"
+	a.Bid = 0.001
+	s.Add(a)
+
+	var wg sync.WaitGroup
+	now := flightStart.Add(30 * time.Minute)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				s.Get(1)
+				s.HasBudget(1, now)
+				s.ChargeImpression(1, now)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Spent() > c.allowedAt(now)+1e-9 {
+		t.Fatalf("concurrent charging exceeded pacing cap: %v > %v", c.Spent(), c.allowedAt(now))
+	}
+}

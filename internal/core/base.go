@@ -1,0 +1,110 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"caar/internal/adstore"
+	"caar/internal/feed"
+	"caar/internal/geo"
+	"caar/internal/timeslot"
+	"caar/internal/topk"
+)
+
+// userState is the per-user context shared by every engine: the feed window
+// and the last known location.
+type userState struct {
+	win    *feed.Window
+	loc    geo.Point
+	hasLoc bool
+}
+
+// base carries the state and helpers common to all engines.
+type base struct {
+	scoring Scoring
+	store   *adstore.Store
+	users   map[feed.UserID]*userState
+}
+
+func newBase(s Scoring, store *adstore.Store) (*base, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if store == nil {
+		store = adstore.NewStore()
+	}
+	return &base{
+		scoring: s,
+		store:   store,
+		users:   make(map[feed.UserID]*userState),
+	}, nil
+}
+
+// Store exposes the ad store (for budget inspection by the facade).
+func (b *base) Store() *adstore.Store { return b.store }
+
+func (b *base) AddUser(u feed.UserID) {
+	if _, ok := b.users[u]; ok {
+		return
+	}
+	b.users[u] = &userState{win: feed.NewWindow(b.scoring.WindowCap, b.scoring.Decay)}
+}
+
+func (b *base) CheckIn(u feed.UserID, p geo.Point, t time.Time) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	st, ok := b.users[u]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownUser, u)
+	}
+	st.loc = p
+	st.hasLoc = true
+	return nil
+}
+
+func (b *base) state(u feed.UserID) (*userState, error) {
+	st, ok := b.users[u]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownUser, u)
+	}
+	return st, nil
+}
+
+// offer gates eligibility and budget, scores the ad given its raw text
+// relevance, and submits it to the collector. It reports whether the ad was
+// eligible (not necessarily retained).
+func (b *base) offer(c *topk.Collector, a *adstore.Ad, textRel float64, st *userState, sl timeslot.Slot, t time.Time) bool {
+	if a == nil {
+		return false
+	}
+	if !a.Eligible(st.loc, st.hasLoc, sl) {
+		return false
+	}
+	// Campaign-less ads are always servable; only budgeted ads need the
+	// (shared, locked) store consulted on the hot path.
+	if a.Campaign != "" && !b.store.HasBudget(a.ID, t) {
+		return false
+	}
+	score := b.scoring.AlphaText*textRel + b.scoring.staticScore(a, st.loc, st.hasLoc)
+	c.Offer(int64(a.ID), score)
+	return true
+}
+
+// resolve converts collector output into Scored results with component
+// decomposition, recomputing components for explainability.
+func (b *base) resolve(items []topk.Item, st *userState, textRelOf func(adstore.AdID) float64) []Scored {
+	out := make([]Scored, 0, len(items))
+	for _, it := range items {
+		id := adstore.AdID(it.ID)
+		a := b.store.Get(id)
+		if a == nil {
+			continue
+		}
+		text := b.scoring.AlphaText * textRelOf(id)
+		geoPart := b.scoring.BetaGeo * a.GeoScore(st.loc, st.hasLoc)
+		bidPart := b.scoring.GammaBid * a.Bid
+		out = append(out, Scored{Ad: id, Score: it.Score, Text: text, Geo: geoPart, Bid: bidPart})
+	}
+	return out
+}

@@ -1,0 +1,135 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"caar/internal/adstore"
+	"caar/internal/feed"
+	"caar/internal/geo"
+	"caar/internal/textproc"
+	"caar/internal/timeslot"
+)
+
+// benchSetup loads an engine with nAds random ads and nUsers users, each
+// user's window warmed with a handful of messages.
+func benchSetup(b *testing.B, name string, nUsers, nAds int) (Recommender, *rand.Rand, time.Time) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	eng, err := newEngineByName(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for u := feed.UserID(0); u < feed.UserID(nUsers); u++ {
+		eng.AddUser(u)
+		if err := eng.CheckIn(u, geo.Point{Lat: rng.Float64() * 10, Lng: rng.Float64() * 10}, base0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for id := adstore.AdID(1); id <= adstore.AdID(nAds); id++ {
+		if err := eng.AddAd(randAdB(rng, id)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	now := base0
+	var msgID feed.MessageID
+	for i := 0; i < nUsers*4; i++ {
+		now = now.Add(time.Second)
+		msgID++
+		msg := feed.Message{ID: msgID, Time: now, Vec: randVecB(rng, 8, 2000)}
+		fanout := []feed.UserID{feed.UserID(i % nUsers), feed.UserID((i + 1) % nUsers)}
+		if err := eng.Deliver(msg, fanout); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return eng, rng, now
+}
+
+func newEngineByName(name string) (Recommender, error) {
+	s := defaultBenchScoring()
+	switch name {
+	case "RS":
+		return NewRS(s, nil)
+	case "IL":
+		return NewIL(s, nil, region, 32, 32)
+	default:
+		return NewCAP(s, nil, region, 32, 32, DefaultCAPOptions())
+	}
+}
+
+func defaultBenchScoring() Scoring {
+	s := DefaultScoring()
+	s.WindowCap = 32
+	return s
+}
+
+func randVecB(rng *rand.Rand, n, vocab int) textproc.SparseVector {
+	v := textproc.SparseVector{}
+	for i := 0; i < n; i++ {
+		v[textproc.TermID(rng.Intn(vocab))] = 0.1 + rng.Float64()
+	}
+	v.L2Normalize()
+	return v
+}
+
+func randAdB(rng *rand.Rand, id adstore.AdID) *adstore.Ad {
+	a := &adstore.Ad{
+		ID:    id,
+		Vec:   randVecB(rng, 6, 2000),
+		Slots: timeslot.AllSlots,
+		Bid:   0.05 + 0.95*rng.Float64(),
+	}
+	if rng.Intn(3) == 0 {
+		a.Global = true
+	} else {
+		a.Target = geo.Circle{
+			Center:   geo.Point{Lat: rng.Float64() * 10, Lng: rng.Float64() * 10},
+			RadiusKm: 50 + rng.Float64()*300,
+		}
+	}
+	return a
+}
+
+// BenchmarkDeliver measures one message delivery to a 100-user fan-out,
+// per engine (10k ads).
+func BenchmarkDeliver(b *testing.B) {
+	for _, name := range []string{"RS", "IL", "CAP"} {
+		b.Run(name, func(b *testing.B) {
+			eng, rng, now := benchSetup(b, name, 200, 10000)
+			fanout := make([]feed.UserID, 100)
+			for i := range fanout {
+				fanout[i] = feed.UserID(i)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				now = now.Add(time.Second)
+				msg := feed.Message{
+					ID:   feed.MessageID(1<<30 + i),
+					Time: now,
+					Vec:  randVecB(rng, 8, 2000),
+				}
+				if err := eng.Deliver(msg, fanout); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTopAds measures one top-10 query per engine (10k ads).
+func BenchmarkTopAds(b *testing.B) {
+	for _, name := range []string{"RS", "IL", "CAP"} {
+		b.Run(name, func(b *testing.B) {
+			eng, _, now := benchSetup(b, name, 200, 10000)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.TopAds(feed.UserID(i%200), 10, now); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

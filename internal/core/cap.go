@@ -1,0 +1,331 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"caar/internal/adstore"
+	"caar/internal/feed"
+	"caar/internal/geo"
+	"caar/internal/index"
+	"caar/internal/textproc"
+	"caar/internal/timeslot"
+	"caar/internal/topk"
+)
+
+// CAPOptions toggles the CAP engine's optimizations for ablation studies.
+type CAPOptions struct {
+	// FanoutSharing computes each message's ad-delta list once and shares it
+	// across all followers (and caches it for eviction time). Disabling it
+	// recomputes the delta list per follower and per eviction.
+	FanoutSharing bool
+
+	// RebuildEvery caps floating-point drift by recomputing a user's
+	// candidate buffer exactly from the window aggregate after this many
+	// incremental updates. 0 disables periodic rebuilds.
+	RebuildEvery int
+}
+
+// DefaultCAPOptions returns the production configuration.
+func DefaultCAPOptions() CAPOptions {
+	return CAPOptions{FanoutSharing: true, RebuildEvery: 256}
+}
+
+// dynBuf is one user's incremental candidate buffer: for every ad that
+// shares at least one term with a window-resident message, the exact text
+// relevance coefficient in the window's reference space.
+//
+// Values are stored divided by scale, so aging the whole buffer when the
+// window's reference time advances is one O(1) multiplication instead of a
+// map sweep.
+type dynBuf struct {
+	u     map[adstore.AdID]float64
+	scale float64
+	ops   int
+}
+
+func newDynBuf() *dynBuf {
+	return &dynBuf{u: make(map[adstore.AdID]float64), scale: 1}
+}
+
+// add accumulates a ref-space contribution for an ad, dropping entries that
+// return to (numerical) zero.
+func (b *dynBuf) add(ad adstore.AdID, refCoeff float64) {
+	nv := b.u[ad] + refCoeff/b.scale
+	if math.Abs(nv*b.scale) < 1e-12 {
+		delete(b.u, ad)
+		return
+	}
+	b.u[ad] = nv
+}
+
+// age multiplies every buffered coefficient by factor (≤ 1) in O(1), and
+// renormalizes the stored values when the scalar risks underflow.
+func (b *dynBuf) age(factor float64) {
+	b.scale *= factor
+	if b.scale < 1e-150 && b.scale > 0 {
+		for ad, v := range b.u {
+			b.u[ad] = v * b.scale
+		}
+		b.scale = 1
+	}
+}
+
+// msgCache is the shared per-message state of fan-out sharing: the delta
+// list computed once at delivery, reference-counted by the number of feed
+// windows still holding the message.
+type msgCache struct {
+	vec    textproc.SparseVector
+	deltas []index.Delta
+	refs   int
+}
+
+// CAP is the Context-aware Ad Publishing engine — the reconstructed
+// contribution. It maintains, per user, an incrementally-updated candidate
+// buffer so a feed event costs O(|message delta|) per follower and a top-k
+// query costs O(|buffer|), independent of the total number of ads.
+type CAP struct {
+	*indexed
+	opts  CAPOptions
+	bufs  map[feed.UserID]*dynBuf
+	cache map[feed.MessageID]*msgCache
+}
+
+// NewCAP creates a CAP engine over the given region and grid resolution.
+func NewCAP(s Scoring, store *adstore.Store, region geo.Rect, gridRows, gridCols int, opts CAPOptions) (*CAP, error) {
+	ix, err := newIndexed(s, store, region, gridRows, gridCols)
+	if err != nil {
+		return nil, err
+	}
+	return &CAP{
+		indexed: ix,
+		opts:    opts,
+		bufs:    make(map[feed.UserID]*dynBuf),
+		cache:   make(map[feed.MessageID]*msgCache),
+	}, nil
+}
+
+// Name implements Recommender.
+func (e *CAP) Name() string { return "CAP" }
+
+// AddUser implements Recommender.
+func (e *CAP) AddUser(u feed.UserID) {
+	if _, ok := e.users[u]; ok {
+		return
+	}
+	e.base.AddUser(u)
+	e.bufs[u] = newDynBuf()
+}
+
+// AddAd implements Recommender. Beyond indexing, a late-arriving ad is
+// back-filled: its text relevance against every user's current window is
+// computed from the window aggregate (one sparse dot product per user), and
+// its coefficient against every cached live message is appended so future
+// evictions stay exact.
+func (e *CAP) AddAd(a *adstore.Ad) error {
+	if err := e.store.Add(a); err != nil {
+		return err
+	}
+	e.RegisterAd(a)
+	return nil
+}
+
+// RegisterAd indexes an ad already present in a (shared) store and
+// back-fills its candidate-buffer coefficients.
+func (e *CAP) RegisterAd(a *adstore.Ad) {
+	e.registerAd(a)
+	for u, st := range e.users {
+		agg, _ := st.win.ContextRef(st.win.Ref())
+		if coeff := a.Vec.Dot(agg); coeff != 0 {
+			e.bufs[u].add(a.ID, coeff)
+		}
+	}
+	if e.opts.FanoutSharing {
+		for _, mc := range e.cache {
+			if c := a.Vec.Dot(mc.vec); c != 0 {
+				mc.deltas = append(mc.deltas, index.Delta{Ad: a.ID, Coeff: c})
+			}
+		}
+	}
+}
+
+// RemoveAd implements Recommender with eager cleanup: stale buffer entries
+// or cached delta entries for a removed ID would corrupt scores if the ID
+// were ever reused.
+func (e *CAP) RemoveAd(id adstore.AdID) error {
+	if err := e.store.Remove(id); err != nil {
+		return err
+	}
+	e.UnregisterAd(id)
+	return nil
+}
+
+// UnregisterAd drops an ad from the engine's indexes, candidate buffers and
+// cached delta lists without touching the store.
+func (e *CAP) UnregisterAd(id adstore.AdID) {
+	e.unregisterAd(id)
+	for _, b := range e.bufs {
+		delete(b.u, id)
+	}
+	for _, mc := range e.cache {
+		for i := range mc.deltas {
+			if mc.deltas[i].Ad == id {
+				mc.deltas = append(mc.deltas[:i], mc.deltas[i+1:]...)
+				break
+			}
+		}
+	}
+}
+
+// Deliver implements Recommender: the heart of the engine.
+func (e *CAP) Deliver(msg feed.Message, followers []feed.UserID) error {
+	// Validate the whole fan-out first so a partial failure cannot leave
+	// some windows updated and others not.
+	states := make([]*userState, len(followers))
+	for i, u := range followers {
+		st, ok := e.users[u]
+		if !ok {
+			return fmt.Errorf("%w: follower %d", ErrUnknownUser, u)
+		}
+		states[i] = st
+	}
+
+	var deltas []index.Delta
+	if e.opts.FanoutSharing {
+		deltas = e.inv.DeltaList(msg.Vec)
+		if len(followers) > 0 {
+			e.cache[msg.ID] = &msgCache{vec: msg.Vec, deltas: deltas, refs: len(followers)}
+		}
+	}
+
+	for i, u := range followers {
+		st := states[i]
+		buf := e.bufs[u]
+		if !e.opts.FanoutSharing {
+			deltas = e.inv.DeltaList(msg.Vec)
+		}
+
+		oldRef := st.win.Ref()
+		evicted, wasEvicted := st.win.Push(msg)
+		newRef := st.win.Ref()
+
+		// 1. Subtract the evicted message's contributions (old ref space).
+		if wasEvicted {
+			e.applyEviction(buf, evicted)
+		}
+		// 2. Age the buffer into the new reference space.
+		if !oldRef.IsZero() && newRef.After(oldRef) {
+			buf.age(e.scoring.Decay.Between(oldRef, newRef))
+		}
+		// 3. Add the new message's contributions at its weight in new ref
+		// space (1 unless the message arrived out of order).
+		w := e.scoring.Decay.WeightAt(newRef.Sub(msg.Time))
+		for _, d := range deltas {
+			buf.add(d.Ad, w*d.Coeff)
+		}
+
+		e.maybeRebuild(u, st, buf)
+	}
+	return nil
+}
+
+// applyEviction removes an evicted message's text contributions from the
+// buffer, using the cached shared delta list when fan-out sharing is on and
+// recomputing it otherwise.
+func (e *CAP) applyEviction(buf *dynBuf, evicted feed.Entry) {
+	var deltas []index.Delta
+	if e.opts.FanoutSharing {
+		mc := e.cache[evicted.Msg.ID]
+		if mc != nil {
+			deltas = mc.deltas
+			mc.refs--
+			if mc.refs <= 0 {
+				delete(e.cache, evicted.Msg.ID)
+			}
+		}
+	} else {
+		deltas = e.inv.DeltaList(evicted.Msg.Vec)
+	}
+	w := evicted.RefWeight()
+	for _, d := range deltas {
+		buf.add(d.Ad, -w*d.Coeff)
+	}
+}
+
+// maybeRebuild recomputes the buffer exactly from the window aggregate to
+// cap incremental floating-point drift.
+func (e *CAP) maybeRebuild(u feed.UserID, st *userState, buf *dynBuf) {
+	if e.opts.RebuildEvery <= 0 {
+		return
+	}
+	buf.ops++
+	if buf.ops < e.opts.RebuildEvery {
+		return
+	}
+	buf.ops = 0
+	agg, _ := st.win.ContextRef(st.win.Ref())
+	fresh := newDynBuf()
+	for _, d := range e.inv.DeltaList(agg) {
+		fresh.u[d.Ad] = d.Coeff
+	}
+	*buf = *fresh
+}
+
+// TopAds implements Recommender: rank the buffered text candidates plus the
+// static-only remainder. No index traversal happens on this path.
+func (e *CAP) TopAds(u feed.UserID, k int, t time.Time) ([]Scored, error) {
+	st, err := e.state(u)
+	if err != nil {
+		return nil, err
+	}
+	buf, ok := e.bufs[u]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownUser, u)
+	}
+	_, winFactor := st.win.ContextRef(t)
+	mult := buf.scale * winFactor
+	sl := timeslot.Of(t)
+	c := topk.NewCollector(k)
+
+	for ad, v := range buf.u {
+		e.offer(c, e.ad(ad), v*mult, st, sl, t)
+	}
+	e.offerStatic(c, st, sl, t, func(id adstore.AdID) bool {
+		_, seen := buf.u[id]
+		return seen
+	})
+
+	return e.resolve(c.Items(), st, func(id adstore.AdID) float64 {
+		return buf.u[id] * mult
+	}), nil
+}
+
+// BufferSize returns the candidate-buffer size of a user, a memory/latency
+// diagnostic for the experiments.
+func (e *CAP) BufferSize(u feed.UserID) int {
+	if b, ok := e.bufs[u]; ok {
+		return len(b.u)
+	}
+	return 0
+}
+
+// CachedMessages returns the number of messages with live shared delta
+// lists (fan-out sharing memory diagnostic).
+func (e *CAP) CachedMessages() int { return len(e.cache) }
+
+// TotalBufferEntries returns the summed candidate-buffer size across all
+// users (memory diagnostic).
+func (e *CAP) TotalBufferEntries() int {
+	total := 0
+	for _, b := range e.bufs {
+		total += len(b.u)
+	}
+	return total
+}
+
+var (
+	_ Recommender = (*CAP)(nil)
+	_ Recommender = (*IL)(nil)
+	_ Recommender = (*RS)(nil)
+)

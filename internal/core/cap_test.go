@@ -1,0 +1,254 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"caar/internal/adstore"
+	"caar/internal/feed"
+	"caar/internal/geo"
+	"caar/internal/textproc"
+	"caar/internal/timeslot"
+)
+
+func newTestCAP(t *testing.T, opts CAPOptions) *CAP {
+	t.Helper()
+	e, err := NewCAP(testScoring(), nil, region, 8, 8, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func simpleAd(id adstore.AdID, term textproc.TermID, bid float64) *adstore.Ad {
+	return &adstore.Ad{
+		ID:     id,
+		Vec:    textproc.SparseVector{term: 1},
+		Global: true,
+		Slots:  timeslot.AllSlots,
+		Bid:    bid,
+	}
+}
+
+func post(id feed.MessageID, at time.Time, term textproc.TermID, w float64) feed.Message {
+	return feed.Message{ID: id, Time: at, Vec: textproc.SparseVector{term: w}}
+}
+
+func TestCAPBufferGrowsAndShrinks(t *testing.T) {
+	e := newTestCAP(t, DefaultCAPOptions())
+	e.AddUser(1)
+	e.AddAd(simpleAd(100, 7, 0.5))
+	e.AddAd(simpleAd(101, 8, 0.5))
+
+	// Window cap is 6 (testScoring). Post 6 messages on term 7.
+	now := base0
+	for i := 0; i < 6; i++ {
+		now = now.Add(time.Minute)
+		if err := e.Deliver(post(feed.MessageID(i), now, 7, 1), []feed.UserID{1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := e.BufferSize(1); got != 1 {
+		t.Fatalf("buffer size = %d, want 1 (only ad 100 matches)", got)
+	}
+	if got := e.CachedMessages(); got != 6 {
+		t.Fatalf("cached messages = %d, want 6", got)
+	}
+
+	// Push 6 messages on term 8: all term-7 messages evict, buffer should
+	// swap to ad 101 and the old message caches should be released.
+	for i := 6; i < 12; i++ {
+		now = now.Add(time.Minute)
+		if err := e.Deliver(post(feed.MessageID(i), now, 8, 1), []feed.UserID{1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := e.BufferSize(1); got != 1 {
+		t.Fatalf("buffer size after swap = %d, want 1", got)
+	}
+	if got := e.CachedMessages(); got != 6 {
+		t.Fatalf("cached messages after eviction = %d, want 6", got)
+	}
+	top, err := e.TopAds(1, 1, now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if top[0].Ad != 101 {
+		t.Fatalf("top ad = %d, want 101", top[0].Ad)
+	}
+}
+
+func TestCAPCacheSharedAcrossFollowers(t *testing.T) {
+	e := newTestCAP(t, DefaultCAPOptions())
+	for u := feed.UserID(1); u <= 3; u++ {
+		e.AddUser(u)
+	}
+	e.AddAd(simpleAd(100, 7, 0.5))
+	if err := e.Deliver(post(1, base0, 7, 1), []feed.UserID{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.CachedMessages(); got != 1 {
+		t.Fatalf("one message delivered to 3 users should cache once, got %d", got)
+	}
+	// Evict it from all three windows (capacity 6 → six more posts each).
+	now := base0
+	for i := 2; i <= 7; i++ {
+		now = now.Add(time.Minute)
+		if err := e.Deliver(post(feed.MessageID(i), now, 9, 1), []feed.UserID{1, 2, 3}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Message 1 evicted from all 3 windows → refcount 0 → cache released.
+	// 6 live messages remain cached.
+	if got := e.CachedMessages(); got != 6 {
+		t.Fatalf("cached messages = %d, want 6 (msg 1 released)", got)
+	}
+}
+
+func TestCAPTopAdsRespectsSlotTargeting(t *testing.T) {
+	e := newTestCAP(t, DefaultCAPOptions())
+	e.AddUser(1)
+	morningOnly := simpleAd(1, 7, 0.9)
+	morningOnly.Slots = timeslot.NewSet(timeslot.Morning)
+	allDay := simpleAd(2, 7, 0.1)
+	e.AddAd(morningOnly)
+	e.AddAd(allDay)
+	e.Deliver(post(1, base0, 7, 1), []feed.UserID{1}) // base0 is 08:00
+
+	top, _ := e.TopAds(1, 2, base0)
+	if len(top) != 2 || top[0].Ad != 1 {
+		t.Fatalf("morning query: %+v", top)
+	}
+	evening := time.Date(2026, 7, 6, 21, 0, 0, 0, time.UTC)
+	top, _ = e.TopAds(1, 2, evening)
+	if len(top) != 1 || top[0].Ad != 2 {
+		t.Fatalf("evening query should exclude morning-only ad: %+v", top)
+	}
+}
+
+func TestCAPTopAdsRespectsBudgetPacing(t *testing.T) {
+	store := adstore.NewStore()
+	camp, err := adstore.NewCampaign("c", 1.0, base0, base0.Add(time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	store.AddCampaign(camp)
+	e, err := NewCAP(testScoring(), store, region, 8, 8, DefaultCAPOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.AddUser(1)
+	budgeted := simpleAd(1, 7, 0.5)
+	budgeted.Campaign = "c"
+	e.AddAd(budgeted)
+	e.AddAd(simpleAd(2, 7, 0.1))
+	e.Deliver(post(1, base0, 7, 1), []feed.UserID{1})
+
+	// At flight start nothing is released: budgeted ad is filtered out.
+	top, _ := e.TopAds(1, 2, base0)
+	if len(top) != 1 || top[0].Ad != 2 {
+		t.Fatalf("paced-out ad served: %+v", top)
+	}
+	// Mid-flight it can serve.
+	top, _ = e.TopAds(1, 2, base0.Add(31*time.Minute))
+	if len(top) != 2 || top[0].Ad != 1 {
+		t.Fatalf("mid-flight: %+v", top)
+	}
+	// Exhaust it; it disappears again.
+	if ok, err := store.ChargeImpression(1, base0.Add(31*time.Minute)); err != nil || !ok {
+		t.Fatalf("charge: %v %v", ok, err)
+	}
+	top, _ = e.TopAds(1, 2, base0.Add(31*time.Minute))
+	if len(top) != 1 || top[0].Ad != 2 {
+		t.Fatalf("exhausted ad still served: %+v", top)
+	}
+}
+
+func TestCAPGeoTargetedRanking(t *testing.T) {
+	e := newTestCAP(t, DefaultCAPOptions())
+	e.AddUser(1)
+	near := &adstore.Ad{
+		ID:     1,
+		Vec:    textproc.SparseVector{7: 1},
+		Target: geo.Circle{Center: geo.Point{Lat: 5, Lng: 5}, RadiusKm: 100},
+		Slots:  timeslot.AllSlots,
+		Bid:    0.1,
+	}
+	far := &adstore.Ad{
+		ID:     2,
+		Vec:    textproc.SparseVector{7: 1},
+		Target: geo.Circle{Center: geo.Point{Lat: 9, Lng: 9}, RadiusKm: 100},
+		Slots:  timeslot.AllSlots,
+		Bid:    0.1,
+	}
+	e.AddAd(near)
+	e.AddAd(far)
+	if err := e.CheckIn(1, geo.Point{Lat: 5, Lng: 5}, base0); err != nil {
+		t.Fatal(err)
+	}
+	e.Deliver(post(1, base0, 7, 1), []feed.UserID{1})
+	top, _ := e.TopAds(1, 5, base0)
+	if len(top) != 1 || top[0].Ad != 1 {
+		t.Fatalf("only the covering ad should serve: %+v", top)
+	}
+	if top[0].Geo <= 0 {
+		t.Fatalf("geo component missing: %+v", top[0])
+	}
+	// Without a check-in, geo-targeted ads must not serve at all.
+	e2 := newTestCAP(t, DefaultCAPOptions())
+	e2.AddUser(1)
+	cp := *near
+	e2.AddAd(&cp)
+	e2.Deliver(post(1, base0, 7, 1), []feed.UserID{1})
+	top, _ = e2.TopAds(1, 5, base0)
+	if len(top) != 0 {
+		t.Fatalf("geo ad served without user location: %+v", top)
+	}
+}
+
+func TestCAPDecayReordersOverTime(t *testing.T) {
+	// A text-matched ad should outrank a high-bid ad right after the post,
+	// but decay below it hours later.
+	e := newTestCAP(t, DefaultCAPOptions())
+	e.AddUser(1)
+	textAd := simpleAd(1, 7, 0.05)
+	bidAd := simpleAd(2, 999, 1.0) // never text-matches
+	e.AddAd(textAd)
+	e.AddAd(bidAd)
+	e.Deliver(post(1, base0, 7, 1), []feed.UserID{1})
+
+	top, _ := e.TopAds(1, 2, base0)
+	if top[0].Ad != 1 {
+		t.Fatalf("fresh post: text ad should lead: %+v", top)
+	}
+	later := base0.Add(6 * time.Hour) // 12 half-lives of 30 min
+	top, _ = e.TopAds(1, 2, later)
+	if top[0].Ad != 2 {
+		t.Fatalf("after decay: bid ad should lead: %+v", top)
+	}
+}
+
+func TestCAPDeliverEmptyFollowerList(t *testing.T) {
+	e := newTestCAP(t, DefaultCAPOptions())
+	if err := e.Deliver(post(1, base0, 7, 1), nil); err != nil {
+		t.Fatalf("empty fan-out should be a no-op: %v", err)
+	}
+	if e.CachedMessages() != 0 {
+		t.Fatal("no-follower message should not be cached")
+	}
+}
+
+func TestCAPAddUserIdempotent(t *testing.T) {
+	e := newTestCAP(t, DefaultCAPOptions())
+	e.AddUser(1)
+	e.AddAd(simpleAd(1, 7, 0.5))
+	e.Deliver(post(1, base0, 7, 1), []feed.UserID{1})
+	e.AddUser(1) // must not reset window or buffer
+	if e.BufferSize(1) != 1 {
+		t.Fatal("re-AddUser cleared buffer")
+	}
+	top, _ := e.TopAds(1, 1, base0)
+	if len(top) != 1 || top[0].Text <= 0 {
+		t.Fatalf("window lost: %+v", top)
+	}
+}

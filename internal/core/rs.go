@@ -1,0 +1,80 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"caar/internal/adstore"
+	"caar/internal/feed"
+	"caar/internal/timeslot"
+	"caar/internal/topk"
+)
+
+// RS is the Re-Scan baseline: every query scores every ad in the store
+// against the user's current context. It is trivially exact and serves as
+// the correctness oracle for the other engines; its per-query cost is
+// O(|ads| · |ad terms|).
+type RS struct {
+	*base
+}
+
+// NewRS creates an RS engine. A nil store creates a private one.
+func NewRS(s Scoring, store *adstore.Store) (*RS, error) {
+	b, err := newBase(s, store)
+	if err != nil {
+		return nil, err
+	}
+	return &RS{base: b}, nil
+}
+
+// Name implements Recommender.
+func (e *RS) Name() string { return "RS" }
+
+// AddAd implements Recommender. RS keeps no index; the store is the index.
+func (e *RS) AddAd(a *adstore.Ad) error { return e.store.Add(a) }
+
+// RemoveAd implements Recommender.
+func (e *RS) RemoveAd(id adstore.AdID) error { return e.store.Remove(id) }
+
+// RegisterAd indexes an ad that is already present in a (shared) store. RS
+// keeps no index, so this is a no-op.
+func (e *RS) RegisterAd(a *adstore.Ad) {}
+
+// UnregisterAd drops an ad from the engine's indexes without touching the
+// store. RS keeps no index, so this is a no-op.
+func (e *RS) UnregisterAd(id adstore.AdID) {}
+
+// Deliver implements Recommender: push the message into each follower's
+// window. RS does no per-event index work.
+func (e *RS) Deliver(msg feed.Message, followers []feed.UserID) error {
+	for _, u := range followers {
+		st, ok := e.users[u]
+		if !ok {
+			return fmt.Errorf("%w: follower %d", ErrUnknownUser, u)
+		}
+		st.win.Push(msg)
+	}
+	return nil
+}
+
+// TopAds implements Recommender by exhaustive scan.
+func (e *RS) TopAds(u feed.UserID, k int, t time.Time) ([]Scored, error) {
+	st, err := e.state(u)
+	if err != nil {
+		return nil, err
+	}
+	ctx, factor := st.win.ContextRef(t)
+	sl := timeslot.Of(t)
+	c := topk.NewCollector(k)
+	e.store.ForEach(func(a *adstore.Ad) {
+		textRel := a.Vec.Dot(ctx) * factor
+		e.offer(c, a, textRel, st, sl, t)
+	})
+	return e.resolve(c.Items(), st, func(id adstore.AdID) float64 {
+		a := e.store.Get(id)
+		if a == nil {
+			return 0
+		}
+		return a.Vec.Dot(ctx) * factor
+	}), nil
+}

@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Runner executes registered experiments and writes their tables/series to
+// Out.
+type Runner struct {
+	// Out receives the experiment output (tables and series).
+	Out io.Writer
+	// Scale multiplies workload sizes. 1.0 is the full evaluation operating
+	// point; bench mode uses ~0.1 to keep iterations short.
+	Scale float64
+}
+
+// Experiment is one registered table/figure reproduction.
+type Experiment struct {
+	ID    string // e.g. "F1"
+	Title string
+	Run   func(r *Runner) error
+}
+
+var registry = map[string]Experiment{}
+
+func register(e Experiment) {
+	if _, dup := registry[e.ID]; dup {
+		panic("experiments: duplicate id " + e.ID)
+	}
+	registry[e.ID] = e
+}
+
+// IDs returns the registered experiment IDs in a stable order (tables first,
+// then figures, each numerically).
+func IDs() []string {
+	out := make([]string, 0, len(registry))
+	for id := range registry {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		pi, pj := out[i][0], out[j][0]
+		if pi != pj {
+			return pi > pj // 'T' before 'F'
+		}
+		return num(out[i]) < num(out[j])
+	})
+	return out
+}
+
+func num(id string) int {
+	n := 0
+	for _, r := range id[1:] {
+		if r < '0' || r > '9' {
+			break
+		}
+		n = n*10 + int(r-'0')
+	}
+	return n
+}
+
+// Lookup returns an experiment by ID.
+func Lookup(id string) (Experiment, bool) {
+	e, ok := registry[strings.ToUpper(id)]
+	return e, ok
+}
+
+// Run executes one experiment by ID ("all" runs every one in order).
+func (r *Runner) Run(id string) error {
+	if r.Scale <= 0 {
+		r.Scale = 1
+	}
+	if strings.EqualFold(id, "all") {
+		for _, eid := range IDs() {
+			if err := r.Run(eid); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	e, ok := Lookup(id)
+	if !ok {
+		return fmt.Errorf("experiments: unknown experiment %q (have %s)", id, strings.Join(IDs(), ", "))
+	}
+	fmt.Fprintf(r.Out, "=== %s: %s (scale %.2g) ===\n", e.ID, e.Title, r.Scale)
+	if err := e.Run(r); err != nil {
+		return fmt.Errorf("experiments: %s: %w", e.ID, err)
+	}
+	fmt.Fprintln(r.Out)
+	return nil
+}
+
+func (r *Runner) printf(format string, args ...any) {
+	fmt.Fprintf(r.Out, format, args...)
+}

@@ -1,0 +1,6 @@
+package feed
+
+// RefWeight returns the entry's decay weight expressed at the reference time
+// of the window it was evicted from (the CAP engine converts eviction
+// contributions between reference spaces with it).
+func (e Entry) RefWeight() float64 { return e.wRef }

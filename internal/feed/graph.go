@@ -1,0 +1,142 @@
+package feed
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Graph is the follower graph: Follow(a, b) means a follows b, so b's posts
+// enter a's feed. Fan-out of a post by b is Followers(b).
+//
+// Graph is safe for concurrent use.
+type Graph struct {
+	mu        sync.RWMutex
+	followers map[UserID][]UserID        // poster → ordered followers
+	edgeSet   map[UserID]map[UserID]bool // poster → follower set (dedup)
+	followees map[UserID]int             // follower → followee count
+	users     map[UserID]bool
+	edges     int
+}
+
+// NewGraph returns an empty follower graph.
+func NewGraph() *Graph {
+	return &Graph{
+		followers: make(map[UserID][]UserID),
+		edgeSet:   make(map[UserID]map[UserID]bool),
+		followees: make(map[UserID]int),
+		users:     make(map[UserID]bool),
+	}
+}
+
+// AddUser registers a user with no edges. Adding an existing user is a no-op.
+func (g *Graph) AddUser(u UserID) {
+	g.mu.Lock()
+	g.users[u] = true
+	g.mu.Unlock()
+}
+
+// HasUser reports whether u is registered.
+func (g *Graph) HasUser(u UserID) bool {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.users[u]
+}
+
+// Follow records that follower follows poster. Both users are registered as a
+// side effect. Self-follows and duplicate edges are rejected with an error.
+func (g *Graph) Follow(follower, poster UserID) error {
+	if follower == poster {
+		return fmt.Errorf("feed: user %d cannot follow itself", follower)
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.users[follower] = true
+	g.users[poster] = true
+	set := g.edgeSet[poster]
+	if set == nil {
+		set = make(map[UserID]bool)
+		g.edgeSet[poster] = set
+	}
+	if set[follower] {
+		return fmt.Errorf("feed: %d already follows %d", follower, poster)
+	}
+	set[follower] = true
+	g.followers[poster] = append(g.followers[poster], follower)
+	g.followees[follower]++
+	g.edges++
+	return nil
+}
+
+// Unfollow removes a follow edge. Removing a non-existent edge is an error.
+func (g *Graph) Unfollow(follower, poster UserID) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	set := g.edgeSet[poster]
+	if !set[follower] {
+		return fmt.Errorf("feed: %d does not follow %d", follower, poster)
+	}
+	delete(set, follower)
+	list := g.followers[poster]
+	for i, f := range list {
+		if f == follower {
+			list[i] = list[len(list)-1]
+			g.followers[poster] = list[:len(list)-1]
+			break
+		}
+	}
+	g.followees[follower]--
+	g.edges--
+	return nil
+}
+
+// Followers returns the users whose feeds receive poster's messages. The
+// returned slice is shared; callers must not mutate it.
+func (g *Graph) Followers(poster UserID) []UserID {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.followers[poster]
+}
+
+// FollowerCount returns the fan-out degree of poster.
+func (g *Graph) FollowerCount(poster UserID) int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return len(g.followers[poster])
+}
+
+// FolloweeCount returns how many users this follower follows.
+func (g *Graph) FolloweeCount(follower UserID) int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.followees[follower]
+}
+
+// Users returns the number of registered users.
+func (g *Graph) Users() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return len(g.users)
+}
+
+// Edges returns the number of follow edges.
+func (g *Graph) Edges() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.edges
+}
+
+// MaxFanout returns the largest follower count and the user holding it
+// (0, 0 for an empty graph) — a workload diagnostic for skew experiments.
+func (g *Graph) MaxFanout() (UserID, int) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	var bestU UserID
+	best := 0
+	for u, fs := range g.followers {
+		if len(fs) > best {
+			best = len(fs)
+			bestU = u
+		}
+	}
+	return bestU, best
+}

@@ -1,0 +1,120 @@
+package feed
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestGraphFollowBasics(t *testing.T) {
+	g := NewGraph()
+	if err := g.Follow(1, 2); err != nil {
+		t.Fatalf("Follow: %v", err)
+	}
+	if err := g.Follow(3, 2); err != nil {
+		t.Fatalf("Follow: %v", err)
+	}
+	fs := g.Followers(2)
+	if len(fs) != 2 {
+		t.Fatalf("Followers = %v", fs)
+	}
+	if g.FollowerCount(2) != 2 || g.FollowerCount(1) != 0 {
+		t.Fatal("FollowerCount wrong")
+	}
+	if g.FolloweeCount(1) != 1 || g.FolloweeCount(2) != 0 {
+		t.Fatal("FolloweeCount wrong")
+	}
+	if g.Users() != 3 || g.Edges() != 2 {
+		t.Fatalf("Users=%d Edges=%d", g.Users(), g.Edges())
+	}
+}
+
+func TestGraphRejectsSelfAndDuplicate(t *testing.T) {
+	g := NewGraph()
+	if err := g.Follow(1, 1); err == nil {
+		t.Error("self-follow accepted")
+	}
+	if err := g.Follow(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Follow(1, 2); err == nil {
+		t.Error("duplicate follow accepted")
+	}
+	if g.Edges() != 1 {
+		t.Fatalf("Edges = %d, want 1", g.Edges())
+	}
+}
+
+func TestGraphUnfollow(t *testing.T) {
+	g := NewGraph()
+	g.Follow(1, 2)
+	g.Follow(3, 2)
+	if err := g.Unfollow(1, 2); err != nil {
+		t.Fatalf("Unfollow: %v", err)
+	}
+	if err := g.Unfollow(1, 2); err == nil {
+		t.Error("double unfollow accepted")
+	}
+	if err := g.Unfollow(9, 2); err == nil {
+		t.Error("unfollow of non-edge accepted")
+	}
+	fs := g.Followers(2)
+	if len(fs) != 1 || fs[0] != 3 {
+		t.Fatalf("Followers after unfollow = %v", fs)
+	}
+	if g.Edges() != 1 || g.FolloweeCount(1) != 0 {
+		t.Fatal("counts not updated")
+	}
+}
+
+func TestGraphAddUser(t *testing.T) {
+	g := NewGraph()
+	g.AddUser(7)
+	if !g.HasUser(7) || g.HasUser(8) {
+		t.Fatal("HasUser wrong")
+	}
+	g.AddUser(7) // idempotent
+	if g.Users() != 1 {
+		t.Fatalf("Users = %d", g.Users())
+	}
+}
+
+func TestGraphMaxFanout(t *testing.T) {
+	g := NewGraph()
+	if _, n := g.MaxFanout(); n != 0 {
+		t.Fatal("empty graph fanout should be 0")
+	}
+	g.Follow(1, 10)
+	g.Follow(2, 10)
+	g.Follow(3, 10)
+	g.Follow(1, 20)
+	u, n := g.MaxFanout()
+	if u != 10 || n != 3 {
+		t.Fatalf("MaxFanout = %d,%d, want 10,3", u, n)
+	}
+}
+
+func TestGraphConcurrentAccess(t *testing.T) {
+	g := NewGraph()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			base := UserID(w * 1000)
+			for i := UserID(1); i <= 100; i++ {
+				g.Follow(base+i, base)
+				g.Followers(base)
+				g.FollowerCount(base)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if g.Edges() != 400 {
+		t.Fatalf("Edges = %d, want 400", g.Edges())
+	}
+	for w := 0; w < 4; w++ {
+		if n := g.FollowerCount(UserID(w * 1000)); n != 100 {
+			t.Fatalf("worker %d fanout = %d", w, n)
+		}
+	}
+}

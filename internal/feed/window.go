@@ -1,0 +1,178 @@
+package feed
+
+import (
+	"time"
+
+	"caar/internal/textproc"
+	"caar/internal/timeslot"
+)
+
+// rebuildInterval bounds floating-point drift: after this many mutations the
+// aggregate vector is recomputed exactly from the live entries.
+const rebuildInterval = 256
+
+// Entry is one message resident in a feed window together with the decay
+// weight it carried when it was (re)referenced.
+type Entry struct {
+	Msg Message
+	// wRef is the message's decay weight expressed at the window's reference
+	// time. The weight at query time q is wRef × decay.Between(ref, q).
+	wRef float64
+}
+
+// Window is a per-user sliding feed window: it keeps the most recent Cap
+// messages and maintains their exponentially time-decayed aggregate term
+// vector incrementally.
+//
+// Weights follow the pure exponential exp(−λ·(read − post)): a message
+// stamped after the read time (clock skew, out-of-order delivery) weighs
+// slightly more than 1 until wall time catches up. This keeps the incremental
+// algebra exact; callers that need a hard cap clamp at the read site.
+//
+// The aggregate uses the epoch-rescaling representation (DESIGN.md §3.1):
+// weights are stored relative to a moving reference time `ref`, advanced to
+// each new message's timestamp; reading the context at time q applies one
+// global factor decay.Between(ref, q). This makes decay O(1) per read instead
+// of O(window) per read, and message arrival O(|terms|).
+//
+// Window is not safe for concurrent use; the engine shards windows by user.
+type Window struct {
+	cap    int
+	decay  timeslot.Decay
+	ref    time.Time
+	refSet bool
+	items  []Entry // FIFO: items[0] is oldest
+	agg    textproc.SparseVector
+	ops    int
+}
+
+// NewWindow creates a window holding at most capacity messages (minimum 1).
+func NewWindow(capacity int, decay timeslot.Decay) *Window {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Window{
+		cap:   capacity,
+		decay: decay,
+		items: make([]Entry, 0, capacity),
+		agg:   textproc.SparseVector{},
+	}
+}
+
+// Len returns the number of resident messages.
+func (w *Window) Len() int { return len(w.items) }
+
+// Cap returns the window capacity.
+func (w *Window) Cap() int { return w.cap }
+
+// Ref returns the current reference time (zero before the first push).
+func (w *Window) Ref() time.Time { return w.ref }
+
+// Push inserts a message, evicting the oldest resident message when the
+// window is full. It returns the evicted entry (valid when ok is true) so the
+// caller can propagate the negative score delta.
+func (w *Window) Push(m Message) (evicted Entry, ok bool) {
+	if len(w.items) == w.cap {
+		evicted, ok = w.popOldest()
+	}
+	w.advanceRef(m.Time)
+	// The new message's weight at ref: ref advanced to max(ref, m.Time), so
+	// weight = decay of (ref − m.Time), which is 1 when the message is the
+	// newest (the common case) and < 1 for out-of-order arrivals.
+	wRef := w.decay.WeightAt(w.ref.Sub(m.Time))
+	e := Entry{Msg: m, wRef: wRef}
+	w.items = append(w.items, e)
+	w.agg.AddScaled(m.Vec, wRef)
+	w.maybeRebuild()
+	return evicted, ok
+}
+
+// popOldest removes and returns the oldest entry, subtracting its aggregate
+// contribution.
+func (w *Window) popOldest() (Entry, bool) {
+	if len(w.items) == 0 {
+		return Entry{}, false
+	}
+	e := w.items[0]
+	copy(w.items, w.items[1:])
+	w.items = w.items[:len(w.items)-1]
+	w.agg.SubScaled(e.Msg.Vec, e.wRef)
+	w.maybeRebuild()
+	return e, true
+}
+
+// advanceRef moves the reference time forward to t (never backward) and
+// rescales the aggregate and entry weights accordingly.
+func (w *Window) advanceRef(t time.Time) {
+	if !w.refSet {
+		w.ref = t
+		w.refSet = true
+		return
+	}
+	if !t.After(w.ref) {
+		return
+	}
+	factor := w.decay.Between(w.ref, t)
+	if factor != 1 {
+		w.agg.Scale(factor)
+		for i := range w.items {
+			w.items[i].wRef *= factor
+		}
+	}
+	w.ref = t
+}
+
+// maybeRebuild recomputes the aggregate exactly after enough incremental
+// mutations to cap floating-point drift.
+func (w *Window) maybeRebuild() {
+	w.ops++
+	if w.ops < rebuildInterval {
+		return
+	}
+	w.ops = 0
+	agg := make(textproc.SparseVector, len(w.agg))
+	for _, e := range w.items {
+		agg.AddScaled(e.Msg.Vec, e.wRef)
+	}
+	w.agg = agg
+}
+
+// WeightAt returns the decay weight an entry pushed at postTime would carry
+// when the context is read at query time q.
+func (w *Window) WeightAt(postTime, q time.Time) float64 {
+	return w.decay.WeightAt(q.Sub(postTime))
+}
+
+// Context returns the decayed aggregate term vector as of time q. The result
+// is a fresh copy the caller may mutate. It is NOT L2-normalized: the engine
+// normalizes (or not) according to its scoring configuration.
+func (w *Window) Context(q time.Time) textproc.SparseVector {
+	out := w.agg.Clone()
+	if w.refSet {
+		out.Scale(w.decay.Between(w.ref, q))
+	}
+	return out
+}
+
+// ContextRef returns the internal aggregate (referenced at Ref()) without
+// copying, plus the factor that converts it to query time q. Hot paths use
+// this to avoid the clone; the returned vector must not be mutated.
+func (w *Window) ContextRef(q time.Time) (vec textproc.SparseVector, factor float64) {
+	f := 1.0
+	if w.refSet {
+		f = w.decay.Between(w.ref, q)
+	}
+	return w.agg, f
+}
+
+// Entries returns the resident entries oldest-first. The slice is shared;
+// callers must not mutate it.
+func (w *Window) Entries() []Entry { return w.items }
+
+// EntryWeight returns the decay weight of entry e at query time q.
+func (w *Window) EntryWeight(e Entry, q time.Time) float64 {
+	if !w.refSet {
+		return e.wRef
+	}
+	return e.wRef * w.decay.Between(w.ref, q)
+}

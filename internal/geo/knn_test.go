@@ -1,0 +1,100 @@
+package geo
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestKNearestBasics(t *testing.T) {
+	qt := NewQuadtree(NewRect(Point{0, 0}, Point{10, 10}), 4)
+	pts := map[int64]Point{
+		1: {1, 1}, 2: {2, 2}, 3: {5, 5}, 4: {9, 9},
+	}
+	for id, p := range pts {
+		qt.Insert(id, p)
+	}
+	got := qt.KNearest(Point{0, 0}, 2)
+	if len(got) != 2 || got[0].ID != 1 || got[1].ID != 2 {
+		t.Fatalf("KNearest = %+v", got)
+	}
+	if got[0].DistanceKm >= got[1].DistanceKm {
+		t.Fatal("not distance-ordered")
+	}
+	// k larger than the tree returns everything, sorted.
+	got = qt.KNearest(Point{0, 0}, 10)
+	if len(got) != 4 || got[3].ID != 4 {
+		t.Fatalf("oversized k: %+v", got)
+	}
+	// Edge cases.
+	if qt.KNearest(Point{0, 0}, 0) != nil {
+		t.Fatal("k=0 should be nil")
+	}
+	empty := NewQuadtree(WorldRect(), 4)
+	if empty.KNearest(Point{0, 0}, 3) != nil {
+		t.Fatal("empty tree should be nil")
+	}
+}
+
+func TestKNearestQueryOutsideBounds(t *testing.T) {
+	qt := NewQuadtree(NewRect(Point{0, 0}, Point{1, 1}), 4)
+	qt.Insert(1, Point{0.5, 0.5})
+	qt.Insert(2, Point{0.9, 0.9})
+	// Query from far outside the tree's coverage.
+	got := qt.KNearest(Point{50, 50}, 2)
+	if len(got) != 2 || got[0].ID != 2 {
+		t.Fatalf("outside query: %+v", got)
+	}
+}
+
+func TestKNearestMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	bounds := NewRect(Point{-30, -30}, Point{30, 30})
+	qt := NewQuadtree(bounds, 8)
+	type rec struct {
+		id int64
+		p  Point
+	}
+	var recs []rec
+	for i := 0; i < 500; i++ {
+		p := Point{Lat: rng.Float64()*60 - 30, Lng: rng.Float64()*60 - 30}
+		qt.Insert(int64(i), p)
+		recs = append(recs, rec{int64(i), p})
+	}
+	for trial := 0; trial < 50; trial++ {
+		q := Point{Lat: rng.Float64()*60 - 30, Lng: rng.Float64()*60 - 30}
+		k := 1 + rng.Intn(12)
+		got := qt.KNearest(q, k)
+
+		sorted := append([]rec(nil), recs...)
+		sort.Slice(sorted, func(i, j int) bool {
+			di, dj := q.DistanceKm(sorted[i].p), q.DistanceKm(sorted[j].p)
+			if di != dj {
+				return di < dj
+			}
+			return sorted[i].id < sorted[j].id
+		})
+		if len(got) != k {
+			t.Fatalf("trial %d: got %d results, want %d", trial, len(got), k)
+		}
+		for i := 0; i < k; i++ {
+			if got[i].ID != sorted[i].id {
+				t.Fatalf("trial %d rank %d: got id %d (d=%.4f), want %d (d=%.4f)",
+					trial, i, got[i].ID, got[i].DistanceKm, sorted[i].id, q.DistanceKm(sorted[i].p))
+			}
+		}
+	}
+}
+
+func BenchmarkKNearest(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	qt := NewQuadtree(NewRect(Point{-30, -30}, Point{30, 30}), 16)
+	for i := 0; i < 20000; i++ {
+		qt.Insert(int64(i), Point{Lat: rng.Float64()*60 - 30, Lng: rng.Float64()*60 - 30})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		qt.KNearest(Point{Lat: float64(i%60) - 30, Lng: 0}, 10)
+	}
+}

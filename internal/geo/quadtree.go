@@ -1,0 +1,278 @@
+package geo
+
+// Quadtree is a point-region quadtree over ID-tagged points. The engine uses
+// it for user-location analytics (range queries over recent check-ins) and the
+// experiment harness uses it as the exact reference for grid-filter tests.
+//
+// Quadtree is not safe for concurrent mutation.
+type Quadtree struct {
+	root     *qnode
+	capacity int
+	size     int
+}
+
+type qpoint struct {
+	id int64
+	p  Point
+}
+
+type qnode struct {
+	bounds   Rect
+	points   []qpoint // leaf payload; nil for internal nodes after split
+	children *[4]*qnode
+	depth    int
+}
+
+// maxQuadDepth bounds subdivision so duplicate points cannot recurse forever.
+const maxQuadDepth = 24
+
+// NewQuadtree creates a quadtree covering bounds. capacity is the number of
+// points a leaf holds before splitting; values < 1 are raised to 1.
+func NewQuadtree(bounds Rect, capacity int) *Quadtree {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Quadtree{
+		root:     &qnode{bounds: bounds},
+		capacity: capacity,
+	}
+}
+
+// Len returns the number of stored points.
+func (t *Quadtree) Len() int { return t.size }
+
+// Insert adds a point with an identifier. Points outside the tree bounds are
+// rejected and Insert returns false. Duplicate IDs are allowed; callers that
+// need uniqueness remove the old entry first.
+func (t *Quadtree) Insert(id int64, p Point) bool {
+	if !t.root.bounds.Contains(p) {
+		return false
+	}
+	t.root.insert(qpoint{id: id, p: p}, t.capacity)
+	t.size++
+	return true
+}
+
+func (n *qnode) insert(qp qpoint, capacity int) {
+	if n.children == nil {
+		if len(n.points) < capacity || n.depth >= maxQuadDepth {
+			n.points = append(n.points, qp)
+			return
+		}
+		n.split(capacity)
+	}
+	n.childFor(qp.p).insert(qp, capacity)
+}
+
+func (n *qnode) split(capacity int) {
+	c := n.bounds.Center()
+	b := n.bounds
+	var kids [4]*qnode
+	kids[0] = &qnode{bounds: Rect{MinLat: c.Lat, MinLng: b.MinLng, MaxLat: b.MaxLat, MaxLng: c.Lng}, depth: n.depth + 1} // NW
+	kids[1] = &qnode{bounds: Rect{MinLat: c.Lat, MinLng: c.Lng, MaxLat: b.MaxLat, MaxLng: b.MaxLng}, depth: n.depth + 1} // NE
+	kids[2] = &qnode{bounds: Rect{MinLat: b.MinLat, MinLng: b.MinLng, MaxLat: c.Lat, MaxLng: c.Lng}, depth: n.depth + 1} // SW
+	kids[3] = &qnode{bounds: Rect{MinLat: b.MinLat, MinLng: c.Lng, MaxLat: c.Lat, MaxLng: b.MaxLng}, depth: n.depth + 1} // SE
+	n.children = &kids
+	pts := n.points
+	n.points = nil
+	for _, qp := range pts {
+		n.childFor(qp.p).insert(qp, capacity)
+	}
+}
+
+// childFor routes a point to the quadrant that contains it. Points exactly on
+// the centre lines go to the north/east quadrants, matching Rect.Contains
+// semantics used at query time.
+func (n *qnode) childFor(p Point) *qnode {
+	c := n.bounds.Center()
+	north := p.Lat >= c.Lat
+	east := p.Lng >= c.Lng
+	switch {
+	case north && !east:
+		return n.children[0]
+	case north && east:
+		return n.children[1]
+	case !north && !east:
+		return n.children[2]
+	default:
+		return n.children[3]
+	}
+}
+
+// Remove deletes one point with the given id located exactly at p. It returns
+// true when a matching entry was found and removed.
+func (t *Quadtree) Remove(id int64, p Point) bool {
+	if !t.root.bounds.Contains(p) {
+		return false
+	}
+	if t.root.remove(id, p) {
+		t.size--
+		return true
+	}
+	return false
+}
+
+func (n *qnode) remove(id int64, p Point) bool {
+	if n.children != nil {
+		return n.childFor(p).remove(id, p)
+	}
+	for i, qp := range n.points {
+		if qp.id == id && qp.p == p {
+			last := len(n.points) - 1
+			n.points[i] = n.points[last]
+			n.points = n.points[:last]
+			return true
+		}
+	}
+	return false
+}
+
+// QueryRect appends the IDs of all points inside r to dst and returns it.
+func (t *Quadtree) QueryRect(r Rect, dst []int64) []int64 {
+	return t.root.queryRect(r, dst)
+}
+
+func (n *qnode) queryRect(r Rect, dst []int64) []int64 {
+	if !n.bounds.Intersects(r) {
+		return dst
+	}
+	if n.children != nil {
+		for _, child := range n.children {
+			dst = child.queryRect(r, dst)
+		}
+		return dst
+	}
+	for _, qp := range n.points {
+		if r.Contains(qp.p) {
+			dst = append(dst, qp.id)
+		}
+	}
+	return dst
+}
+
+// QueryCircle appends the IDs of all points within the circle to dst and
+// returns it. The circle's bounding rectangle prunes subtrees; the exact
+// Haversine test filters candidates.
+func (t *Quadtree) QueryCircle(c Circle, dst []int64) []int64 {
+	return t.root.queryCircle(c, c.Bounds(), dst)
+}
+
+func (n *qnode) queryCircle(c Circle, bound Rect, dst []int64) []int64 {
+	if !n.bounds.Intersects(bound) {
+		return dst
+	}
+	if n.children != nil {
+		for _, child := range n.children {
+			dst = child.queryCircle(c, bound, dst)
+		}
+		return dst
+	}
+	for _, qp := range n.points {
+		if c.Contains(qp.p) {
+			dst = append(dst, qp.id)
+		}
+	}
+	return dst
+}
+
+// Neighbor is one kNN result: an item and its distance from the query.
+type Neighbor struct {
+	ID         int64
+	P          Point
+	DistanceKm float64
+}
+
+// KNearest returns the k stored points nearest to q in ascending distance
+// (fewer when the tree holds fewer than k points). Ties break by ascending
+// ID. Exact: implemented as exponentially widening circle queries over the
+// (exact) QueryCircle, so its cost is O(log(span) · query).
+func (t *Quadtree) KNearest(q Point, k int) []Neighbor {
+	if k < 1 || t.size == 0 {
+		return nil
+	}
+	if k > t.size {
+		k = t.size
+	}
+	// Start from a radius proportional to the expected nearest-neighbor
+	// spacing and double until enough candidates are inside.
+	b := t.root.bounds
+	spanKm := Point{b.MinLat, b.MinLng}.DistanceKm(Point{b.MaxLat, b.MaxLng})
+	if spanKm == 0 {
+		spanKm = 1
+	}
+	radius := spanKm / 64
+	var pts []qpoint
+	for {
+		pts = t.root.collectCircle(Circle{Center: q, RadiusKm: radius}, pts[:0])
+		if len(pts) >= k || radius > 2*spanKm {
+			break
+		}
+		radius *= 2
+	}
+	if len(pts) < k {
+		// Query point may be far outside the tree bounds: fall back to the
+		// full tree.
+		pts = t.root.collectCircle(Circle{Center: q, RadiusKm: 2 * EarthRadiusKm * 4}, pts[:0])
+	}
+	out := make([]Neighbor, 0, len(pts))
+	for _, qp := range pts {
+		out = append(out, Neighbor{ID: qp.id, P: qp.p, DistanceKm: q.DistanceKm(qp.p)})
+	}
+	sortNeighbors(out)
+	if k < len(out) {
+		out = out[:k]
+	}
+	return out
+}
+
+// collectCircle gathers the (id, point) pairs inside the circle.
+func (n *qnode) collectCircle(c Circle, dst []qpoint) []qpoint {
+	if !n.bounds.Intersects(c.Bounds()) {
+		return dst
+	}
+	if n.children != nil {
+		for _, child := range n.children {
+			dst = child.collectCircle(c, dst)
+		}
+		return dst
+	}
+	for _, qp := range n.points {
+		if c.Contains(qp.p) {
+			dst = append(dst, qp)
+		}
+	}
+	return dst
+}
+
+func sortNeighbors(ns []Neighbor) {
+	// Insertion sort: candidate lists are small (k plus circle overshoot).
+	for i := 1; i < len(ns); i++ {
+		for j := i; j > 0; j-- {
+			a, b := ns[j-1], ns[j]
+			if b.DistanceKm < a.DistanceKm ||
+				(b.DistanceKm == a.DistanceKm && b.ID < a.ID) {
+				ns[j-1], ns[j] = b, a
+			} else {
+				break
+			}
+		}
+	}
+}
+
+// Depth returns the maximum node depth, a diagnostic for skewed insertions.
+func (t *Quadtree) Depth() int {
+	return t.root.maxDepth()
+}
+
+func (n *qnode) maxDepth() int {
+	if n.children == nil {
+		return n.depth
+	}
+	max := n.depth
+	for _, child := range n.children {
+		if d := child.maxDepth(); d > max {
+			max = d
+		}
+	}
+	return max
+}

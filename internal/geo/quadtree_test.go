@@ -1,0 +1,154 @@
+package geo
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestQuadtreeInsertAndLen(t *testing.T) {
+	qt := NewQuadtree(NewRect(Point{0, 0}, Point{10, 10}), 4)
+	if qt.Len() != 0 {
+		t.Fatalf("new tree Len = %d", qt.Len())
+	}
+	if !qt.Insert(1, Point{5, 5}) {
+		t.Fatal("in-bounds insert rejected")
+	}
+	if qt.Insert(2, Point{11, 5}) {
+		t.Fatal("out-of-bounds insert accepted")
+	}
+	if qt.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", qt.Len())
+	}
+}
+
+func TestQuadtreeSplitAndQuery(t *testing.T) {
+	qt := NewQuadtree(NewRect(Point{0, 0}, Point{10, 10}), 2)
+	pts := []Point{{1, 1}, {1, 9}, {9, 1}, {9, 9}, {5, 5}, {2, 2}, {8, 8}}
+	for i, p := range pts {
+		if !qt.Insert(int64(i), p) {
+			t.Fatalf("insert %d failed", i)
+		}
+	}
+	got := sortedIDs(qt.QueryRect(NewRect(Point{0, 0}, Point{5, 5}), nil))
+	want := []int64{0, 4, 5} // (1,1), (5,5), (2,2)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("QueryRect = %v, want %v", got, want)
+	}
+}
+
+func TestQuadtreeRemove(t *testing.T) {
+	qt := NewQuadtree(NewRect(Point{0, 0}, Point{10, 10}), 2)
+	qt.Insert(1, Point{3, 3})
+	qt.Insert(2, Point{3, 3}) // same location, different id
+	if !qt.Remove(1, Point{3, 3}) {
+		t.Fatal("remove existing failed")
+	}
+	if qt.Remove(1, Point{3, 3}) {
+		t.Fatal("double remove succeeded")
+	}
+	if qt.Remove(3, Point{3, 3}) {
+		t.Fatal("removing unknown id succeeded")
+	}
+	if qt.Remove(2, Point{4, 4}) {
+		t.Fatal("removing with wrong location succeeded")
+	}
+	if qt.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", qt.Len())
+	}
+	ids := qt.QueryRect(WorldRect(), nil)
+	if len(ids) != 1 || ids[0] != 2 {
+		t.Fatalf("remaining ids = %v, want [2]", ids)
+	}
+}
+
+func TestQuadtreeDuplicatePointsBoundedDepth(t *testing.T) {
+	qt := NewQuadtree(NewRect(Point{0, 0}, Point{10, 10}), 1)
+	for i := 0; i < 100; i++ {
+		qt.Insert(int64(i), Point{5, 5})
+	}
+	if qt.Len() != 100 {
+		t.Fatalf("Len = %d, want 100", qt.Len())
+	}
+	if d := qt.Depth(); d > maxQuadDepth {
+		t.Fatalf("depth %d exceeds cap %d", d, maxQuadDepth)
+	}
+	got := qt.QueryRect(NewRect(Point{4, 4}, Point{6, 6}), nil)
+	if len(got) != 100 {
+		t.Fatalf("query returned %d ids, want 100", len(got))
+	}
+}
+
+// TestQuadtreeMatchesLinearScan is the exactness property: quadtree range
+// and circle queries must return exactly what a brute-force scan returns.
+func TestQuadtreeMatchesLinearScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	bounds := NewRect(Point{-50, -50}, Point{50, 50})
+	qt := NewQuadtree(bounds, 8)
+	type rec struct {
+		id int64
+		p  Point
+	}
+	var recs []rec
+	for i := 0; i < 1000; i++ {
+		p := Point{Lat: rng.Float64()*100 - 50, Lng: rng.Float64()*100 - 50}
+		qt.Insert(int64(i), p)
+		recs = append(recs, rec{int64(i), p})
+	}
+	for q := 0; q < 100; q++ {
+		r := NewRect(
+			Point{rng.Float64()*100 - 50, rng.Float64()*100 - 50},
+			Point{rng.Float64()*100 - 50, rng.Float64()*100 - 50},
+		)
+		var want []int64
+		for _, rc := range recs {
+			if r.Contains(rc.p) {
+				want = append(want, rc.id)
+			}
+		}
+		got := sortedIDs(qt.QueryRect(r, nil))
+		if !reflect.DeepEqual(got, sortedIDs(want)) {
+			t.Fatalf("rect query mismatch: got %d ids, want %d", len(got), len(want))
+		}
+
+		c := Circle{
+			Center:   Point{rng.Float64()*100 - 50, rng.Float64()*100 - 50},
+			RadiusKm: rng.Float64() * 2000,
+		}
+		want = want[:0]
+		for _, rc := range recs {
+			if c.Contains(rc.p) {
+				want = append(want, rc.id)
+			}
+		}
+		got = sortedIDs(qt.QueryCircle(c, nil))
+		if !reflect.DeepEqual(got, sortedIDs(want)) {
+			t.Fatalf("circle query mismatch: got %d ids, want %d", len(got), len(want))
+		}
+	}
+}
+
+func TestQuadtreeInsertQueryProperty(t *testing.T) {
+	f := func(seeds []uint32) bool {
+		bounds := NewRect(Point{0, 0}, Point{1, 1})
+		qt := NewQuadtree(bounds, 3)
+		var pts []Point
+		for i, s := range seeds {
+			p := Point{
+				Lat: float64(s%1000) / 1000,
+				Lng: float64((s/1000)%1000) / 1000,
+			}
+			if !qt.Insert(int64(i), p) {
+				return false
+			}
+			pts = append(pts, p)
+		}
+		// Every inserted point must be returned by a query containing it.
+		got := qt.QueryRect(bounds, nil)
+		return len(got) == len(pts)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

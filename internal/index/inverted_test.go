@@ -1,0 +1,135 @@
+package index
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"caar/internal/adstore"
+	"caar/internal/textproc"
+)
+
+func vec(kv map[textproc.TermID]float64) textproc.SparseVector {
+	v := textproc.SparseVector{}
+	for k, x := range kv {
+		v[k] = x
+	}
+	return v
+}
+
+func TestInvertedAddRemove(t *testing.T) {
+	ix := NewInverted()
+	ix.Add(1, vec(map[textproc.TermID]float64{10: 0.5, 20: 0.5}))
+	ix.Add(2, vec(map[textproc.TermID]float64{20: 1.0}))
+	if ix.Len() != 2 || ix.Postings() != 3 {
+		t.Fatalf("Len=%d Postings=%d", ix.Len(), ix.Postings())
+	}
+	if ix.ListLen(20) != 2 || ix.ListLen(10) != 1 || ix.ListLen(99) != 0 {
+		t.Fatal("list lengths wrong")
+	}
+	ix.Remove(1)
+	if ix.Len() != 1 || ix.Postings() != 1 {
+		t.Fatalf("after remove: Len=%d Postings=%d", ix.Len(), ix.Postings())
+	}
+	if ix.ListLen(10) != 0 {
+		t.Fatal("term 10 list should be gone")
+	}
+	ix.Remove(1) // no-op
+	if ix.Len() != 1 {
+		t.Fatal("double remove changed state")
+	}
+}
+
+func TestInvertedReAddReplaces(t *testing.T) {
+	ix := NewInverted()
+	ix.Add(1, vec(map[textproc.TermID]float64{10: 0.5}))
+	ix.Add(1, vec(map[textproc.TermID]float64{20: 0.7}))
+	if ix.Len() != 1 || ix.Postings() != 1 {
+		t.Fatalf("Len=%d Postings=%d", ix.Len(), ix.Postings())
+	}
+	ds := ix.DeltaList(vec(map[textproc.TermID]float64{10: 1}))
+	if len(ds) != 0 {
+		t.Fatalf("old terms still indexed: %v", ds)
+	}
+}
+
+func TestDeltaListExact(t *testing.T) {
+	ix := NewInverted()
+	ix.Add(1, vec(map[textproc.TermID]float64{10: 0.6, 20: 0.8}))
+	ix.Add(2, vec(map[textproc.TermID]float64{20: 1.0}))
+	ix.Add(3, vec(map[textproc.TermID]float64{30: 1.0}))
+	msg := vec(map[textproc.TermID]float64{10: 0.5, 20: 0.5})
+	ds := ix.DeltaList(msg)
+	want := []Delta{
+		{Ad: 1, Coeff: 0.5*0.6 + 0.5*0.8},
+		{Ad: 2, Coeff: 0.5},
+	}
+	if !reflect.DeepEqual(ds, want) {
+		t.Fatalf("DeltaList = %v, want %v", ds, want)
+	}
+	if ds := ix.DeltaList(vec(map[textproc.TermID]float64{99: 1})); ds != nil {
+		t.Fatalf("unmatched message: %v", ds)
+	}
+	if ds := ix.DeltaList(textproc.SparseVector{}); ds != nil {
+		t.Fatalf("empty message: %v", ds)
+	}
+}
+
+// TestDeltaListMatchesBruteForce: the delta coefficient must equal the exact
+// sparse dot product for every ad, on random ad sets and messages.
+func TestDeltaListMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	ix := NewInverted()
+	ads := map[adstore.AdID]textproc.SparseVector{}
+	for id := adstore.AdID(1); id <= 150; id++ {
+		v := textproc.SparseVector{}
+		for j := 0; j < 1+rng.Intn(6); j++ {
+			v[textproc.TermID(rng.Intn(40))] = rng.Float64()
+		}
+		ads[id] = v
+		ix.Add(id, v)
+	}
+	for trial := 0; trial < 100; trial++ {
+		msg := textproc.SparseVector{}
+		for j := 0; j < 1+rng.Intn(8); j++ {
+			msg[textproc.TermID(rng.Intn(40))] = rng.Float64()
+		}
+		got := map[adstore.AdID]float64{}
+		for _, d := range ix.DeltaList(msg) {
+			got[d.Ad] = d.Coeff
+		}
+		for id, av := range ads {
+			want := av.Dot(msg)
+			if math.Abs(got[id]-want) > 1e-9 {
+				t.Fatalf("trial %d ad %d: delta %v, dot %v", trial, id, got[id], want)
+			}
+			if want == 0 {
+				if _, present := got[id]; present {
+					t.Fatalf("ad %d with zero overlap appears in delta list", id)
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkDeltaList(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	ix := NewInverted()
+	for id := adstore.AdID(0); id < 10000; id++ {
+		v := textproc.SparseVector{}
+		for j := 0; j < 5; j++ {
+			v[textproc.TermID(rng.Intn(2000))] = rng.Float64()
+		}
+		ix.Add(id, v)
+	}
+	msg := textproc.SparseVector{}
+	for j := 0; j < 8; j++ {
+		msg[textproc.TermID(rng.Intn(2000))] = rng.Float64()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.DeltaList(msg)
+	}
+}

@@ -1,0 +1,482 @@
+// Package server exposes the recommender engine over HTTP/JSON — the
+// end-to-end system binary (cmd/adserver) and the T3 experiment drive this
+// layer.
+//
+// Endpoints:
+//
+//	POST   /v1/users            {"handle": "alice"}
+//	POST   /v1/follow           {"follower": "alice", "followee": "bob"}
+//	DELETE /v1/follow           {"follower": "alice", "followee": "bob"}
+//	POST   /v1/checkins         {"user": "alice", "lat": 1.2, "lng": 3.4, "at": "RFC3339"?}
+//	POST   /v1/posts            {"author": "bob", "text": "...", "at": "RFC3339"?}
+//	POST   /v1/campaigns        {"name": "...", "budget": 10, "start": "...", "end": "..."}
+//	POST   /v1/ads              {"id": "...", "text": "...", "bid": 0.4, ...}
+//	DELETE /v1/ads/{id}
+//	GET    /v1/recommendations?user=alice&k=5&at=RFC3339
+//	POST   /v1/impressions      {"ad": "...", "user": "..."?, "at": "RFC3339"?}
+//	GET    /v1/trending?slot=morning&k=10
+//	GET    /v1/stats
+//
+// GET /v1/recommendations also accepts serving-policy parameters:
+// freq_cap + freq_window (per-user frequency capping) and max_per_campaign
+// (slate diversity).
+//
+// Timestamps default to the server's current time when omitted.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	caar "caar"
+)
+
+// API is the engine surface the server exposes. *caar.Engine implements it
+// directly; *journal.Logged implements it with write-ahead logging.
+type API interface {
+	AddUser(handle string) error
+	Follow(follower, followee string) error
+	Unfollow(follower, followee string) error
+	CheckIn(user string, lat, lng float64, at time.Time) error
+	Post(author, text string, at time.Time) error
+	AddCampaign(name string, budget float64, start, end time.Time) error
+	AddAd(ad caar.Ad) error
+	RemoveAd(id string) error
+	Recommend(user string, k int, at time.Time) ([]caar.Recommendation, error)
+	ServeImpression(adID string, at time.Time) (bool, error)
+	Trending(slot caar.Slot, k int) ([]caar.TrendingTerm, error)
+	Stats() caar.Stats
+}
+
+// PolicyAPI is implemented by engines that additionally support serving
+// policies and per-user impression accounting (*caar.Engine does). When the
+// wrapped API lacks it (e.g. a journaled wrapper that only exposes the
+// base), the policy query parameters are rejected.
+type PolicyAPI interface {
+	RecommendWithPolicy(user string, k int, at time.Time, policy caar.ServingPolicy) ([]caar.Recommendation, error)
+	RecordImpressionTo(user, adID string, at time.Time) (bool, error)
+}
+
+// Server wraps an engine with an HTTP API.
+type Server struct {
+	eng API
+	mux *http.ServeMux
+	now func() time.Time
+}
+
+// New creates a server over an engine (or any API implementation).
+func New(eng API) *Server {
+	s := &Server{eng: eng, mux: http.NewServeMux(), now: time.Now}
+	s.routes()
+	return s
+}
+
+// Handler returns the HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("/v1/users", s.post(s.handleAddUser))
+	s.mux.HandleFunc("/v1/follow", s.handleFollow)
+	s.mux.HandleFunc("/v1/checkins", s.post(s.handleCheckIn))
+	s.mux.HandleFunc("/v1/posts", s.post(s.handlePost))
+	s.mux.HandleFunc("/v1/campaigns", s.post(s.handleAddCampaign))
+	s.mux.HandleFunc("/v1/ads", s.post(s.handleAddAd))
+	s.mux.HandleFunc("/v1/ads/", s.handleRemoveAd)
+	s.mux.HandleFunc("/v1/recommendations", s.handleRecommend)
+	s.mux.HandleFunc("/v1/impressions", s.post(s.handleImpression))
+	s.mux.HandleFunc("/v1/stats", s.handleStats)
+	s.mux.HandleFunc("/v1/trending", s.handleTrending)
+}
+
+// post wraps a handler with a method check.
+func (s *Server) post(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			httpError(w, http.StatusMethodNotAllowed, "POST required")
+			return
+		}
+		h(w, r)
+	}
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(errorBody{Error: msg})
+}
+
+// fail maps engine errors to HTTP status codes.
+func fail(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, caar.ErrUnknownUser), errors.Is(err, caar.ErrUnknownAd):
+		httpError(w, http.StatusNotFound, err.Error())
+	case errors.Is(err, caar.ErrDuplicate):
+		httpError(w, http.StatusConflict, err.Error())
+	default:
+		httpError(w, http.StatusBadRequest, err.Error())
+	}
+}
+
+func ok(w http.ResponseWriter, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	if body == nil {
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	json.NewEncoder(w).Encode(body)
+}
+
+func decode(r *http.Request, into any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(into); err != nil {
+		return fmt.Errorf("invalid JSON body: %w", err)
+	}
+	return nil
+}
+
+// at parses an optional RFC3339 timestamp, defaulting to now.
+func (s *Server) at(raw string) (time.Time, error) {
+	if raw == "" {
+		return s.now(), nil
+	}
+	t, err := time.Parse(time.RFC3339, raw)
+	if err != nil {
+		return time.Time{}, fmt.Errorf("invalid timestamp %q: %w", raw, err)
+	}
+	return t, nil
+}
+
+func (s *Server) handleAddUser(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Handle string `json:"handle"`
+	}
+	if err := decode(r, &req); err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if err := s.eng.AddUser(req.Handle); err != nil {
+		fail(w, err)
+		return
+	}
+	ok(w, nil)
+}
+
+func (s *Server) handleFollow(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Follower string `json:"follower"`
+		Followee string `json:"followee"`
+	}
+	if err := decode(r, &req); err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	var err error
+	switch r.Method {
+	case http.MethodPost:
+		err = s.eng.Follow(req.Follower, req.Followee)
+	case http.MethodDelete:
+		err = s.eng.Unfollow(req.Follower, req.Followee)
+	default:
+		httpError(w, http.StatusMethodNotAllowed, "POST or DELETE required")
+		return
+	}
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	ok(w, nil)
+}
+
+func (s *Server) handleCheckIn(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		User string  `json:"user"`
+		Lat  float64 `json:"lat"`
+		Lng  float64 `json:"lng"`
+		At   string  `json:"at"`
+	}
+	if err := decode(r, &req); err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	at, err := s.at(req.At)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if err := s.eng.CheckIn(req.User, req.Lat, req.Lng, at); err != nil {
+		fail(w, err)
+		return
+	}
+	ok(w, nil)
+}
+
+func (s *Server) handlePost(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Author string `json:"author"`
+		Text   string `json:"text"`
+		At     string `json:"at"`
+	}
+	if err := decode(r, &req); err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	at, err := s.at(req.At)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if err := s.eng.Post(req.Author, req.Text, at); err != nil {
+		fail(w, err)
+		return
+	}
+	ok(w, nil)
+}
+
+func (s *Server) handleAddCampaign(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Name   string  `json:"name"`
+		Budget float64 `json:"budget"`
+		Start  string  `json:"start"`
+		End    string  `json:"end"`
+	}
+	if err := decode(r, &req); err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	start, err := time.Parse(time.RFC3339, req.Start)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "invalid start: "+err.Error())
+		return
+	}
+	end, err := time.Parse(time.RFC3339, req.End)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "invalid end: "+err.Error())
+		return
+	}
+	if err := s.eng.AddCampaign(req.Name, req.Budget, start, end); err != nil {
+		fail(w, err)
+		return
+	}
+	ok(w, nil)
+}
+
+type adRequest struct {
+	ID       string   `json:"id"`
+	Text     string   `json:"text"`
+	Campaign string   `json:"campaign,omitempty"`
+	Bid      float64  `json:"bid"`
+	Lat      *float64 `json:"lat,omitempty"`
+	Lng      *float64 `json:"lng,omitempty"`
+	RadiusKm *float64 `json:"radius_km,omitempty"`
+	Slots    []string `json:"slots,omitempty"`
+}
+
+func (s *Server) handleAddAd(w http.ResponseWriter, r *http.Request) {
+	var req adRequest
+	if err := decode(r, &req); err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	ad := caar.Ad{
+		ID:       req.ID,
+		Text:     req.Text,
+		Campaign: req.Campaign,
+		Bid:      req.Bid,
+	}
+	if req.Lat != nil || req.Lng != nil || req.RadiusKm != nil {
+		if req.Lat == nil || req.Lng == nil || req.RadiusKm == nil {
+			httpError(w, http.StatusBadRequest, "geo targeting needs lat, lng and radius_km together")
+			return
+		}
+		ad.Target = &caar.Target{Lat: *req.Lat, Lng: *req.Lng, RadiusKm: *req.RadiusKm}
+	}
+	for _, sl := range req.Slots {
+		ad.Slots = append(ad.Slots, caar.Slot(sl))
+	}
+	if err := s.eng.AddAd(ad); err != nil {
+		fail(w, err)
+		return
+	}
+	ok(w, nil)
+}
+
+func (s *Server) handleRemoveAd(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodDelete {
+		httpError(w, http.StatusMethodNotAllowed, "DELETE required")
+		return
+	}
+	id := strings.TrimPrefix(r.URL.Path, "/v1/ads/")
+	if id == "" {
+		httpError(w, http.StatusBadRequest, "missing ad id")
+		return
+	}
+	if err := s.eng.RemoveAd(id); err != nil {
+		fail(w, err)
+		return
+	}
+	ok(w, nil)
+}
+
+func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	q := r.URL.Query()
+	user := q.Get("user")
+	k := 5
+	if raw := q.Get("k"); raw != "" {
+		var err error
+		k, err = strconv.Atoi(raw)
+		if err != nil || k < 1 {
+			httpError(w, http.StatusBadRequest, "k must be a positive integer")
+			return
+		}
+	}
+	at, err := s.at(q.Get("at"))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	policy, usePolicy, err := parsePolicy(q)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	var recs []caar.Recommendation
+	if usePolicy {
+		pa, okCast := s.eng.(PolicyAPI)
+		if !okCast {
+			httpError(w, http.StatusBadRequest, "serving-policy parameters not supported by this deployment")
+			return
+		}
+		recs, err = pa.RecommendWithPolicy(user, k, at, policy)
+	} else {
+		recs, err = s.eng.Recommend(user, k, at)
+	}
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	ok(w, map[string]any{"user": user, "recommendations": recs})
+}
+
+// parsePolicy reads the optional serving-policy query parameters:
+// freq_cap (int), freq_window (Go duration), max_per_campaign (int).
+func parsePolicy(q map[string][]string) (caar.ServingPolicy, bool, error) {
+	get := func(key string) string {
+		if vs := q[key]; len(vs) > 0 {
+			return vs[0]
+		}
+		return ""
+	}
+	var p caar.ServingPolicy
+	any := false
+	if raw := get("freq_cap"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil || n < 1 {
+			return p, false, fmt.Errorf("freq_cap must be a positive integer")
+		}
+		p.FrequencyCap = n
+		any = true
+	}
+	if raw := get("freq_window"); raw != "" {
+		d, err := time.ParseDuration(raw)
+		if err != nil || d <= 0 {
+			return p, false, fmt.Errorf("freq_window must be a positive duration like 1h")
+		}
+		p.FrequencyWindow = d
+		any = true
+	}
+	if (p.FrequencyCap > 0) != (p.FrequencyWindow > 0) {
+		return p, false, fmt.Errorf("freq_cap and freq_window must be given together")
+	}
+	if raw := get("max_per_campaign"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil || n < 1 {
+			return p, false, fmt.Errorf("max_per_campaign must be a positive integer")
+		}
+		p.MaxPerCampaign = n
+		any = true
+	}
+	return p, any, nil
+}
+
+func (s *Server) handleImpression(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Ad   string `json:"ad"`
+		User string `json:"user"` // optional: enables frequency capping
+		At   string `json:"at"`
+	}
+	if err := decode(r, &req); err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	at, err := s.at(req.At)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	var served bool
+	if req.User != "" {
+		pa, okCast := s.eng.(PolicyAPI)
+		if !okCast {
+			httpError(w, http.StatusBadRequest, "per-user impressions not supported by this deployment")
+			return
+		}
+		served, err = pa.RecordImpressionTo(req.User, req.Ad, at)
+	} else {
+		served, err = s.eng.ServeImpression(req.Ad, at)
+	}
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	ok(w, map[string]bool{"served": served})
+}
+
+func (s *Server) handleTrending(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	q := r.URL.Query()
+	slot := caar.Slot(q.Get("slot"))
+	if slot == "" {
+		slot = caar.SlotOf(s.now())
+	}
+	k := 10
+	if raw := q.Get("k"); raw != "" {
+		var err error
+		k, err = strconv.Atoi(raw)
+		if err != nil || k < 1 {
+			httpError(w, http.StatusBadRequest, "k must be a positive integer")
+			return
+		}
+	}
+	terms, err := s.eng.Trending(slot, k)
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	ok(w, map[string]any{"slot": string(slot), "terms": terms})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	ok(w, s.eng.Stats())
+}

@@ -1,0 +1,221 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	caar "caar"
+)
+
+func newTestServer(t *testing.T) (*httptest.Server, *Server) {
+	t.Helper()
+	cfg := caar.DefaultConfig()
+	cfg.DecayHalfLife = time.Hour
+	eng, err := caar.Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(eng)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts, srv
+}
+
+func do(t *testing.T, ts *httptest.Server, method, path string, body any) (*http.Response, map[string]any) {
+	t.Helper()
+	var buf bytes.Buffer
+	if body != nil {
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	req, err := http.NewRequest(method, ts.URL+path, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var decoded map[string]any
+	json.NewDecoder(resp.Body).Decode(&decoded)
+	return resp, decoded
+}
+
+func expectStatus(t *testing.T, resp *http.Response, want int, body map[string]any) {
+	t.Helper()
+	if resp.StatusCode != want {
+		t.Fatalf("%s %s: status %d, want %d (body %v)",
+			resp.Request.Method, resp.Request.URL.Path, resp.StatusCode, want, body)
+	}
+}
+
+func TestServerEndToEnd(t *testing.T) {
+	ts, _ := newTestServer(t)
+	at := time.Date(2026, 7, 6, 9, 0, 0, 0, time.UTC).Format(time.RFC3339)
+
+	resp, body := do(t, ts, "POST", "/v1/users", map[string]any{"handle": "alice"})
+	expectStatus(t, resp, http.StatusNoContent, body)
+	resp, body = do(t, ts, "POST", "/v1/users", map[string]any{"handle": "bob"})
+	expectStatus(t, resp, http.StatusNoContent, body)
+
+	resp, body = do(t, ts, "POST", "/v1/follow", map[string]any{"follower": "alice", "followee": "bob"})
+	expectStatus(t, resp, http.StatusNoContent, body)
+
+	resp, body = do(t, ts, "POST", "/v1/ads", map[string]any{
+		"id": "shoes", "text": "marathon running shoes", "bid": 0.4,
+	})
+	expectStatus(t, resp, http.StatusNoContent, body)
+
+	resp, body = do(t, ts, "POST", "/v1/checkins", map[string]any{
+		"user": "alice", "lat": 1.5, "lng": 1.5, "at": at,
+	})
+	expectStatus(t, resp, http.StatusNoContent, body)
+
+	resp, body = do(t, ts, "POST", "/v1/posts", map[string]any{
+		"author": "bob", "text": "marathon running today", "at": at,
+	})
+	expectStatus(t, resp, http.StatusNoContent, body)
+
+	resp, body = do(t, ts, "GET", "/v1/recommendations?user=alice&k=3&at="+at, nil)
+	expectStatus(t, resp, http.StatusOK, body)
+	recs, okCast := body["recommendations"].([]any)
+	if !okCast || len(recs) != 1 {
+		t.Fatalf("recommendations = %v", body)
+	}
+	first := recs[0].(map[string]any)
+	if first["AdID"] != "shoes" {
+		t.Fatalf("top ad = %v", first)
+	}
+
+	resp, body = do(t, ts, "POST", "/v1/impressions", map[string]any{"ad": "shoes", "at": at})
+	expectStatus(t, resp, http.StatusOK, body)
+	if body["served"] != true {
+		t.Fatalf("impression = %v", body)
+	}
+
+	resp, body = do(t, ts, "GET", "/v1/stats", nil)
+	expectStatus(t, resp, http.StatusOK, body)
+	if body["Users"].(float64) != 2 || body["Ads"].(float64) != 1 {
+		t.Fatalf("stats = %v", body)
+	}
+
+	resp, body = do(t, ts, "DELETE", "/v1/ads/shoes", nil)
+	expectStatus(t, resp, http.StatusNoContent, body)
+	resp, body = do(t, ts, "GET", "/v1/recommendations?user=alice", nil)
+	expectStatus(t, resp, http.StatusOK, body)
+	if recs, _ := body["recommendations"].([]any); len(recs) != 0 {
+		t.Fatalf("removed ad still served: %v", body)
+	}
+}
+
+func TestServerErrorMapping(t *testing.T) {
+	ts, _ := newTestServer(t)
+	at := time.Now().UTC().Format(time.RFC3339)
+
+	// Unknown user → 404.
+	resp, body := do(t, ts, "GET", "/v1/recommendations?user=ghost", nil)
+	expectStatus(t, resp, http.StatusNotFound, body)
+
+	// Duplicate user → 409.
+	do(t, ts, "POST", "/v1/users", map[string]any{"handle": "alice"})
+	resp, body = do(t, ts, "POST", "/v1/users", map[string]any{"handle": "alice"})
+	expectStatus(t, resp, http.StatusConflict, body)
+
+	// Malformed JSON → 400.
+	req, _ := http.NewRequest("POST", ts.URL+"/v1/users", bytes.NewBufferString("{nope"))
+	resp2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed JSON: %d", resp2.StatusCode)
+	}
+
+	// Unknown fields rejected → 400.
+	resp, body = do(t, ts, "POST", "/v1/users", map[string]any{"handle": "x", "extra": 1})
+	expectStatus(t, resp, http.StatusBadRequest, body)
+
+	// Bad timestamp → 400.
+	resp, body = do(t, ts, "POST", "/v1/posts", map[string]any{"author": "alice", "text": "hi", "at": "yesterday"})
+	expectStatus(t, resp, http.StatusBadRequest, body)
+
+	// Wrong method → 405.
+	resp, body = do(t, ts, "GET", "/v1/users", nil)
+	expectStatus(t, resp, http.StatusMethodNotAllowed, body)
+	resp, body = do(t, ts, "POST", "/v1/stats", nil)
+	expectStatus(t, resp, http.StatusMethodNotAllowed, body)
+	resp, body = do(t, ts, "PUT", "/v1/follow", map[string]any{"follower": "a", "followee": "b"})
+	expectStatus(t, resp, http.StatusMethodNotAllowed, body)
+
+	// Partial geo targeting → 400.
+	resp, body = do(t, ts, "POST", "/v1/ads", map[string]any{
+		"id": "g", "text": "coffee shop", "bid": 0.2, "lat": 1.0,
+	})
+	expectStatus(t, resp, http.StatusBadRequest, body)
+
+	// Bad k → 400.
+	resp, body = do(t, ts, "GET", "/v1/recommendations?user=alice&k=0", nil)
+	expectStatus(t, resp, http.StatusBadRequest, body)
+	resp, body = do(t, ts, "GET", "/v1/recommendations?user=alice&k=abc", nil)
+	expectStatus(t, resp, http.StatusBadRequest, body)
+
+	// Missing ad id on delete → 400; unknown ad → 404.
+	resp, body = do(t, ts, "DELETE", "/v1/ads/", nil)
+	expectStatus(t, resp, http.StatusBadRequest, body)
+	resp, body = do(t, ts, "DELETE", "/v1/ads/ghost", nil)
+	expectStatus(t, resp, http.StatusNotFound, body)
+
+	// Campaign with bad dates → 400.
+	resp, body = do(t, ts, "POST", "/v1/campaigns", map[string]any{
+		"name": "c", "budget": 5, "start": "bad", "end": at,
+	})
+	expectStatus(t, resp, http.StatusBadRequest, body)
+}
+
+func TestServerUnfollow(t *testing.T) {
+	ts, _ := newTestServer(t)
+	do(t, ts, "POST", "/v1/users", map[string]any{"handle": "a"})
+	do(t, ts, "POST", "/v1/users", map[string]any{"handle": "b"})
+	resp, body := do(t, ts, "POST", "/v1/follow", map[string]any{"follower": "a", "followee": "b"})
+	expectStatus(t, resp, http.StatusNoContent, body)
+	resp, body = do(t, ts, "DELETE", "/v1/follow", map[string]any{"follower": "a", "followee": "b"})
+	expectStatus(t, resp, http.StatusNoContent, body)
+	// Unfollowing again fails.
+	resp, body = do(t, ts, "DELETE", "/v1/follow", map[string]any{"follower": "a", "followee": "b"})
+	expectStatus(t, resp, http.StatusBadRequest, body)
+}
+
+func TestServerConcurrentTraffic(t *testing.T) {
+	ts, _ := newTestServer(t)
+	for i := 0; i < 10; i++ {
+		do(t, ts, "POST", "/v1/users", map[string]any{"handle": fmt.Sprintf("u%d", i)})
+	}
+	do(t, ts, "POST", "/v1/ads", map[string]any{"id": "a", "text": "sneaker sale", "bid": 0.5})
+	at := time.Now().UTC().Format(time.RFC3339)
+
+	done := make(chan error, 20)
+	for w := 0; w < 20; w++ {
+		go func(w int) {
+			defer func() { done <- nil }()
+			for i := 0; i < 20; i++ {
+				u := fmt.Sprintf("u%d", (w+i)%10)
+				if i%2 == 0 {
+					do(t, ts, "POST", "/v1/posts", map[string]any{"author": u, "text": "sneaker run", "at": at})
+				} else {
+					do(t, ts, "GET", "/v1/recommendations?user="+u+"&at="+at, nil)
+				}
+			}
+		}(w)
+	}
+	for w := 0; w < 20; w++ {
+		<-done
+	}
+}

@@ -1,0 +1,45 @@
+package server
+
+import (
+	"net/http"
+	"testing"
+	"time"
+)
+
+func TestTrendingEndpoint(t *testing.T) {
+	ts, _ := newTestServer(t)
+	do(t, ts, "POST", "/v1/users", map[string]any{"handle": "alice"})
+	at := time.Date(2026, 7, 6, 9, 0, 0, 0, time.UTC)
+	for i := 0; i < 10; i++ {
+		do(t, ts, "POST", "/v1/posts", map[string]any{
+			"author": "alice", "text": "espresso tasting downtown",
+			"at": at.Add(time.Duration(i) * time.Minute).Format(time.RFC3339),
+		})
+	}
+
+	resp, body := do(t, ts, "GET", "/v1/trending?slot=morning&k=2", nil)
+	expectStatus(t, resp, http.StatusOK, body)
+	terms, okCast := body["terms"].([]any)
+	if !okCast || len(terms) != 2 {
+		t.Fatalf("terms = %v", body)
+	}
+	first := terms[0].(map[string]any)
+	if first["count"].(float64) != 10 {
+		t.Fatalf("top term = %v", first)
+	}
+
+	// Night slot is empty.
+	resp, body = do(t, ts, "GET", "/v1/trending?slot=night&k=5", nil)
+	expectStatus(t, resp, http.StatusOK, body)
+	if terms, _ := body["terms"].([]any); len(terms) != 0 {
+		t.Fatalf("night terms = %v", body)
+	}
+
+	// Validation.
+	resp, body = do(t, ts, "GET", "/v1/trending?slot=brunch", nil)
+	expectStatus(t, resp, http.StatusBadRequest, body)
+	resp, body = do(t, ts, "GET", "/v1/trending?k=0", nil)
+	expectStatus(t, resp, http.StatusBadRequest, body)
+	resp, body = do(t, ts, "POST", "/v1/trending", map[string]any{})
+	expectStatus(t, resp, http.StatusMethodNotAllowed, body)
+}

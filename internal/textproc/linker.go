@@ -1,0 +1,181 @@
+package textproc
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Annotation is one recognized concept mention: a DBpedia-style URI plus a
+// confidence score in [0, 1]. It mirrors the ⟨URI, score⟩ pairs emitted by
+// the DBpedia Spotlight service the original system calls; this package's
+// Linker is the offline substitute (see DESIGN.md §4).
+type Annotation struct {
+	URI     string  // e.g. "http://dbpedia.org/resource/Volleyball"
+	Score   float64 // disambiguation confidence in [0, 1]
+	Surface string  // the matched surface form, normalized
+}
+
+// Concept is a dictionary entry of the Linker: a URI, the surface forms that
+// may mention it, a prior probability that a mention of those forms refers to
+// this concept, and context terms that raise confidence when present nearby.
+type Concept struct {
+	URI      string
+	Surfaces []string // lowercase phrases, e.g. "volleyball", "beach volleyball"
+	Prior    float64  // in (0, 1]; defaults to 1 when zero
+	Context  []string // lowercase cue words that disambiguate this sense
+}
+
+// Linker recognizes concept mentions via longest-match gazetteer lookup and
+// disambiguates ambiguous surface forms by context-term overlap. It is
+// immutable after Build and safe for concurrent use.
+type Linker struct {
+	tok *Tokenizer
+	// surface phrase (space-joined normalized tokens) → candidate senses
+	senses map[string][]sense
+	// maximum phrase length in tokens, bounding the matching window
+	maxPhrase int
+}
+
+type sense struct {
+	uri     string
+	prior   float64
+	context map[string]struct{}
+}
+
+// NewLinker builds a linker from a concept dictionary. Concepts with no
+// surface forms are rejected.
+func NewLinker(concepts []Concept) (*Linker, error) {
+	l := &Linker{
+		tok:    NewTokenizer(MinTokenLen(1)),
+		senses: make(map[string][]sense),
+	}
+	for i, c := range concepts {
+		if c.URI == "" {
+			return nil, fmt.Errorf("textproc: concept %d has empty URI", i)
+		}
+		if len(c.Surfaces) == 0 {
+			return nil, fmt.Errorf("textproc: concept %q has no surface forms", c.URI)
+		}
+		prior := c.Prior
+		if prior <= 0 {
+			prior = 1
+		}
+		if prior > 1 {
+			return nil, fmt.Errorf("textproc: concept %q prior %v > 1", c.URI, prior)
+		}
+		ctx := make(map[string]struct{}, len(c.Context))
+		for _, w := range c.Context {
+			ctx[strings.ToLower(w)] = struct{}{}
+		}
+		sn := sense{uri: c.URI, prior: prior, context: ctx}
+		for _, sf := range c.Surfaces {
+			key, n := l.normalizePhrase(sf)
+			if key == "" {
+				return nil, fmt.Errorf("textproc: concept %q has empty surface form", c.URI)
+			}
+			l.senses[key] = append(l.senses[key], sn)
+			if n > l.maxPhrase {
+				l.maxPhrase = n
+			}
+		}
+	}
+	return l, nil
+}
+
+func (l *Linker) normalizePhrase(s string) (string, int) {
+	words := l.tok.Words(s)
+	return strings.Join(words, " "), len(words)
+}
+
+// Annotate scans text and returns the recognized annotations in mention
+// order. Longest surface-form matches win (greedy left-to-right); each token
+// participates in at most one mention. The confidence score is
+// prior × (0.5 + 0.5 × contextOverlap), where contextOverlap is the fraction
+// of the sense's context cues present among the other tokens of the text —
+// so an unambiguous mention scores at least half its prior, and full context
+// support recovers the full prior. Among multiple senses of one surface form
+// the highest-scoring sense is chosen.
+func (l *Linker) Annotate(text string) []Annotation {
+	words := l.tok.Words(text)
+	if len(words) == 0 {
+		return nil
+	}
+	present := make(map[string]struct{}, len(words))
+	for _, w := range words {
+		present[w] = struct{}{}
+	}
+
+	var out []Annotation
+	for i := 0; i < len(words); {
+		matched := false
+		maxLen := l.maxPhrase
+		if rem := len(words) - i; rem < maxLen {
+			maxLen = rem
+		}
+		for n := maxLen; n >= 1; n-- {
+			key := strings.Join(words[i:i+n], " ")
+			cands, ok := l.senses[key]
+			if !ok {
+				continue
+			}
+			best := l.disambiguate(cands, present)
+			out = append(out, Annotation{URI: best.uri, Score: best.score, Surface: key})
+			i += n
+			matched = true
+			break
+		}
+		if !matched {
+			i++
+		}
+	}
+	return out
+}
+
+type scoredSense struct {
+	uri   string
+	score float64
+}
+
+func (l *Linker) disambiguate(cands []sense, present map[string]struct{}) scoredSense {
+	best := scoredSense{score: -1}
+	for _, c := range cands {
+		overlap := 0.0
+		if len(c.context) > 0 {
+			hit := 0
+			for w := range c.context {
+				if _, ok := present[w]; ok {
+					hit++
+				}
+			}
+			overlap = float64(hit) / float64(len(c.context))
+		}
+		score := c.prior * (0.5 + 0.5*overlap)
+		if score > best.score || (score == best.score && c.uri < best.uri) {
+			best = scoredSense{uri: c.uri, score: score}
+		}
+	}
+	return best
+}
+
+// URIs returns the deduplicated URIs of the annotations, keeping the maximum
+// score per URI, sorted by descending score then URI.
+func URIs(anns []Annotation) []Annotation {
+	byURI := make(map[string]float64)
+	for _, a := range anns {
+		if s, ok := byURI[a.URI]; !ok || a.Score > s {
+			byURI[a.URI] = a.Score
+		}
+	}
+	out := make([]Annotation, 0, len(byURI))
+	for uri, score := range byURI {
+		out = append(out, Annotation{URI: uri, Score: score})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].URI < out[j].URI
+	})
+	return out
+}

@@ -1,0 +1,155 @@
+package textproc
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+func testConcepts() []Concept {
+	return []Concept{
+		{
+			URI:      "http://dbpedia.org/resource/Volleyball",
+			Surfaces: []string{"volleyball", "beach volleyball"},
+			Prior:    1.0,
+			Context:  []string{"team", "match", "court"},
+		},
+		{
+			URI:      "http://dbpedia.org/resource/Apple_Inc.",
+			Surfaces: []string{"apple"},
+			Prior:    0.8,
+			Context:  []string{"iphone", "mac", "tech"},
+		},
+		{
+			URI:      "http://dbpedia.org/resource/Apple",
+			Surfaces: []string{"apple"},
+			Prior:    0.9,
+			Context:  []string{"fruit", "pie", "orchard"},
+		},
+		{
+			URI:      "http://dbpedia.org/resource/The_CW",
+			Surfaces: []string{"the cw", "cw"},
+			Prior:    0.7,
+		},
+	}
+}
+
+func mustLinker(t *testing.T) *Linker {
+	t.Helper()
+	l, err := NewLinker(testConcepts())
+	if err != nil {
+		t.Fatalf("NewLinker: %v", err)
+	}
+	return l
+}
+
+func TestLinkerValidation(t *testing.T) {
+	if _, err := NewLinker([]Concept{{URI: "", Surfaces: []string{"x"}}}); err == nil {
+		t.Error("empty URI accepted")
+	}
+	if _, err := NewLinker([]Concept{{URI: "u"}}); err == nil {
+		t.Error("no surfaces accepted")
+	}
+	if _, err := NewLinker([]Concept{{URI: "u", Surfaces: []string{"!!"}}}); err == nil {
+		t.Error("empty normalized surface accepted")
+	}
+	if _, err := NewLinker([]Concept{{URI: "u", Surfaces: []string{"x"}, Prior: 1.5}}); err == nil {
+		t.Error("prior > 1 accepted")
+	}
+}
+
+func TestAnnotateSimpleMention(t *testing.T) {
+	l := mustLinker(t)
+	anns := l.Annotate("the volleyball match was great")
+	if len(anns) != 1 {
+		t.Fatalf("annotations = %v, want 1", anns)
+	}
+	a := anns[0]
+	if a.URI != "http://dbpedia.org/resource/Volleyball" {
+		t.Fatalf("URI = %q", a.URI)
+	}
+	// context: "match" present (1 of 3 cues) → score = 1.0 × (0.5 + 0.5/3)
+	want := 0.5 + 0.5/3.0
+	if math.Abs(a.Score-want) > 1e-9 {
+		t.Fatalf("score = %v, want %v", a.Score, want)
+	}
+	if a.Surface != "volleyball" {
+		t.Fatalf("surface = %q", a.Surface)
+	}
+}
+
+func TestAnnotateLongestMatchWins(t *testing.T) {
+	l := mustLinker(t)
+	anns := l.Annotate("playing beach volleyball today")
+	if len(anns) != 1 || anns[0].Surface != "beach volleyball" {
+		t.Fatalf("annotations = %v, want single beach volleyball mention", anns)
+	}
+}
+
+func TestAnnotateDisambiguationByContext(t *testing.T) {
+	l := mustLinker(t)
+	tech := l.Annotate("new apple iphone out today")
+	if len(tech) != 1 || tech[0].URI != "http://dbpedia.org/resource/Apple_Inc." {
+		t.Fatalf("tech context: %v", tech)
+	}
+	fruit := l.Annotate("grandma's apple pie recipe")
+	if len(fruit) != 1 || fruit[0].URI != "http://dbpedia.org/resource/Apple" {
+		t.Fatalf("fruit context: %v", fruit)
+	}
+	// With no disambiguating cues the higher prior (fruit, 0.9) wins.
+	bare := l.Annotate("an apple a day")
+	if len(bare) != 1 || bare[0].URI != "http://dbpedia.org/resource/Apple" {
+		t.Fatalf("bare mention: %v", bare)
+	}
+	if math.Abs(bare[0].Score-0.45) > 1e-9 { // 0.9 × 0.5
+		t.Fatalf("bare score = %v, want 0.45", bare[0].Score)
+	}
+}
+
+func TestAnnotateMultipleMentionsInOrder(t *testing.T) {
+	l := mustLinker(t)
+	anns := l.Annotate("volleyball on the cw tonight")
+	if len(anns) != 2 {
+		t.Fatalf("annotations = %v, want 2", anns)
+	}
+	if anns[0].URI != "http://dbpedia.org/resource/Volleyball" {
+		t.Fatalf("first = %v", anns[0])
+	}
+	if anns[1].URI != "http://dbpedia.org/resource/The_CW" {
+		t.Fatalf("second = %v", anns[1])
+	}
+}
+
+func TestAnnotateNoMentions(t *testing.T) {
+	l := mustLinker(t)
+	if anns := l.Annotate("nothing relevant here"); anns != nil {
+		t.Fatalf("got %v, want nil", anns)
+	}
+	if anns := l.Annotate(""); anns != nil {
+		t.Fatalf("empty text: %v", anns)
+	}
+}
+
+func TestURIsDedup(t *testing.T) {
+	anns := []Annotation{
+		{URI: "u1", Score: 0.4},
+		{URI: "u1", Score: 0.9},
+		{URI: "u2", Score: 0.6},
+	}
+	got := URIs(anns)
+	want := []Annotation{{URI: "u1", Score: 0.9}, {URI: "u2", Score: 0.6}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("URIs = %v, want %v", got, want)
+	}
+}
+
+func TestDefaultPriorIsOne(t *testing.T) {
+	l, err := NewLinker([]Concept{{URI: "u", Surfaces: []string{"zebra"}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	anns := l.Annotate("a zebra appeared")
+	if len(anns) != 1 || anns[0].Score != 0.5 { // prior 1 × 0.5 base
+		t.Fatalf("got %v", anns)
+	}
+}

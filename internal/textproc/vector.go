@@ -1,0 +1,119 @@
+package textproc
+
+import (
+	"math"
+	"sort"
+)
+
+// TermID is an interned vocabulary term identifier. Interning keeps the hot
+// scoring path free of string hashing.
+type TermID uint32
+
+// SparseVector is a term-weighted sparse vector over interned term IDs. It is
+// the representation of both ad keyword profiles and user feed contexts.
+type SparseVector map[TermID]float64
+
+// Dot returns the inner product ⟨v, w⟩, iterating over the smaller operand.
+func (v SparseVector) Dot(w SparseVector) float64 {
+	if len(w) < len(v) {
+		v, w = w, v
+	}
+	var sum float64
+	for id, x := range v {
+		if y, ok := w[id]; ok {
+			sum += x * y
+		}
+	}
+	return sum
+}
+
+// Norm returns the Euclidean norm ‖v‖₂.
+func (v SparseVector) Norm() float64 {
+	var sum float64
+	for _, x := range v {
+		sum += x * x
+	}
+	return math.Sqrt(sum)
+}
+
+// Cosine returns the cosine similarity between v and w in [−1, 1]; zero when
+// either vector is empty or has zero norm.
+func (v SparseVector) Cosine(w SparseVector) float64 {
+	nv, nw := v.Norm(), w.Norm()
+	if nv == 0 || nw == 0 {
+		return 0
+	}
+	return v.Dot(w) / (nv * nw)
+}
+
+// AddScaled adds s·w into v in place.
+func (v SparseVector) AddScaled(w SparseVector, s float64) {
+	for id, x := range w {
+		v[id] += x * s
+	}
+}
+
+// SubScaled subtracts s·w from v in place, deleting entries that reach
+// (numerically) zero so stale terms do not accumulate.
+func (v SparseVector) SubScaled(w SparseVector, s float64) {
+	for id, x := range w {
+		nv := v[id] - x*s
+		if math.Abs(nv) < 1e-12 {
+			delete(v, id)
+		} else {
+			v[id] = nv
+		}
+	}
+}
+
+// Scale multiplies every weight by s in place.
+func (v SparseVector) Scale(s float64) {
+	for id := range v {
+		v[id] *= s
+	}
+}
+
+// Clone returns a deep copy.
+func (v SparseVector) Clone() SparseVector {
+	out := make(SparseVector, len(v))
+	for id, x := range v {
+		out[id] = x
+	}
+	return out
+}
+
+// L2Normalize scales v to unit norm in place; empty or zero vectors are left
+// unchanged.
+func (v SparseVector) L2Normalize() {
+	n := v.Norm()
+	if n == 0 {
+		return
+	}
+	v.Scale(1 / n)
+}
+
+// WeightedTerm pairs a term with its weight, used for ranked views of a
+// vector.
+type WeightedTerm struct {
+	ID     TermID
+	Weight float64
+}
+
+// TopTerms returns the n highest-weighted terms in descending weight order
+// (ties broken by ascending TermID for determinism).
+func (v SparseVector) TopTerms(n int) []WeightedTerm {
+	out := make([]WeightedTerm, 0, len(v))
+	for id, x := range v {
+		out = append(out, WeightedTerm{ID: id, Weight: x})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Weight != out[j].Weight {
+			return out[i].Weight > out[j].Weight
+		}
+		return out[i].ID < out[j].ID
+	})
+	if n < len(out) {
+		out = out[:n]
+	}
+	return out
+}

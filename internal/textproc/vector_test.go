@@ -1,0 +1,159 @@
+package textproc
+
+import (
+	"math"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestDotAndCosine(t *testing.T) {
+	v := SparseVector{1: 1, 2: 2}
+	w := SparseVector{2: 3, 3: 4}
+	if got := v.Dot(w); !almostEqual(got, 6) {
+		t.Fatalf("Dot = %v, want 6", got)
+	}
+	if got := w.Dot(v); !almostEqual(got, 6) {
+		t.Fatalf("Dot not symmetric: %v", got)
+	}
+	// cosine of identical vectors is 1
+	if got := v.Cosine(v); !almostEqual(got, 1) {
+		t.Fatalf("Cosine(v,v) = %v, want 1", got)
+	}
+	// orthogonal vectors
+	if got := (SparseVector{1: 1}).Cosine(SparseVector{2: 1}); got != 0 {
+		t.Fatalf("orthogonal cosine = %v, want 0", got)
+	}
+	// empty vectors
+	if got := (SparseVector{}).Cosine(v); got != 0 {
+		t.Fatalf("empty cosine = %v, want 0", got)
+	}
+}
+
+func TestAddSubScaled(t *testing.T) {
+	v := SparseVector{1: 1}
+	v.AddScaled(SparseVector{1: 2, 2: 3}, 0.5)
+	want := SparseVector{1: 2, 2: 1.5}
+	if !reflect.DeepEqual(v, want) {
+		t.Fatalf("AddScaled = %v, want %v", v, want)
+	}
+	v.SubScaled(SparseVector{1: 2, 2: 3}, 0.5)
+	// entry 2 should be deleted (returns to zero), entry 1 back to original
+	if len(v) != 1 || !almostEqual(v[1], 1) {
+		t.Fatalf("SubScaled = %v, want {1:1}", v)
+	}
+}
+
+func TestSubScaledDeletesZeroEntries(t *testing.T) {
+	v := SparseVector{7: 0.3}
+	v.SubScaled(SparseVector{7: 0.3}, 1)
+	if len(v) != 0 {
+		t.Fatalf("zeroed entry not deleted: %v", v)
+	}
+}
+
+func TestL2Normalize(t *testing.T) {
+	v := SparseVector{1: 3, 2: 4}
+	v.L2Normalize()
+	if !almostEqual(v.Norm(), 1) {
+		t.Fatalf("norm after normalize = %v", v.Norm())
+	}
+	if !almostEqual(v[1], 0.6) || !almostEqual(v[2], 0.8) {
+		t.Fatalf("normalized = %v", v)
+	}
+	empty := SparseVector{}
+	empty.L2Normalize() // must not panic or corrupt
+	if len(empty) != 0 {
+		t.Fatal("empty vector changed")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	v := SparseVector{1: 1}
+	c := v.Clone()
+	c[1] = 99
+	c[2] = 5
+	if v[1] != 1 || len(v) != 1 {
+		t.Fatalf("clone mutation leaked into original: %v", v)
+	}
+}
+
+func TestTopTerms(t *testing.T) {
+	v := SparseVector{1: 0.5, 2: 0.9, 3: 0.5, 4: 0.1}
+	got := v.TopTerms(3)
+	want := []WeightedTerm{{2, 0.9}, {1, 0.5}, {3, 0.5}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("TopTerms = %v, want %v", got, want)
+	}
+	if got := v.TopTerms(10); len(got) != 4 {
+		t.Fatalf("TopTerms(10) len = %d, want 4", len(got))
+	}
+	if got := (SparseVector{}).TopTerms(5); len(got) != 0 {
+		t.Fatalf("empty TopTerms = %v", got)
+	}
+}
+
+// quickVec converts testing/quick raw input into a small sparse vector.
+func quickVec(raw map[uint8]float64) SparseVector {
+	v := SparseVector{}
+	for k, x := range raw {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			continue
+		}
+		// keep weights bounded so dot products stay finite
+		v[TermID(k)] = math.Mod(x, 100)
+	}
+	return v
+}
+
+func TestCosineBoundsProperty(t *testing.T) {
+	f := func(a, b map[uint8]float64) bool {
+		v, w := quickVec(a), quickVec(b)
+		c := v.Cosine(w)
+		return c >= -1-1e-9 && c <= 1+1e-9 && almostEqual(c, w.Cosine(v))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDotLinearityProperty(t *testing.T) {
+	f := func(a, b, c map[uint8]float64) bool {
+		u, v, w := quickVec(a), quickVec(b), quickVec(c)
+		// ⟨u+v, w⟩ == ⟨u,w⟩ + ⟨v,w⟩
+		sum := u.Clone()
+		sum.AddScaled(v, 1)
+		lhs := sum.Dot(w)
+		rhs := u.Dot(w) + v.Dot(w)
+		return math.Abs(lhs-rhs) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddSubRoundTripProperty(t *testing.T) {
+	f := func(a, b map[uint8]float64) bool {
+		v, w := quickVec(a), quickVec(b)
+		orig := v.Clone()
+		v.AddScaled(w, 0.7)
+		v.SubScaled(w, 0.7)
+		// After round trip every original entry is back (within float noise)
+		for id, x := range orig {
+			if math.Abs(v[id]-x) > 1e-6 {
+				return false
+			}
+		}
+		for id, x := range v {
+			if math.Abs(orig[id]-x) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,140 @@
+package topk
+
+import "sort"
+
+// Point2 is a candidate with two score components that are mixed with an
+// unknown non-negative weight at read time. In the CAP engine these are
+// (text relevance, static score): the final score is α·f·text + static where
+// the decay factor f shrinks over time, so the ranking drifts between the
+// text-dominant and static-dominant orders.
+type Point2 struct {
+	ID   int64
+	X, Y float64 // the two score components (both "higher is better")
+}
+
+// dominates reports whether a dominates b: a is at least as good in both
+// components and strictly better in one. A point never dominates an
+// identical twin.
+func dominates(a, b Point2) bool {
+	return a.X >= b.X && a.Y >= b.Y && (a.X > b.X || a.Y > b.Y)
+}
+
+// Skyband returns the k-skyband of pts: the points dominated by fewer than k
+// other points. Any candidate outside the k-skyband of
+// (text, static) can never appear in a top-k result for any mixing factor
+// ≥ 0, which is exactly the guarantee the CAP buffer compaction relies on.
+//
+// The result preserves no particular order. Runs in O(n log n).
+func Skyband(pts []Point2, k int) []Point2 {
+	if k < 1 || len(pts) == 0 {
+		return nil
+	}
+	sorted := make([]Point2, len(pts))
+	copy(sorted, pts)
+	// Sort by X descending; within equal X by Y descending so a group scan
+	// can count same-X dominators positionally.
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].X != sorted[j].X {
+			return sorted[i].X > sorted[j].X
+		}
+		return sorted[i].Y > sorted[j].Y
+	})
+
+	ranks := compressY(sorted)
+	fen := newFenwick(len(ranks))
+	out := make([]Point2, 0, min(len(pts), 4*k))
+
+	i := 0
+	for i < len(sorted) {
+		// Group of equal X: all previously-inserted points have strictly
+		// larger X, so every one of them with Y ≥ p.Y dominates p.
+		j := i
+		for j < len(sorted) && sorted[j].X == sorted[i].X {
+			j++
+		}
+		group := sorted[i:j]
+		for gi, p := range group {
+			r := yRank(ranks, p.Y)
+			prevDominators := fen.total() - fen.prefix(r-1) // prev points with Y ≥ p.Y
+			// Within the group (same X), exactly the elements before the
+			// first equal-Y entry have strictly larger Y and so dominate p.
+			withinDominators := firstWithSameY(group, gi)
+			if prevDominators+withinDominators < k {
+				out = append(out, p)
+			}
+		}
+		for _, p := range group {
+			fen.add(yRank(ranks, p.Y), 1)
+		}
+		i = j
+	}
+	return out
+}
+
+// firstWithSameY returns the index of the first group element whose Y equals
+// group[gi].Y (group is Y-descending).
+func firstWithSameY(group []Point2, gi int) int {
+	y := group[gi].Y
+	lo := gi
+	for lo > 0 && group[lo-1].Y == y {
+		lo--
+	}
+	return lo
+}
+
+// compressY returns the sorted distinct Y values for rank compression.
+func compressY(pts []Point2) []float64 {
+	ys := make([]float64, len(pts))
+	for i, p := range pts {
+		ys[i] = p.Y
+	}
+	sort.Float64s(ys)
+	out := ys[:0]
+	for i, y := range ys {
+		if i == 0 || y != out[len(out)-1] {
+			out = append(out, y)
+		}
+	}
+	return out
+}
+
+// yRank maps a Y value to its 1-based rank among the compressed values.
+func yRank(ranks []float64, y float64) int {
+	return sort.SearchFloat64s(ranks, y) + 1
+}
+
+// fenwick is a Fenwick (binary indexed) tree over 1-based ranks.
+type fenwick struct {
+	tree []int
+	n    int
+	sum  int
+}
+
+func newFenwick(n int) *fenwick {
+	return &fenwick{tree: make([]int, n+1), n: n}
+}
+
+func (f *fenwick) add(i, delta int) {
+	f.sum += delta
+	for ; i <= f.n; i += i & (-i) {
+		f.tree[i] += delta
+	}
+}
+
+// prefix returns the count of inserted ranks ≤ i.
+func (f *fenwick) prefix(i int) int {
+	s := 0
+	for ; i > 0; i -= i & (-i) {
+		s += f.tree[i]
+	}
+	return s
+}
+
+func (f *fenwick) total() int { return f.sum }
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

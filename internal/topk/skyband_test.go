@@ -1,0 +1,169 @@
+package topk
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// skybandNaive is the O(n²) reference implementation.
+func skybandNaive(pts []Point2, k int) []Point2 {
+	if k < 1 {
+		return nil
+	}
+	var out []Point2
+	for _, p := range pts {
+		dom := 0
+		for _, q := range pts {
+			if dominates(q, p) {
+				dom++
+			}
+		}
+		if dom < k {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func sortPts(pts []Point2) []Point2 {
+	out := append([]Point2(nil), pts...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].X != out[j].X {
+			return out[i].X < out[j].X
+		}
+		if out[i].Y != out[j].Y {
+			return out[i].Y < out[j].Y
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+func TestSkybandSmallCases(t *testing.T) {
+	pts := []Point2{
+		{ID: 1, X: 1, Y: 1},
+		{ID: 2, X: 2, Y: 2}, // dominates 1
+		{ID: 3, X: 3, Y: 0},
+		{ID: 4, X: 0, Y: 3},
+	}
+	got := sortPts(Skyband(pts, 1))
+	want := sortPts([]Point2{{ID: 2, X: 2, Y: 2}, {ID: 3, X: 3, Y: 0}, {ID: 4, X: 0, Y: 3}})
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("1-skyband = %v, want %v", got, want)
+	}
+	// With k=2, point 1 (dominated only by 2) is included.
+	got = Skyband(pts, 2)
+	if len(got) != 4 {
+		t.Fatalf("2-skyband size = %d, want 4", len(got))
+	}
+}
+
+func TestSkybandDuplicates(t *testing.T) {
+	// Identical points do not dominate each other.
+	pts := []Point2{{1, 5, 5}, {2, 5, 5}, {3, 5, 5}}
+	got := Skyband(pts, 1)
+	if len(got) != 3 {
+		t.Fatalf("identical points: %v, want all 3 kept", got)
+	}
+	// A strictly better point dominates all duplicates at once.
+	pts = append(pts, Point2{4, 6, 5})
+	got = Skyband(pts, 1)
+	if len(got) != 1 || got[0].ID != 4 {
+		t.Fatalf("dominated duplicates kept: %v", got)
+	}
+}
+
+func TestSkybandEdgeCases(t *testing.T) {
+	if got := Skyband(nil, 3); got != nil {
+		t.Fatalf("empty input: %v", got)
+	}
+	if got := Skyband([]Point2{{1, 1, 1}}, 0); got != nil {
+		t.Fatalf("k=0: %v", got)
+	}
+	got := Skyband([]Point2{{1, 1, 1}}, 1)
+	if len(got) != 1 {
+		t.Fatalf("singleton: %v", got)
+	}
+}
+
+func TestSkybandEqualXColumn(t *testing.T) {
+	// All same X: dominance is a strict Y order; k-skyband keeps top-k Y
+	// values (plus ties at the boundary value's dominator count).
+	pts := []Point2{{1, 5, 1}, {2, 5, 2}, {3, 5, 3}, {4, 5, 4}}
+	got := sortPts(Skyband(pts, 2))
+	want := sortPts([]Point2{{3, 5, 3}, {4, 5, 4}})
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("column 2-skyband = %v, want %v", got, want)
+	}
+}
+
+func TestSkybandMatchesNaiveRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 300; trial++ {
+		n := rng.Intn(60)
+		k := 1 + rng.Intn(5)
+		pts := make([]Point2, n)
+		for i := range pts {
+			// Small discrete domain to generate many ties.
+			pts[i] = Point2{
+				ID: int64(i),
+				X:  float64(rng.Intn(8)),
+				Y:  float64(rng.Intn(8)),
+			}
+		}
+		got := sortPts(Skyband(pts, k))
+		want := sortPts(skybandNaive(pts, k))
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d (n=%d k=%d): got %v want %v", trial, n, k, got, want)
+		}
+	}
+}
+
+// TestSkybandTopKCoverageProperty checks the property the CAP engine relies
+// on: for ANY non-negative mixing factor f, the top-k of score = f·X + Y is
+// contained in the k-skyband.
+func TestSkybandTopKCoverageProperty(t *testing.T) {
+	f := func(seed int64, rawFactor uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 1 + rng.Intn(4)
+		n := 5 + rng.Intn(50)
+		pts := make([]Point2, n)
+		for i := range pts {
+			pts[i] = Point2{ID: int64(i), X: rng.Float64(), Y: rng.Float64()}
+		}
+		factor := float64(rawFactor) / 16.0 // 0 .. ~16
+		band := map[int64]bool{}
+		for _, p := range Skyband(pts, k) {
+			band[p.ID] = true
+		}
+		c := NewCollector(k)
+		for _, p := range pts {
+			c.Offer(p.ID, factor*p.X+p.Y)
+		}
+		for _, it := range c.Items() {
+			if !band[it.ID] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSkyband(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	pts := make([]Point2, 2000)
+	for i := range pts {
+		pts[i] = Point2{ID: int64(i), X: rng.Float64(), Y: rng.Float64()}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Skyband(pts, 10)
+	}
+}

@@ -1,0 +1,293 @@
+// Package journal provides an append-only event log for the recommender: a
+// durable record of every state-changing API call (users, follows, ads,
+// campaigns, posts, check-ins, impressions), replayable into a fresh engine
+// at startup. It complements caar.Snapshot: a snapshot captures durable
+// state compactly, the journal additionally recovers the ephemeral feed
+// context by replaying recent events.
+//
+// Format: one JSON object per line, each with a type tag, so the log is
+// greppable and append-crash-tolerant (a torn final line is detected and
+// ignored during replay).
+package journal
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	caar "caar"
+)
+
+// Op is the type tag of a journal entry.
+type Op string
+
+// Journal operations.
+const (
+	OpAddUser     Op = "add_user"
+	OpFollow      Op = "follow"
+	OpUnfollow    Op = "unfollow"
+	OpAddCampaign Op = "add_campaign"
+	OpAddAd       Op = "add_ad"
+	OpRemoveAd    Op = "remove_ad"
+	OpPost        Op = "post"
+	OpCheckIn     Op = "check_in"
+	OpImpression  Op = "impression"
+)
+
+// Entry is one journaled event. Exactly the fields relevant to Op are set.
+type Entry struct {
+	Op Op        `json:"op"`
+	At time.Time `json:"at,omitempty"`
+
+	User     string  `json:"user,omitempty"`
+	Followee string  `json:"followee,omitempty"`
+	Text     string  `json:"text,omitempty"`
+	Lat      float64 `json:"lat,omitempty"`
+	Lng      float64 `json:"lng,omitempty"`
+
+	Campaign *CampaignEntry `json:"campaign,omitempty"`
+	Ad       *caar.Ad       `json:"ad,omitempty"`
+	AdID     string         `json:"ad_id,omitempty"`
+}
+
+// CampaignEntry records an AddCampaign call.
+type CampaignEntry struct {
+	Name   string    `json:"name"`
+	Budget float64   `json:"budget"`
+	Start  time.Time `json:"start"`
+	End    time.Time `json:"end"`
+}
+
+// Writer appends entries to a log. Safe for concurrent use; each entry is
+// written atomically with respect to other writers on the same Writer.
+type Writer struct {
+	mu  sync.Mutex
+	out *bufio.Writer
+	// Sync, when non-nil, is called after every append (e.g. os.File.Sync
+	// for durability; tests leave it nil).
+	Sync func() error
+}
+
+// NewWriter wraps w in a journal writer.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{out: bufio.NewWriter(w)}
+}
+
+// Append writes one entry and flushes it.
+func (w *Writer) Append(e Entry) error {
+	if e.Op == "" {
+		return errors.New("journal: entry without op")
+	}
+	buf, err := json.Marshal(e)
+	if err != nil {
+		return fmt.Errorf("journal: marshal: %w", err)
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if _, err := w.out.Write(append(buf, '\n')); err != nil {
+		return fmt.Errorf("journal: append: %w", err)
+	}
+	if err := w.out.Flush(); err != nil {
+		return fmt.Errorf("journal: flush: %w", err)
+	}
+	if w.Sync != nil {
+		if err := w.Sync(); err != nil {
+			return fmt.Errorf("journal: sync: %w", err)
+		}
+	}
+	return nil
+}
+
+// ReplayStats summarizes one replay.
+type ReplayStats struct {
+	Applied int  // entries applied successfully
+	Skipped int  // entries that failed to apply (logged state conflicts)
+	Torn    bool // the final line was incomplete (crash during append)
+}
+
+// Replay applies a journal to an engine. Entries that fail to apply (e.g. a
+// duplicate user after a partial previous replay) are counted and skipped
+// rather than aborting, so replay is idempotent-ish over crash-recovered
+// logs; a malformed non-final line aborts with an error.
+func Replay(r io.Reader, eng *caar.Engine) (ReplayStats, error) {
+	var stats ReplayStats
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	var pending []byte
+	for sc.Scan() {
+		if pending != nil {
+			// The previous line failed to parse but was not final: corrupt.
+			return stats, fmt.Errorf("journal: corrupt entry: %s", truncate(pending))
+		}
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var e Entry
+		if err := json.Unmarshal(line, &e); err != nil {
+			// Possibly a torn final line; decide once we know whether more
+			// lines follow.
+			pending = append([]byte(nil), line...)
+			continue
+		}
+		if err := apply(eng, e); err != nil {
+			stats.Skipped++
+			continue
+		}
+		stats.Applied++
+	}
+	if err := sc.Err(); err != nil {
+		return stats, fmt.Errorf("journal: read: %w", err)
+	}
+	if pending != nil {
+		stats.Torn = true
+	}
+	return stats, nil
+}
+
+func truncate(b []byte) string {
+	const max = 80
+	if len(b) > max {
+		return string(b[:max]) + "…"
+	}
+	return string(b)
+}
+
+func apply(eng *caar.Engine, e Entry) error {
+	switch e.Op {
+	case OpAddUser:
+		return eng.AddUser(e.User)
+	case OpFollow:
+		return eng.Follow(e.User, e.Followee)
+	case OpUnfollow:
+		return eng.Unfollow(e.User, e.Followee)
+	case OpAddCampaign:
+		if e.Campaign == nil {
+			return errors.New("journal: add_campaign without payload")
+		}
+		c := e.Campaign
+		return eng.AddCampaign(c.Name, c.Budget, c.Start, c.End)
+	case OpAddAd:
+		if e.Ad == nil {
+			return errors.New("journal: add_ad without payload")
+		}
+		return eng.AddAd(*e.Ad)
+	case OpRemoveAd:
+		return eng.RemoveAd(e.AdID)
+	case OpPost:
+		return eng.Post(e.User, e.Text, e.At)
+	case OpCheckIn:
+		return eng.CheckIn(e.User, e.Lat, e.Lng, e.At)
+	case OpImpression:
+		if e.User != "" {
+			_, err := eng.RecordImpressionTo(e.User, e.AdID, e.At)
+			return err
+		}
+		_, err := eng.ServeImpression(e.AdID, e.At)
+		return err
+	default:
+		return fmt.Errorf("journal: unknown op %q", e.Op)
+	}
+}
+
+// Logged wraps an engine so every successful state change is appended to a
+// journal. Reads (Recommend, Stats) pass through untouched via the embedded
+// engine.
+type Logged struct {
+	*caar.Engine
+	w *Writer
+}
+
+// NewLogged pairs an engine with a journal writer.
+func NewLogged(eng *caar.Engine, w *Writer) *Logged {
+	return &Logged{Engine: eng, w: w}
+}
+
+// AddUser journals and applies.
+func (l *Logged) AddUser(handle string) error {
+	if err := l.Engine.AddUser(handle); err != nil {
+		return err
+	}
+	return l.w.Append(Entry{Op: OpAddUser, User: handle})
+}
+
+// Follow journals and applies.
+func (l *Logged) Follow(follower, followee string) error {
+	if err := l.Engine.Follow(follower, followee); err != nil {
+		return err
+	}
+	return l.w.Append(Entry{Op: OpFollow, User: follower, Followee: followee})
+}
+
+// Unfollow journals and applies.
+func (l *Logged) Unfollow(follower, followee string) error {
+	if err := l.Engine.Unfollow(follower, followee); err != nil {
+		return err
+	}
+	return l.w.Append(Entry{Op: OpUnfollow, User: follower, Followee: followee})
+}
+
+// AddCampaign journals and applies.
+func (l *Logged) AddCampaign(name string, budget float64, start, end time.Time) error {
+	if err := l.Engine.AddCampaign(name, budget, start, end); err != nil {
+		return err
+	}
+	return l.w.Append(Entry{Op: OpAddCampaign, Campaign: &CampaignEntry{
+		Name: name, Budget: budget, Start: start, End: end,
+	}})
+}
+
+// AddAd journals and applies.
+func (l *Logged) AddAd(ad caar.Ad) error {
+	if err := l.Engine.AddAd(ad); err != nil {
+		return err
+	}
+	return l.w.Append(Entry{Op: OpAddAd, Ad: &ad})
+}
+
+// RemoveAd journals and applies.
+func (l *Logged) RemoveAd(id string) error {
+	if err := l.Engine.RemoveAd(id); err != nil {
+		return err
+	}
+	return l.w.Append(Entry{Op: OpRemoveAd, AdID: id})
+}
+
+// Post journals and applies.
+func (l *Logged) Post(author, text string, at time.Time) error {
+	if err := l.Engine.Post(author, text, at); err != nil {
+		return err
+	}
+	return l.w.Append(Entry{Op: OpPost, User: author, Text: text, At: at})
+}
+
+// CheckIn journals and applies.
+func (l *Logged) CheckIn(user string, lat, lng float64, at time.Time) error {
+	if err := l.Engine.CheckIn(user, lat, lng, at); err != nil {
+		return err
+	}
+	return l.w.Append(Entry{Op: OpCheckIn, User: user, Lat: lat, Lng: lng, At: at})
+}
+
+// ServeImpression journals (when billable) and applies.
+func (l *Logged) ServeImpression(adID string, at time.Time) (bool, error) {
+	served, err := l.Engine.ServeImpression(adID, at)
+	if err != nil || !served {
+		return served, err
+	}
+	return served, l.w.Append(Entry{Op: OpImpression, AdID: adID, At: at})
+}
+
+// RecordImpressionTo journals (when billable) and applies a per-user
+// impression, preserving frequency-capping state across recovery.
+func (l *Logged) RecordImpressionTo(user, adID string, at time.Time) (bool, error) {
+	served, err := l.Engine.RecordImpressionTo(user, adID, at)
+	if err != nil || !served {
+		return served, err
+	}
+	return served, l.w.Append(Entry{Op: OpImpression, User: user, AdID: adID, At: at})
+}

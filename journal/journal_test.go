@@ -1,0 +1,203 @@
+package journal
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	caar "caar"
+)
+
+var t0 = time.Date(2026, 7, 6, 9, 0, 0, 0, time.UTC)
+
+func newEngine(t *testing.T) *caar.Engine {
+	t.Helper()
+	eng, err := caar.Open(caar.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+// driveLogged applies a representative sequence of operations through a
+// Logged wrapper.
+func driveLogged(t *testing.T, l *Logged) {
+	t.Helper()
+	steps := []func() error{
+		func() error { return l.AddUser("alice") },
+		func() error { return l.AddUser("bob") },
+		func() error { return l.Follow("alice", "bob") },
+		func() error {
+			return l.AddCampaign("spring", 100, t0.Add(-time.Hour), t0.Add(23*time.Hour))
+		},
+		func() error {
+			return l.AddAd(caar.Ad{ID: "shoes", Text: "marathon running shoes", Campaign: "spring", Bid: 0.4})
+		},
+		func() error {
+			return l.AddAd(caar.Ad{ID: "cafe", Text: "espresso downtown", Bid: 0.3,
+				Target: &caar.Target{Lat: 1.5, Lng: 1.5, RadiusKm: 25}})
+		},
+		func() error { return l.CheckIn("alice", 1.5, 1.5, t0) },
+		func() error { return l.Post("bob", "marathon day with espresso", t0) },
+		func() error { _, err := l.ServeImpression("shoes", t0); return err },
+		func() error { return l.AddAd(caar.Ad{ID: "tmp", Text: "temporary promo", Bid: 0.2}) },
+		func() error { return l.RemoveAd("tmp") },
+		func() error { return l.Unfollow("alice", "bob") },
+		func() error { return l.Follow("alice", "bob") },
+	}
+	for i, step := range steps {
+		if err := step(); err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+	}
+}
+
+func TestJournalReplayReproducesEngine(t *testing.T) {
+	var log bytes.Buffer
+	live := NewLogged(newEngine(t), NewWriter(&log))
+	driveLogged(t, live)
+
+	recovered := newEngine(t)
+	stats, err := Replay(&log, recovered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Skipped != 0 || stats.Torn {
+		t.Fatalf("replay stats = %+v", stats)
+	}
+	if stats.Applied != 13 {
+		t.Fatalf("applied %d entries, want 13", stats.Applied)
+	}
+
+	a := live.Stats()
+	b := recovered.Stats()
+	if a.Users != b.Users || a.Ads != b.Ads || a.FollowEdges != b.FollowEdges {
+		t.Fatalf("state mismatch: live %+v vs recovered %+v", a, b)
+	}
+
+	// The replay also recovered the feed context: recommendations match.
+	at := t0.Add(time.Minute)
+	ra, err := live.Recommend("alice", 3, at)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := recovered.Recommend("alice", 3, at)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ra) != len(rb) {
+		t.Fatalf("rec lengths differ: %d vs %d", len(ra), len(rb))
+	}
+	for i := range ra {
+		if ra[i].AdID != rb[i].AdID {
+			t.Fatalf("rank %d: %s vs %s", i, ra[i].AdID, rb[i].AdID)
+		}
+	}
+}
+
+func TestReplayToleratesTornTail(t *testing.T) {
+	var log bytes.Buffer
+	live := NewLogged(newEngine(t), NewWriter(&log))
+	driveLogged(t, live)
+	// Simulate a crash mid-append: chop the final line in half.
+	raw := log.Bytes()
+	torn := raw[:len(raw)-10]
+
+	recovered := newEngine(t)
+	stats, err := Replay(bytes.NewReader(torn), recovered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.Torn {
+		t.Fatal("torn tail not detected")
+	}
+	if stats.Applied != 12 {
+		t.Fatalf("applied %d, want 12 (all but the torn line)", stats.Applied)
+	}
+}
+
+func TestReplayRejectsMidStreamCorruption(t *testing.T) {
+	good := `{"op":"add_user","user":"a"}`
+	bad := `{"op":"add_user","user` // corrupt, NOT final
+	log := good + "\n" + bad + "\n" + good + "x\n"
+	_, err := Replay(strings.NewReader(log), newEngine(t))
+	if err == nil {
+		t.Fatal("mid-stream corruption accepted")
+	}
+}
+
+func TestReplaySkipsConflicts(t *testing.T) {
+	log := strings.Join([]string{
+		`{"op":"add_user","user":"a"}`,
+		`{"op":"add_user","user":"a"}`,                  // duplicate: skipped
+		`{"op":"follow","user":"a","followee":"ghost"}`, // unknown: skipped
+	}, "\n")
+	eng := newEngine(t)
+	stats, err := Replay(strings.NewReader(log), eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Applied != 1 || stats.Skipped != 2 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if eng.Stats().Users != 1 {
+		t.Fatal("user not applied")
+	}
+}
+
+func TestReplayUnknownOpSkipped(t *testing.T) {
+	log := `{"op":"frobnicate"}`
+	stats, err := Replay(strings.NewReader(log), newEngine(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Skipped != 1 {
+		t.Fatalf("stats = %+v", stats)
+	}
+}
+
+func TestWriterRejectsEmptyOp(t *testing.T) {
+	w := NewWriter(&bytes.Buffer{})
+	if err := w.Append(Entry{}); err == nil {
+		t.Fatal("empty op accepted")
+	}
+}
+
+func TestLoggedDoesNotJournalFailures(t *testing.T) {
+	var log bytes.Buffer
+	l := NewLogged(newEngine(t), NewWriter(&log))
+	if err := l.AddUser(""); err == nil {
+		t.Fatal("empty handle accepted")
+	}
+	if err := l.Follow("x", "y"); err == nil {
+		t.Fatal("unknown users accepted")
+	}
+	if log.Len() != 0 {
+		t.Fatalf("failed operations were journaled: %s", log.String())
+	}
+	// An unbillable impression is applied but not journaled.
+	l.AddUser("u")
+	l.AddCampaign("c", 0.1, t0, t0.Add(time.Hour))
+	l.AddAd(caar.Ad{ID: "x", Text: "sneaker promo", Campaign: "c", Bid: 0.1})
+	before := log.Len()
+	served, err := l.ServeImpression("x", t0) // pacing: nothing released at start
+	if err != nil || served {
+		t.Fatalf("impression should be paced out: %v %v", served, err)
+	}
+	if log.Len() != before {
+		t.Fatal("unserved impression journaled")
+	}
+}
+
+func TestJournalSyncHook(t *testing.T) {
+	calls := 0
+	w := NewWriter(&bytes.Buffer{})
+	w.Sync = func() error { calls++; return nil }
+	if err := w.Append(Entry{Op: OpAddUser, User: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 {
+		t.Fatalf("sync calls = %d", calls)
+	}
+}

@@ -1,0 +1,273 @@
+// Package metrics provides the evaluation instrumentation of the
+// reproduction: set-retrieval quality (precision / recall / F-score),
+// latency histograms with quantile readout, and throughput meters.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Retrieval holds the confusion counts of one set-retrieval evaluation.
+type Retrieval struct {
+	TruePositives  int
+	FalsePositives int
+	FalseNegatives int
+}
+
+// EvaluateSets compares a retrieved set against a relevant (ground-truth)
+// set. Both are identified by comparable keys.
+func EvaluateSets[K comparable](retrieved, relevant []K) Retrieval {
+	rel := make(map[K]bool, len(relevant))
+	for _, k := range relevant {
+		rel[k] = true
+	}
+	got := make(map[K]bool, len(retrieved))
+	var r Retrieval
+	for _, k := range retrieved {
+		if got[k] {
+			continue // duplicates count once
+		}
+		got[k] = true
+		if rel[k] {
+			r.TruePositives++
+		} else {
+			r.FalsePositives++
+		}
+	}
+	for k := range rel {
+		if !got[k] {
+			r.FalseNegatives++
+		}
+	}
+	return r
+}
+
+// Precision returns TP/(TP+FP); by convention 0 when nothing was retrieved
+// and something was relevant, and 1 when both sides are empty.
+func (r Retrieval) Precision() float64 {
+	den := r.TruePositives + r.FalsePositives
+	if den == 0 {
+		if r.FalseNegatives == 0 {
+			return 1
+		}
+		return 0
+	}
+	return float64(r.TruePositives) / float64(den)
+}
+
+// Recall returns TP/(TP+FN); by convention 1 when nothing was relevant.
+func (r Retrieval) Recall() float64 {
+	den := r.TruePositives + r.FalseNegatives
+	if den == 0 {
+		return 1
+	}
+	return float64(r.TruePositives) / float64(den)
+}
+
+// FScore returns the harmonic mean of precision and recall (F1), 0 when
+// both are 0.
+func (r Retrieval) FScore() float64 {
+	p, rec := r.Precision(), r.Recall()
+	if p+rec == 0 {
+		return 0
+	}
+	return 2 * p * rec / (p + rec)
+}
+
+// Merge accumulates another evaluation's counts (micro-averaging).
+func (r *Retrieval) Merge(o Retrieval) {
+	r.TruePositives += o.TruePositives
+	r.FalsePositives += o.FalsePositives
+	r.FalseNegatives += o.FalseNegatives
+}
+
+// LatencyHist is a log-bucketed latency histogram in the HDR style: fixed
+// memory, ~4% relative bucket width, exact count and sum. The zero value is
+// ready to use. Not safe for concurrent use.
+type LatencyHist struct {
+	buckets [bucketCount]uint64
+	count   uint64
+	sum     time.Duration
+	max     time.Duration
+}
+
+// Bucket layout: bucket i covers [base·g^i, base·g^(i+1)) with base = 100 ns
+// and growth g = 2^(1/16) ≈ 1.044, spanning 100 ns .. ~53 s in 460 buckets.
+const (
+	bucketCount = 460
+	baseLatency = 100 * time.Nanosecond
+)
+
+var bucketGrowth = math.Pow(2, 1.0/16)
+
+func bucketOf(d time.Duration) int {
+	if d < baseLatency {
+		return 0
+	}
+	i := int(math.Log(float64(d)/float64(baseLatency)) / math.Log(bucketGrowth))
+	if i < 0 {
+		i = 0
+	}
+	if i >= bucketCount {
+		i = bucketCount - 1
+	}
+	return i
+}
+
+// bucketLower returns the lower bound of bucket i.
+func bucketLower(i int) time.Duration {
+	return time.Duration(float64(baseLatency) * math.Pow(bucketGrowth, float64(i)))
+}
+
+// Observe records one latency sample. Negative durations are clamped to 0.
+func (h *LatencyHist) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.buckets[bucketOf(d)]++
+	h.count++
+	h.sum += d
+	if d > h.max {
+		h.max = d
+	}
+}
+
+// Count returns the number of samples.
+func (h *LatencyHist) Count() uint64 { return h.count }
+
+// Mean returns the exact mean latency (0 with no samples).
+func (h *LatencyHist) Mean() time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / time.Duration(h.count)
+}
+
+// Max returns the exact maximum observed latency.
+func (h *LatencyHist) Max() time.Duration { return h.max }
+
+// Quantile returns the latency at quantile q ∈ [0, 1], accurate to the
+// bucket width (~4%). Returns 0 with no samples.
+func (h *LatencyHist) Quantile(q float64) time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := uint64(q * float64(h.count-1))
+	var cum uint64
+	for i, c := range h.buckets {
+		cum += c
+		if cum > target {
+			return bucketLower(i)
+		}
+	}
+	return h.max
+}
+
+// String summarizes the histogram as "n=… mean=… p50=… p99=… max=…".
+func (h *LatencyHist) String() string {
+	return fmt.Sprintf("n=%d mean=%v p50=%v p95=%v p99=%v max=%v",
+		h.count, h.Mean(), h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99), h.max)
+}
+
+// Merge accumulates another histogram's samples.
+func (h *LatencyHist) Merge(o *LatencyHist) {
+	for i := range h.buckets {
+		h.buckets[i] += o.buckets[i]
+	}
+	h.count += o.count
+	h.sum += o.sum
+	if o.max > h.max {
+		h.max = o.max
+	}
+}
+
+// Throughput measures events per second over a measured interval.
+type Throughput struct {
+	Events  uint64
+	Elapsed time.Duration
+}
+
+// PerSecond returns events per second (0 for a zero interval).
+func (t Throughput) PerSecond() float64 {
+	if t.Elapsed <= 0 {
+		return 0
+	}
+	return float64(t.Events) / t.Elapsed.Seconds()
+}
+
+// String renders like "12345.6 ev/s (n=100000 in 8.1s)".
+func (t Throughput) String() string {
+	return fmt.Sprintf("%.1f ev/s (n=%d in %v)", t.PerSecond(), t.Events, t.Elapsed.Round(time.Millisecond))
+}
+
+// Series is a labeled (x, y) sequence used by the experiment harness to
+// print figure data as aligned text tables.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Point is one (x, y) sample of a series.
+type Point struct {
+	X float64
+	Y float64
+}
+
+// Add appends a point.
+func (s *Series) Add(x, y float64) {
+	s.Points = append(s.Points, Point{X: x, Y: y})
+}
+
+// Table renders multiple series sharing the same X values as an aligned
+// text table with one row per X and one column per series — the harness's
+// "figure" output format.
+func Table(xLabel string, series ...Series) string {
+	xs := map[float64]bool{}
+	for _, s := range series {
+		for _, p := range s.Points {
+			xs[p.X] = true
+		}
+	}
+	sorted := make([]float64, 0, len(xs))
+	for x := range xs {
+		sorted = append(sorted, x)
+	}
+	sort.Float64s(sorted)
+
+	out := fmt.Sprintf("%-14s", xLabel)
+	for _, s := range series {
+		out += fmt.Sprintf("%18s", s.Name)
+	}
+	out += "\n"
+	for _, x := range sorted {
+		out += fmt.Sprintf("%-14.4g", x)
+		for _, s := range series {
+			y, ok := lookupX(s, x)
+			if ok {
+				out += fmt.Sprintf("%18.4f", y)
+			} else {
+				out += fmt.Sprintf("%18s", "-")
+			}
+		}
+		out += "\n"
+	}
+	return out
+}
+
+func lookupX(s Series, x float64) (float64, bool) {
+	for _, p := range s.Points {
+		if p.X == x {
+			return p.Y, true
+		}
+	}
+	return 0, false
+}

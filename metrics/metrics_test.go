@@ -1,0 +1,163 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEvaluateSets(t *testing.T) {
+	r := EvaluateSets([]string{"a", "b", "c"}, []string{"b", "c", "d"})
+	if r.TruePositives != 2 || r.FalsePositives != 1 || r.FalseNegatives != 1 {
+		t.Fatalf("Retrieval = %+v", r)
+	}
+	if math.Abs(r.Precision()-2.0/3) > 1e-12 {
+		t.Fatalf("Precision = %v", r.Precision())
+	}
+	if math.Abs(r.Recall()-2.0/3) > 1e-12 {
+		t.Fatalf("Recall = %v", r.Recall())
+	}
+	if math.Abs(r.FScore()-2.0/3) > 1e-12 {
+		t.Fatalf("FScore = %v", r.FScore())
+	}
+}
+
+func TestEvaluateSetsEdgeCases(t *testing.T) {
+	// Both empty: perfect by convention.
+	r := EvaluateSets[string](nil, nil)
+	if r.Precision() != 1 || r.Recall() != 1 {
+		t.Fatalf("empty/empty: %+v p=%v r=%v", r, r.Precision(), r.Recall())
+	}
+	// Nothing retrieved, something relevant.
+	r = EvaluateSets(nil, []string{"a"})
+	if r.Precision() != 0 || r.Recall() != 0 || r.FScore() != 0 {
+		t.Fatalf("miss-all: p=%v r=%v f=%v", r.Precision(), r.Recall(), r.FScore())
+	}
+	// Retrieved junk, nothing relevant.
+	r = EvaluateSets([]string{"a"}, nil)
+	if r.Precision() != 0 || r.Recall() != 1 {
+		t.Fatalf("junk: p=%v r=%v", r.Precision(), r.Recall())
+	}
+	// Duplicates in retrieved count once.
+	r = EvaluateSets([]string{"a", "a", "b"}, []string{"a"})
+	if r.TruePositives != 1 || r.FalsePositives != 1 {
+		t.Fatalf("dup handling: %+v", r)
+	}
+}
+
+func TestRetrievalMerge(t *testing.T) {
+	a := Retrieval{1, 2, 3}
+	a.Merge(Retrieval{10, 20, 30})
+	if a != (Retrieval{11, 22, 33}) {
+		t.Fatalf("Merge = %+v", a)
+	}
+}
+
+func TestFScoreBoundsProperty(t *testing.T) {
+	f := func(tp, fp, fn uint8) bool {
+		r := Retrieval{int(tp), int(fp), int(fn)}
+		f1 := r.FScore()
+		if f1 < 0 || f1 > 1 {
+			return false
+		}
+		// F1 is between min and max of precision and recall.
+		p, rec := r.Precision(), r.Recall()
+		lo, hi := math.Min(p, rec), math.Max(p, rec)
+		return f1 >= lo-1e-12 && f1 <= hi+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLatencyHistBasics(t *testing.T) {
+	var h LatencyHist
+	if h.Count() != 0 || h.Mean() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("zero hist not zero")
+	}
+	h.Observe(time.Millisecond)
+	h.Observe(2 * time.Millisecond)
+	h.Observe(-time.Second) // clamps to 0
+	if h.Count() != 3 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	if h.Max() != 2*time.Millisecond {
+		t.Fatalf("Max = %v", h.Max())
+	}
+	if !strings.Contains(h.String(), "n=3") {
+		t.Fatalf("String = %q", h.String())
+	}
+}
+
+func TestLatencyHistQuantileAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	var h LatencyHist
+	var samples []time.Duration
+	for i := 0; i < 20000; i++ {
+		// log-uniform between 1µs and 100ms
+		exp := rng.Float64() * 5
+		d := time.Duration(float64(time.Microsecond) * math.Pow(10, exp))
+		h.Observe(d)
+		samples = append(samples, d)
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		exact := samples[int(q*float64(len(samples)-1))]
+		got := h.Quantile(q)
+		ratio := float64(got) / float64(exact)
+		if ratio < 0.90 || ratio > 1.10 {
+			t.Fatalf("q=%v: hist %v vs exact %v (ratio %.3f)", q, got, exact, ratio)
+		}
+	}
+	// Quantile clamping.
+	if h.Quantile(-1) > h.Quantile(0) || h.Quantile(2) < h.Quantile(1) {
+		t.Fatal("quantile clamping broken")
+	}
+}
+
+func TestLatencyHistMerge(t *testing.T) {
+	var a, b LatencyHist
+	a.Observe(time.Millisecond)
+	b.Observe(10 * time.Millisecond)
+	a.Merge(&b)
+	if a.Count() != 2 || a.Max() != 10*time.Millisecond {
+		t.Fatalf("after merge: %v", a.String())
+	}
+}
+
+func TestThroughput(t *testing.T) {
+	tp := Throughput{Events: 1000, Elapsed: 2 * time.Second}
+	if tp.PerSecond() != 500 {
+		t.Fatalf("PerSecond = %v", tp.PerSecond())
+	}
+	if (Throughput{Events: 5}).PerSecond() != 0 {
+		t.Fatal("zero elapsed should be 0")
+	}
+	if !strings.Contains(tp.String(), "500.0 ev/s") {
+		t.Fatalf("String = %q", tp.String())
+	}
+}
+
+func TestSeriesTable(t *testing.T) {
+	a := Series{Name: "CAP"}
+	a.Add(1, 100)
+	a.Add(2, 200)
+	b := Series{Name: "RS"}
+	b.Add(1, 10)
+	// b has no point at x=2: rendered as "-".
+	out := Table("ads", a, b)
+	if !strings.Contains(out, "CAP") || !strings.Contains(out, "RS") {
+		t.Fatalf("missing headers:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("table rows = %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[2], "-") {
+		t.Fatalf("missing gap marker:\n%s", out)
+	}
+}

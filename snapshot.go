@@ -1,0 +1,242 @@
+package caar
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"caar/internal/adstore"
+	"caar/internal/feed"
+	"caar/internal/geo"
+	"caar/internal/textproc"
+	"caar/internal/timeslot"
+)
+
+// Snapshot persistence serializes the engine's durable state — users, the
+// follower graph, campaigns (including spend), ads (exact keyword vectors),
+// and the text pipeline's vocabulary statistics — as versioned JSON.
+//
+// Feed windows and candidate buffers are deliberately NOT persisted: they
+// hold ephemeral context that decays within hours and rebuilds from the live
+// stream within one window of traffic. A restored engine therefore returns
+// bid/geo-ranked recommendations until fresh posts arrive, exactly like an
+// engine after a quiet period.
+
+// snapshotVersion is bumped on breaking format changes.
+const snapshotVersion = 1
+
+type snapshotFile struct {
+	Version   int                `json:"version"`
+	Algorithm Algorithm          `json:"algorithm"`
+	Vocab     snapshotVocab      `json:"vocab"`
+	Users     []string           `json:"users"` // handles in internal-ID order
+	Edges     [][2]uint32        `json:"edges"` // (follower, followee) internal IDs
+	Campaigns []snapshotCampaign `json:"campaigns"`
+	Ads       []snapshotAd       `json:"ads"`
+}
+
+type snapshotVocab struct {
+	Terms []string `json:"terms"`
+	DF    []int    `json:"df"`
+	Docs  int      `json:"docs"`
+}
+
+type snapshotCampaign struct {
+	Name   string    `json:"name"`
+	Budget float64   `json:"budget"`
+	Start  time.Time `json:"start"`
+	End    time.Time `json:"end"`
+	Spent  float64   `json:"spent"`
+}
+
+type snapshotAd struct {
+	ID       string             `json:"id"` // external name
+	Campaign string             `json:"campaign,omitempty"`
+	Bid      float64            `json:"bid"`
+	Global   bool               `json:"global"`
+	Lat      float64            `json:"lat,omitempty"`
+	Lng      float64            `json:"lng,omitempty"`
+	RadiusKm float64            `json:"radius_km,omitempty"`
+	Slots    []string           `json:"slots"`
+	Terms    map[string]float64 `json:"terms"` // term string → weight (exact vector)
+}
+
+// Snapshot writes the engine's durable state to w. Concurrent mutations are
+// excluded for the duration of the write.
+func (e *Engine) Snapshot(w io.Writer) error {
+	// Quiesce: take every shard lock plus the facade lock so the state is a
+	// consistent cut.
+	for _, sh := range e.shards {
+		sh.mu.Lock()
+		defer sh.mu.Unlock()
+	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+
+	sf := snapshotFile{Version: snapshotVersion, Algorithm: e.Algorithm()}
+	sf.Vocab.Terms, sf.Vocab.DF, sf.Vocab.Docs = e.pipeline.Vocab.Snapshot()
+	sf.Users = append([]string(nil), e.names...)
+
+	for id := range e.names {
+		poster := feed.UserID(id)
+		for _, follower := range e.graph.Followers(poster) {
+			sf.Edges = append(sf.Edges, [2]uint32{uint32(follower), uint32(poster)})
+		}
+	}
+
+	e.store.ForEachCampaign(func(c *adstore.Campaign) {
+		sf.Campaigns = append(sf.Campaigns, snapshotCampaign{
+			Name: c.Name, Budget: c.Budget, Start: c.Start, End: c.End, Spent: c.Spent(),
+		})
+	})
+
+	var adErr error
+	e.store.ForEach(func(a *adstore.Ad) {
+		name, ok := e.adNames[a.ID]
+		if !ok {
+			return
+		}
+		sa := snapshotAd{
+			ID:       name,
+			Campaign: a.Campaign,
+			Bid:      a.Bid,
+			Global:   a.Global,
+			Terms:    make(map[string]float64, len(a.Vec)),
+		}
+		if !a.Global {
+			sa.Lat, sa.Lng, sa.RadiusKm = a.Target.Center.Lat, a.Target.Center.Lng, a.Target.RadiusKm
+		}
+		for _, sl := range a.Slots.Slots() {
+			sa.Slots = append(sa.Slots, sl.String())
+		}
+		for termID, weight := range a.Vec {
+			term := e.pipeline.Vocab.Term(termID)
+			if term == "" {
+				adErr = fmt.Errorf("caar: snapshot: ad %q references unknown term %d", name, termID)
+				return
+			}
+			sa.Terms[term] = weight
+		}
+		sf.Ads = append(sf.Ads, sa)
+	})
+	if adErr != nil {
+		return adErr
+	}
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(sf); err != nil {
+		return fmt.Errorf("caar: snapshot encode: %w", err)
+	}
+	return nil
+}
+
+// Restore opens a fresh engine from cfg and loads a snapshot into it. The
+// snapshot's algorithm is informational; cfg.Algorithm decides the engine
+// actually built (so a snapshot taken with CAP can be reopened with RS for
+// debugging).
+func Restore(cfg Config, r io.Reader) (*Engine, error) {
+	var sf snapshotFile
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&sf); err != nil {
+		return nil, fmt.Errorf("caar: snapshot decode: %w", err)
+	}
+	if sf.Version != snapshotVersion {
+		return nil, fmt.Errorf("caar: snapshot version %d not supported (want %d)", sf.Version, snapshotVersion)
+	}
+	e, err := Open(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := e.pipeline.Vocab.Restore(sf.Vocab.Terms, sf.Vocab.DF, sf.Vocab.Docs); err != nil {
+		return nil, err
+	}
+	for _, handle := range sf.Users {
+		if err := e.AddUser(handle); err != nil {
+			return nil, fmt.Errorf("caar: snapshot user %q: %w", handle, err)
+		}
+	}
+	for _, edge := range sf.Edges {
+		if int(edge[0]) >= len(sf.Users) || int(edge[1]) >= len(sf.Users) {
+			return nil, fmt.Errorf("caar: snapshot edge %v references unknown user", edge)
+		}
+		if err := e.graph.Follow(feed.UserID(edge[0]), feed.UserID(edge[1])); err != nil {
+			return nil, fmt.Errorf("caar: snapshot edge %v: %w", edge, err)
+		}
+	}
+	for _, sc := range sf.Campaigns {
+		c, err := adstore.NewCampaign(sc.Name, sc.Budget, sc.Start, sc.End)
+		if err != nil {
+			return nil, fmt.Errorf("caar: snapshot campaign %q: %w", sc.Name, err)
+		}
+		if err := c.SetSpent(sc.Spent); err != nil {
+			return nil, fmt.Errorf("caar: snapshot campaign %q: %w", sc.Name, err)
+		}
+		if err := e.store.AddCampaign(c); err != nil {
+			return nil, err
+		}
+	}
+	for _, sa := range sf.Ads {
+		if err := e.restoreAd(sa); err != nil {
+			return nil, fmt.Errorf("caar: snapshot ad %q: %w", sa.ID, err)
+		}
+	}
+	return e, nil
+}
+
+// restoreAd re-registers one ad from its snapshot record, bypassing the text
+// pipeline: the exact keyword vector is re-interned term by term.
+func (e *Engine) restoreAd(sa snapshotAd) error {
+	internal := &adstore.Ad{
+		Campaign: sa.Campaign,
+		Bid:      sa.Bid,
+		Global:   sa.Global,
+		Vec:      make(textproc.SparseVector, len(sa.Terms)),
+	}
+	for term, weight := range sa.Terms {
+		internal.Vec[e.pipeline.Vocab.Intern(term)] = weight
+	}
+	if !sa.Global {
+		internal.Target = geo.Circle{
+			Center:   geo.Point{Lat: sa.Lat, Lng: sa.Lng},
+			RadiusKm: sa.RadiusKm,
+		}
+	}
+	for _, name := range sa.Slots {
+		sl, ok := Slot(name).internal()
+		if !ok {
+			return fmt.Errorf("unknown slot %q", name)
+		}
+		internal.Slots |= timeslot.NewSet(sl)
+	}
+	if len(sa.Slots) == 0 {
+		internal.Slots = timeslot.AllSlots
+	}
+
+	e.mu.Lock()
+	if _, dup := e.adIDs[sa.ID]; dup {
+		e.mu.Unlock()
+		return fmt.Errorf("%w: duplicate in snapshot", ErrDuplicate)
+	}
+	internal.ID = e.nextAd
+	e.nextAd++
+	e.adIDs[sa.ID] = internal.ID
+	e.adNames[internal.ID] = sa.ID
+	e.mu.Unlock()
+
+	if err := internal.Validate(); err != nil {
+		e.unmapAd(sa.ID, internal.ID)
+		return err
+	}
+	if err := e.store.Add(internal); err != nil {
+		e.unmapAd(sa.ID, internal.ID)
+		return err
+	}
+	for _, sh := range e.shards {
+		sh.mu.Lock()
+		sh.eng.RegisterAd(internal)
+		sh.mu.Unlock()
+	}
+	return nil
+}

@@ -1,0 +1,90 @@
+package caar
+
+import (
+	"fmt"
+	"sync"
+
+	"caar/internal/sketch"
+	"caar/internal/textproc"
+	"caar/internal/timeslot"
+)
+
+// Trending: per-slot streaming term frequencies over the post stream,
+// tracked with a count-min sketch + heavy-hitters candidate set (bounded
+// memory regardless of vocabulary size). Ad-ops uses this to steer keyword
+// targeting: "what are people talking about on weekday afternoons?"
+
+// TrendingTerm is one trending-term result.
+type TrendingTerm struct {
+	Term  string `json:"term"`
+	Count uint64 `json:"count"` // sketch estimate; never under-counts
+}
+
+// trendTracker holds one heavy-hitters tracker per time slot.
+type trendTracker struct {
+	mu    sync.Mutex
+	slots [timeslot.NumSlots]*sketch.HeavyHitters
+}
+
+// trendCapacity is how many top terms each slot retains (requests for
+// larger k are clamped).
+const trendCapacity = 50
+
+func newTrendTracker() *trendTracker {
+	t := &trendTracker{}
+	for i := range t.slots {
+		hh, err := sketch.NewHeavyHitters(trendCapacity, 0.001, 0.01)
+		if err != nil {
+			panic("caar: trend tracker sizing: " + err.Error())
+		}
+		t.slots[i] = hh
+	}
+	return t
+}
+
+// observe records one post's distinct terms under its slot.
+func (t *trendTracker) observe(sl timeslot.Slot, vec textproc.SparseVector) {
+	if len(vec) == 0 {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	hh := t.slots[sl]
+	for term := range vec {
+		hh.Offer(uint64(term), 1)
+	}
+}
+
+// top returns the top-k term IDs of a slot.
+func (t *trendTracker) top(sl timeslot.Slot, k int) []sketch.Counted {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := t.slots[sl].TopK()
+	if k < len(out) {
+		out = out[:k]
+	}
+	return out
+}
+
+// Trending returns up to k terms most frequent in posts made during the
+// given slot, most frequent first. Counts are sketch estimates (one-sided:
+// never below the true count). k is clamped to the tracker capacity.
+func (e *Engine) Trending(slot Slot, k int) ([]TrendingTerm, error) {
+	sl, ok := slot.internal()
+	if !ok {
+		return nil, fmt.Errorf("%w: unknown slot %q", ErrBadConfig, slot)
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("%w: k=%d", ErrBadConfig, k)
+	}
+	counted := e.trends.top(sl, k)
+	out := make([]TrendingTerm, 0, len(counted))
+	for _, c := range counted {
+		term := e.pipeline.Vocab.Term(textproc.TermID(c.Key))
+		if term == "" {
+			continue
+		}
+		out = append(out, TrendingTerm{Term: term, Count: c.Count})
+	}
+	return out, nil
+}

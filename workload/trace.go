@@ -1,0 +1,315 @@
+package workload
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"caar/internal/adstore"
+	"caar/internal/feed"
+	"caar/internal/geo"
+	"caar/internal/textproc"
+	"caar/internal/timeslot"
+)
+
+// Trace serialization: a workload as JSON lines (users, follow edges, ads,
+// timestamped events), so generated benchmarks can be saved, inspected with
+// standard tools, and replayed across processes. cmd/adgen writes this
+// format; LoadTrace reads it back into a replayable Workload.
+
+// TraceRecord is the JSONL envelope: exactly one payload field is set,
+// discriminated by Type.
+type TraceRecord struct {
+	Type  string            `json:"type"` // "meta", "user", "edge", "ad", "event"
+	Meta  *TraceMeta        `json:"meta,omitempty"`
+	User  *TraceUser        `json:"user,omitempty"`
+	Edge  *TraceEdge        `json:"edge,omitempty"`
+	Ad    *TraceAd          `json:"ad,omitempty"`
+	Event *TraceEventRecord `json:"event,omitempty"`
+}
+
+// TraceMeta carries the workload-level parameters a replayer needs.
+type TraceMeta struct {
+	Seed      int64        `json:"seed"`
+	Topics    int          `json:"topics"`
+	Region    [4]float64   `json:"region"` // minLat, minLng, maxLat, maxLng
+	Districts [][2]float64 `json:"districts"`
+	Start     time.Time    `json:"start"`
+}
+
+// TraceUser is one user profile row.
+type TraceUser struct {
+	ID        uint32  `json:"id"`
+	Interests []int   `json:"interests"`
+	Lat       float64 `json:"lat"`
+	Lng       float64 `json:"lng"`
+	District  int     `json:"district"`
+	Activity  float64 `json:"activity"`
+}
+
+// TraceEdge is one follow edge (follower receives followee's posts).
+type TraceEdge struct {
+	Follower uint32 `json:"follower"`
+	Followee uint32 `json:"followee"`
+}
+
+// TraceAd is one advertisement row.
+type TraceAd struct {
+	ID       int64              `json:"id"`
+	Topic    int                `json:"topic"`
+	Bid      float64            `json:"bid"`
+	Global   bool               `json:"global"`
+	Lat      float64            `json:"lat,omitempty"`
+	Lng      float64            `json:"lng,omitempty"`
+	RadiusKm float64            `json:"radius_km,omitempty"`
+	Slots    []string           `json:"slots,omitempty"`
+	Terms    map[uint32]float64 `json:"terms"`
+}
+
+// TraceEventRecord is one stream event row.
+type TraceEventRecord struct {
+	Kind  string             `json:"kind"` // "post" or "checkin"
+	At    time.Time          `json:"at"`
+	User  uint32             `json:"user"`
+	MsgID int64              `json:"msg_id,omitempty"`
+	Topic int                `json:"topic,omitempty"`
+	Terms map[uint32]float64 `json:"terms,omitempty"`
+	Lat   float64            `json:"lat,omitempty"`
+	Lng   float64            `json:"lng,omitempty"`
+}
+
+// ExportTrace writes the workload as JSON lines: one meta row, then users,
+// edges, ads, and events in stream order.
+func (w *Workload) ExportTrace(out io.Writer) error {
+	bw := bufio.NewWriter(out)
+	enc := json.NewEncoder(bw)
+	emit := func(rec TraceRecord) error {
+		return enc.Encode(rec)
+	}
+
+	meta := TraceMeta{
+		Seed:   w.Cfg.Seed,
+		Topics: w.Cfg.Topics,
+		Region: [4]float64{w.Cfg.Region.MinLat, w.Cfg.Region.MinLng, w.Cfg.Region.MaxLat, w.Cfg.Region.MaxLng},
+		Start:  w.Cfg.Start,
+	}
+	for _, d := range w.DistrictCenters {
+		meta.Districts = append(meta.Districts, [2]float64{d.Lat, d.Lng})
+	}
+	if err := emit(TraceRecord{Type: "meta", Meta: &meta}); err != nil {
+		return err
+	}
+
+	for _, u := range w.Users {
+		if err := emit(TraceRecord{Type: "user", User: &TraceUser{
+			ID: uint32(u.ID), Interests: u.Interests,
+			Lat: u.Home.Lat, Lng: u.Home.Lng, District: u.District, Activity: u.Activity,
+		}}); err != nil {
+			return err
+		}
+	}
+	for _, u := range w.Users {
+		for _, f := range w.Graph.Followers(u.ID) {
+			if err := emit(TraceRecord{Type: "edge", Edge: &TraceEdge{
+				Follower: uint32(f), Followee: uint32(u.ID),
+			}}); err != nil {
+				return err
+			}
+		}
+	}
+	for _, a := range w.Ads {
+		rec := TraceAd{
+			ID: int64(a.ID), Topic: w.AdTopic[a.ID], Bid: a.Bid, Global: a.Global,
+			Terms: vecToMap(a.Vec),
+		}
+		if !a.Global {
+			rec.Lat, rec.Lng, rec.RadiusKm = a.Target.Center.Lat, a.Target.Center.Lng, a.Target.RadiusKm
+		}
+		for _, sl := range a.Slots.Slots() {
+			rec.Slots = append(rec.Slots, sl.String())
+		}
+		if err := emit(TraceRecord{Type: "ad", Ad: &rec}); err != nil {
+			return err
+		}
+	}
+	for _, ev := range w.Events {
+		var rec TraceEventRecord
+		switch ev.Kind {
+		case EventPost:
+			rec = TraceEventRecord{
+				Kind: "post", At: ev.Time, User: uint32(ev.User),
+				MsgID: int64(ev.Msg.ID), Topic: ev.Topic, Terms: vecToMap(ev.Msg.Vec),
+			}
+		case EventCheckIn:
+			rec = TraceEventRecord{
+				Kind: "checkin", At: ev.Time, User: uint32(ev.User),
+				Lat: ev.Loc.Lat, Lng: ev.Loc.Lng,
+			}
+		}
+		if err := emit(TraceRecord{Type: "event", Event: &rec}); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+func vecToMap(v textproc.SparseVector) map[uint32]float64 {
+	out := make(map[uint32]float64, len(v))
+	for term, wgt := range v {
+		out[uint32(term)] = wgt
+	}
+	return out
+}
+
+func mapToVec(m map[uint32]float64) textproc.SparseVector {
+	out := make(textproc.SparseVector, len(m))
+	for term, wgt := range m {
+		out[textproc.TermID(term)] = wgt
+	}
+	return out
+}
+
+// LoadTrace reads a JSONL trace back into a Workload. The resulting
+// workload replays identically through the experiment driver and supports
+// the oracle (interests and ad topics are preserved).
+func LoadTrace(in io.Reader) (*Workload, error) {
+	w := &Workload{
+		Graph:   feed.NewGraph(),
+		AdTopic: make(map[adstore.AdID]int),
+	}
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	line := 0
+	sawMeta := false
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var rec TraceRecord
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			return nil, fmt.Errorf("workload: trace line %d: %w", line, err)
+		}
+		switch rec.Type {
+		case "meta":
+			if rec.Meta == nil {
+				return nil, fmt.Errorf("workload: trace line %d: meta without payload", line)
+			}
+			sawMeta = true
+			w.Cfg.Seed = rec.Meta.Seed
+			w.Cfg.Topics = rec.Meta.Topics
+			w.Cfg.Region = geo.Rect{
+				MinLat: rec.Meta.Region[0], MinLng: rec.Meta.Region[1],
+				MaxLat: rec.Meta.Region[2], MaxLng: rec.Meta.Region[3],
+			}
+			w.Cfg.Start = rec.Meta.Start
+			for _, d := range rec.Meta.Districts {
+				w.DistrictCenters = append(w.DistrictCenters, geo.Point{Lat: d[0], Lng: d[1]})
+			}
+		case "user":
+			u := rec.User
+			if u == nil {
+				return nil, fmt.Errorf("workload: trace line %d: user without payload", line)
+			}
+			if int(u.ID) != len(w.Users) {
+				return nil, fmt.Errorf("workload: trace line %d: user IDs must be dense and ordered (got %d, want %d)",
+					line, u.ID, len(w.Users))
+			}
+			w.Users = append(w.Users, User{
+				ID:        feed.UserID(u.ID),
+				Interests: u.Interests,
+				Home:      geo.Point{Lat: u.Lat, Lng: u.Lng},
+				District:  u.District,
+				Activity:  u.Activity,
+			})
+			w.Graph.AddUser(feed.UserID(u.ID))
+		case "edge":
+			e := rec.Edge
+			if e == nil {
+				return nil, fmt.Errorf("workload: trace line %d: edge without payload", line)
+			}
+			if err := w.Graph.Follow(feed.UserID(e.Follower), feed.UserID(e.Followee)); err != nil {
+				return nil, fmt.Errorf("workload: trace line %d: %w", line, err)
+			}
+		case "ad":
+			a := rec.Ad
+			if a == nil {
+				return nil, fmt.Errorf("workload: trace line %d: ad without payload", line)
+			}
+			ad := &adstore.Ad{
+				ID:     adstore.AdID(a.ID),
+				Vec:    mapToVec(a.Terms),
+				Bid:    a.Bid,
+				Global: a.Global,
+			}
+			if !a.Global {
+				ad.Target = geo.Circle{Center: geo.Point{Lat: a.Lat, Lng: a.Lng}, RadiusKm: a.RadiusKm}
+			}
+			if len(a.Slots) == 0 {
+				ad.Slots = timeslot.AllSlots
+			} else {
+				for _, name := range a.Slots {
+					sl, ok := slotByName(name)
+					if !ok {
+						return nil, fmt.Errorf("workload: trace line %d: unknown slot %q", line, name)
+					}
+					ad.Slots |= timeslot.NewSet(sl)
+				}
+			}
+			if err := ad.Validate(); err != nil {
+				return nil, fmt.Errorf("workload: trace line %d: %w", line, err)
+			}
+			w.Ads = append(w.Ads, ad)
+			w.AdTopic[ad.ID] = a.Topic
+		case "event":
+			ev := rec.Event
+			if ev == nil {
+				return nil, fmt.Errorf("workload: trace line %d: event without payload", line)
+			}
+			switch ev.Kind {
+			case "post":
+				w.Events = append(w.Events, Event{
+					Kind: EventPost, Time: ev.At, User: feed.UserID(ev.User), Topic: ev.Topic,
+					Msg: feed.Message{
+						ID:     feed.MessageID(ev.MsgID),
+						Author: feed.UserID(ev.User),
+						Time:   ev.At,
+						Vec:    mapToVec(ev.Terms),
+					},
+				})
+			case "checkin":
+				w.Events = append(w.Events, Event{
+					Kind: EventCheckIn, Time: ev.At, User: feed.UserID(ev.User),
+					Loc: geo.Point{Lat: ev.Lat, Lng: ev.Lng}, Topic: -1,
+				})
+			default:
+				return nil, fmt.Errorf("workload: trace line %d: unknown event kind %q", line, ev.Kind)
+			}
+		default:
+			return nil, fmt.Errorf("workload: trace line %d: unknown record type %q", line, rec.Type)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("workload: trace read: %w", err)
+	}
+	if !sawMeta {
+		return nil, fmt.Errorf("workload: trace has no meta record")
+	}
+	return w, nil
+}
+
+func slotByName(name string) (timeslot.Slot, bool) {
+	switch name {
+	case "night":
+		return timeslot.Night, true
+	case "morning":
+		return timeslot.Morning, true
+	case "afternoon":
+		return timeslot.Afternoon, true
+	default:
+		return 0, false
+	}
+}

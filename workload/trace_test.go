@@ -1,0 +1,135 @@
+package workload
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestTraceRoundTrip(t *testing.T) {
+	orig, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := orig.ExportTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(loaded.Users) != len(orig.Users) {
+		t.Fatalf("users: %d vs %d", len(loaded.Users), len(orig.Users))
+	}
+	for i := range orig.Users {
+		a, b := orig.Users[i], loaded.Users[i]
+		if a.ID != b.ID || a.Home != b.Home || a.District != b.District ||
+			!reflect.DeepEqual(a.Interests, b.Interests) {
+			t.Fatalf("user %d mismatch: %+v vs %+v", i, a, b)
+		}
+	}
+	if loaded.Graph.Edges() != orig.Graph.Edges() {
+		t.Fatalf("edges: %d vs %d", loaded.Graph.Edges(), orig.Graph.Edges())
+	}
+	for _, u := range orig.Users {
+		var a []uint32
+		for _, f := range orig.Graph.Followers(u.ID) {
+			a = append(a, uint32(f))
+		}
+		var b []uint32
+		for _, f := range loaded.Graph.Followers(u.ID) {
+			b = append(b, uint32(f))
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("followers of %d differ", u.ID)
+		}
+	}
+	if len(loaded.Ads) != len(orig.Ads) {
+		t.Fatalf("ads: %d vs %d", len(loaded.Ads), len(orig.Ads))
+	}
+	for i := range orig.Ads {
+		a, b := orig.Ads[i], loaded.Ads[i]
+		if a.ID != b.ID || a.Bid != b.Bid || a.Global != b.Global ||
+			a.Slots != b.Slots || !reflect.DeepEqual(a.Vec, b.Vec) {
+			t.Fatalf("ad %d mismatch", a.ID)
+		}
+		if !a.Global && a.Target != b.Target {
+			t.Fatalf("ad %d target mismatch", a.ID)
+		}
+		if orig.AdTopic[a.ID] != loaded.AdTopic[b.ID] {
+			t.Fatalf("ad %d topic mismatch", a.ID)
+		}
+	}
+	if len(loaded.Events) != len(orig.Events) {
+		t.Fatalf("events: %d vs %d", len(loaded.Events), len(orig.Events))
+	}
+	for i := range orig.Events {
+		a, b := orig.Events[i], loaded.Events[i]
+		if a.Kind != b.Kind || a.User != b.User || !a.Time.Equal(b.Time) || a.Topic != b.Topic {
+			t.Fatalf("event %d mismatch: %+v vs %+v", i, a, b)
+		}
+		if a.Kind == EventPost {
+			if a.Msg.ID != b.Msg.ID || !reflect.DeepEqual(a.Msg.Vec, b.Msg.Vec) {
+				t.Fatalf("event %d message mismatch", i)
+			}
+		} else if a.Loc != b.Loc {
+			t.Fatalf("event %d location mismatch", i)
+		}
+	}
+	// The oracle works on loaded workloads.
+	o := NewOracle(loaded)
+	found := false
+	for _, a := range loaded.Ads {
+		for _, sl := range a.Slots.Slots() {
+			if len(o.InterestedUsers(a.ID, sl)) > 0 {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("oracle found no interested users on loaded workload")
+	}
+}
+
+func TestLoadTraceRejectsBadInput(t *testing.T) {
+	cases := map[string]string{
+		"no meta":        `{"type":"user","user":{"id":0,"interests":[0],"lat":1,"lng":1}}`,
+		"garbage":        `{nope`,
+		"unknown type":   `{"type":"meta","meta":{"seed":1,"topics":1,"region":[0,0,1,1],"start":"2026-07-06T05:00:00Z"}}` + "\n" + `{"type":"wat"}`,
+		"sparse user id": `{"type":"meta","meta":{"seed":1,"topics":1,"region":[0,0,1,1],"start":"2026-07-06T05:00:00Z"}}` + "\n" + `{"type":"user","user":{"id":5}}`,
+		"unknown slot":   `{"type":"meta","meta":{"seed":1,"topics":1,"region":[0,0,1,1],"start":"2026-07-06T05:00:00Z"}}` + "\n" + `{"type":"ad","ad":{"id":1,"bid":0.5,"global":true,"slots":["brunch"],"terms":{"1":1}}}`,
+		"bad event kind": `{"type":"meta","meta":{"seed":1,"topics":1,"region":[0,0,1,1],"start":"2026-07-06T05:00:00Z"}}` + "\n" + `{"type":"event","event":{"kind":"dance","at":"2026-07-06T05:00:00Z","user":0}}`,
+	}
+	for name, trace := range cases {
+		if _, err := LoadTrace(strings.NewReader(trace)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestLoadedTraceReplaysLikeOriginal(t *testing.T) {
+	orig, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := orig.ExportTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// CloneAds must work on loaded workloads (used by the experiment
+	// driver), and district centres must be preserved for the quality
+	// experiments.
+	if len(loaded.CloneAds()) != len(orig.Ads) {
+		t.Fatal("CloneAds on loaded workload failed")
+	}
+	if len(loaded.DistrictCenters) != len(orig.DistrictCenters) {
+		t.Fatal("district centres lost")
+	}
+}
