@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: all check vet build test race bench clean
+
+all: check
+
+# check is the full pre-merge gate: static analysis, compilation of every
+# package, and the test suite under the race detector.
+check: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...
+
+clean:
+	$(GO) clean ./...

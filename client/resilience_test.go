@@ -1,0 +1,220 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	caar "caar"
+	"caar/internal/faultinject"
+	"caar/internal/server"
+)
+
+func newResilServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	eng, err := caar.Open(caar.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.AddUser("alice"); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(server.New(eng).Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// TestRetryTransportError: an idempotent GET survives a transient
+// connection failure.
+func TestRetryTransportError(t *testing.T) {
+	ts := newResilServer(t)
+	ft := &faultinject.FlakyTransport{FailFirst: 2}
+	c, err := New(ts.URL,
+		WithHTTPClient(&http.Client{Transport: ft}),
+		WithRetry(RetryPolicy{MaxAttempts: 4, BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Recommend(context.Background(), "alice", 3, time.Now()); err != nil {
+		t.Fatalf("retries exhausted: %v", err)
+	}
+	if got := ft.Attempts(); got != 3 {
+		t.Fatalf("attempts = %d, want 3 (2 failures + 1 success)", got)
+	}
+}
+
+// TestNoRetryNonIdempotentOnTransportError: a POST that may have reached
+// the server is not blindly repeated.
+func TestNoRetryNonIdempotentOnTransportError(t *testing.T) {
+	ts := newResilServer(t)
+	ft := &faultinject.FlakyTransport{FailFirst: 1}
+	c, err := New(ts.URL,
+		WithHTTPClient(&http.Client{Transport: ft}),
+		WithRetry(RetryPolicy{MaxAttempts: 4, BaseDelay: time.Millisecond}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddUser(context.Background(), "bob"); err == nil {
+		t.Fatal("transport error on POST retried and succeeded")
+	}
+	if got := ft.Attempts(); got != 1 {
+		t.Fatalf("attempts = %d, want 1 (no retry)", got)
+	}
+}
+
+// TestRetryHonorsRetryAfter: a 429 with Retry-After delays the next
+// attempt by the server's hint, not the computed backoff. POSTs are
+// retried on 429 because admission control rejects before any work.
+func TestRetryHonorsRetryAfter(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "7")
+			w.WriteHeader(http.StatusTooManyRequests)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	}))
+	defer srv.Close()
+
+	c, err := New(srv.URL, WithRetry(RetryPolicy{MaxAttempts: 4, BaseDelay: time.Millisecond}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var slept []time.Duration
+	c.sleep = func(ctx context.Context, d time.Duration) error {
+		slept = append(slept, d)
+		return nil
+	}
+	if err := c.AddUser(context.Background(), "bob"); err != nil {
+		t.Fatalf("retry after 429 failed: %v", err)
+	}
+	if len(slept) != 2 {
+		t.Fatalf("slept %d times, want 2", len(slept))
+	}
+	for i, d := range slept {
+		if d != 7*time.Second {
+			t.Fatalf("sleep %d = %v, want 7s from Retry-After", i, d)
+		}
+	}
+}
+
+// TestRetryGivesUp returns the last error once attempts are exhausted.
+func TestRetryGivesUp(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer srv.Close()
+	c, err := New(srv.URL, WithRetry(RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Stats(context.Background())
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("err = %v, want APIError 503", err)
+	}
+}
+
+// TestCircuitBreakerFailsFast: after the threshold of transport failures,
+// calls short-circuit without touching the network; after the cooldown a
+// probe is admitted and a healthy server closes the circuit.
+func TestCircuitBreakerFailsFast(t *testing.T) {
+	dt := &faultinject.DownTransport{}
+	c, err := New("http://127.0.0.1:0",
+		WithHTTPClient(&http.Client{Transport: dt}),
+		WithCircuitBreaker(BreakerPolicy{FailureThreshold: 2, Cooldown: time.Minute}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock := time.Date(2026, 7, 6, 9, 0, 0, 0, time.UTC)
+	c.breaker.now = func() time.Time { return clock }
+
+	ctx := context.Background()
+	for i := range 2 {
+		if _, err := c.Stats(ctx); err == nil {
+			t.Fatalf("call %d should fail", i)
+		}
+	}
+	if dt.Attempts() != 2 {
+		t.Fatalf("network attempts = %d, want 2", dt.Attempts())
+	}
+
+	// Circuit open: no network traffic, immediate error.
+	_, err = c.Stats(ctx)
+	if !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("err = %v, want ErrCircuitOpen", err)
+	}
+	if dt.Attempts() != 2 {
+		t.Fatalf("open circuit still hit the network: %d attempts", dt.Attempts())
+	}
+
+	// After the cooldown, one probe goes out (and fails: server still down).
+	clock = clock.Add(2 * time.Minute)
+	if _, err := c.Stats(ctx); errors.Is(err, ErrCircuitOpen) {
+		t.Fatal("probe not admitted after cooldown")
+	}
+	if dt.Attempts() != 3 {
+		t.Fatalf("attempts = %d, want 3 (one probe)", dt.Attempts())
+	}
+	// And the failed probe re-opened the circuit.
+	if _, err := c.Stats(ctx); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("err = %v, want ErrCircuitOpen after failed probe", err)
+	}
+}
+
+// TestCircuitBreakerRecovers: once the server is reachable again, the
+// half-open probe succeeds and the circuit closes fully.
+func TestCircuitBreakerRecovers(t *testing.T) {
+	ts := newResilServer(t)
+	ft := &faultinject.FlakyTransport{FailFirst: 2}
+	c, err := New(ts.URL,
+		WithHTTPClient(&http.Client{Transport: ft}),
+		WithCircuitBreaker(BreakerPolicy{FailureThreshold: 2, Cooldown: time.Minute}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock := time.Date(2026, 7, 6, 9, 0, 0, 0, time.UTC)
+	c.breaker.now = func() time.Time { return clock }
+
+	ctx := context.Background()
+	for range 2 {
+		c.Stats(ctx) // trip the breaker
+	}
+	if _, err := c.Stats(ctx); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("breaker not open: %v", err)
+	}
+
+	clock = clock.Add(2 * time.Minute)
+	if _, err := c.Stats(ctx); err != nil {
+		t.Fatalf("probe against healthy server failed: %v", err)
+	}
+	// Closed again: subsequent calls flow normally.
+	if _, err := c.Stats(ctx); err != nil {
+		t.Fatalf("circuit did not close: %v", err)
+	}
+}
+
+// TestBackoffJitterBounded: computed delays stay within [0, MaxDelay] and
+// never exceed the Retry-After cap.
+func TestBackoffJitterBounded(t *testing.T) {
+	c, err := New("http://localhost:1",
+		WithRetry(RetryPolicy{MaxAttempts: 5, BaseDelay: 10 * time.Millisecond, MaxDelay: 80 * time.Millisecond}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for attempt := 1; attempt < 10; attempt++ {
+		d := c.backoff(attempt, errors.New("transport"))
+		if d < 0 || d > 80*time.Millisecond {
+			t.Fatalf("attempt %d: backoff %v out of bounds", attempt, d)
+		}
+	}
+	huge := &APIError{StatusCode: 429, RetryAfter: 10 * time.Minute}
+	if d := c.backoff(1, huge); d != retryAfterCap {
+		t.Fatalf("uncapped Retry-After: %v", d)
+	}
+}

@@ -7,15 +7,25 @@
 //
 // The service starts empty; load users, follows, ads and campaigns through
 // the API. Optionally -demo preloads a small demo dataset.
+//
+// Durability: -snapshot restores engine state from an atomic snapshot at
+// startup and writes a fresh one on shutdown; -journal recovers the event
+// log (truncating a torn tail left by a crash) and appends every mutation
+// at runtime with the fsync policy chosen by -fsync. On SIGINT/SIGTERM the
+// server drains in-flight requests, flushes the journal, and writes the
+// final snapshot before exiting.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
-	"io"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	caar "caar"
@@ -24,14 +34,32 @@ import (
 )
 
 func main() {
+	if err := run(); err != nil {
+		log.Fatalf("adserver: %v", err)
+	}
+}
+
+func run() error {
 	addr := flag.String("addr", ":8080", "listen address")
 	algorithm := flag.String("algorithm", "CAP", "engine: CAP, IL or RS")
 	shards := flag.Int("shards", 1, "user shards processed in parallel")
 	windowSize := flag.Int("window", 32, "feed window size in messages")
 	halfLife := flag.Duration("half-life", 2*time.Hour, "feed content decay half-life (0 = none)")
-	journalPath := flag.String("journal", "", "append-only event log; replayed at startup, appended at runtime")
+	journalPath := flag.String("journal", "", "append-only event log; recovered at startup, appended at runtime")
+	fsync := flag.String("fsync", "always", "journal fsync policy: always, interval or never")
+	fsyncInterval := flag.Duration("fsync-interval", time.Second, "fsync at most once per interval (with -fsync interval)")
+	snapshotPath := flag.String("snapshot", "", "engine snapshot; loaded at startup, written atomically on shutdown")
+	maxInFlight := flag.Int("max-inflight", 256, "max concurrent requests before shedding with 429 (0 = unlimited)")
+	requestTimeout := flag.Duration("request-timeout", 10*time.Second, "per-request handling deadline (0 = none)")
+	maxBody := flag.Int64("max-body", server.DefaultMaxBodyBytes, "max request body bytes (-1 = unlimited)")
+	shutdownGrace := flag.Duration("shutdown-grace", 15*time.Second, "time to drain in-flight requests on SIGINT/SIGTERM")
 	demo := flag.Bool("demo", false, "preload a small demo dataset")
 	flag.Parse()
+
+	policy, err := journal.ParseSyncPolicy(*fsync)
+	if err != nil {
+		return err
+	}
 
 	cfg := caar.DefaultConfig()
 	cfg.Algorithm = caar.Algorithm(*algorithm)
@@ -39,54 +67,127 @@ func main() {
 	cfg.WindowSize = *windowSize
 	cfg.DecayHalfLife = *halfLife
 
-	eng, err := caar.Open(cfg)
-	if err != nil {
-		log.Fatalf("adserver: %v", err)
+	// Restore durable state: snapshot first (compact), then journal replay
+	// on top (recent events, including any written after the snapshot).
+	var eng *caar.Engine
+	if *snapshotPath != "" && caar.SnapshotExists(*snapshotPath) {
+		var loaded string
+		eng, loaded, err = caar.LoadSnapshot(cfg, *snapshotPath)
+		if err != nil {
+			return fmt.Errorf("snapshot: %w", err)
+		}
+		if loaded != *snapshotPath {
+			log.Printf("snapshot: primary %s failed verification, restored from fallback %s", *snapshotPath, loaded)
+		} else {
+			log.Printf("snapshot restored from %s", loaded)
+		}
+	} else {
+		eng, err = caar.Open(cfg)
+		if err != nil {
+			return err
+		}
 	}
 
 	var api server.API = eng
+	var jw *journal.Writer
 	if *journalPath != "" {
 		f, err := os.OpenFile(*journalPath, os.O_CREATE|os.O_RDWR, 0o644)
 		if err != nil {
-			log.Fatalf("adserver: journal: %v", err)
+			return fmt.Errorf("journal: %w", err)
 		}
-		stats, err := journal.Replay(f, eng)
+		defer f.Close()
+		stats, err := journal.Recover(f, eng)
 		if err != nil {
-			log.Fatalf("adserver: journal replay: %v", err)
+			return fmt.Errorf("journal recovery: %w", err)
 		}
-		log.Printf("journal replayed: %d applied, %d skipped, torn tail: %v",
-			stats.Applied, stats.Skipped, stats.Torn)
-		if _, err := f.Seek(0, io.SeekEnd); err != nil {
-			log.Fatalf("adserver: journal seek: %v", err)
+		log.Printf("journal recovered: %d applied, %d skipped (%d duplicate, %d unknown ref, %d invalid)",
+			stats.Applied, stats.Skipped, stats.SkippedDuplicate, stats.SkippedUnknownRef, stats.SkippedInvalid)
+		if stats.Torn {
+			log.Printf("journal: torn tail truncated, %d bytes discarded", stats.DiscardedBytes)
 		}
-		w := journal.NewWriter(f)
-		w.Sync = f.Sync
-		api = journal.NewLogged(eng, w)
+		for _, e := range stats.SkipErrors {
+			log.Printf("journal: skipped entry: %s", e)
+		}
+		jw = journal.NewFileWriter(f, policy, *fsyncInterval)
+		api = journal.NewLogged(eng, jw)
 	}
 
 	if *demo {
-		if err := loadDemo(eng); err != nil {
-			log.Fatalf("adserver: demo data: %v", err)
+		if err := loadDemo(api); err != nil {
+			return fmt.Errorf("demo data: %w", err)
 		}
 		log.Print("demo dataset loaded (users alice/bob/carol, ads shoes/cafe/vpn)")
 	}
 
-	log.Printf("adserver listening on %s (algorithm=%s shards=%d)", *addr, eng.Algorithm(), *shards)
-	if err := http.ListenAndServe(*addr, server.New(api).Handler()); err != nil {
-		log.Fatalf("adserver: %v", err)
+	srv := server.New(api,
+		server.WithMaxInFlight(*maxInFlight),
+		server.WithRequestTimeout(*requestTimeout),
+		server.WithMaxBodyBytes(*maxBody),
+	)
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
 	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("adserver listening on %s (algorithm=%s shards=%d fsync=%s)",
+			*addr, eng.Algorithm(), *shards, policy)
+		if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			errc <- err
+		}
+	}()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills the process immediately
+
+	// Graceful shutdown: drain in-flight requests, then make everything
+	// they changed durable.
+	log.Printf("shutting down: draining for up to %v", *shutdownGrace)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *shutdownGrace)
+	defer cancel()
+	if err := httpSrv.Shutdown(drainCtx); err != nil {
+		log.Printf("shutdown: drain incomplete: %v", err)
+	}
+	if jw != nil {
+		if err := jw.Close(); err != nil {
+			return fmt.Errorf("journal flush on shutdown: %w", err)
+		}
+		log.Print("journal flushed")
+	}
+	if *snapshotPath != "" {
+		if err := eng.SaveSnapshot(*snapshotPath); err != nil {
+			return fmt.Errorf("final snapshot: %w", err)
+		}
+		log.Printf("snapshot written to %s", *snapshotPath)
+	}
+	log.Print("adserver stopped")
+	return nil
 }
 
-func loadDemo(eng *caar.Engine) error {
+// loadDemo seeds through the API (not the raw engine) so the demo data is
+// journaled like any other mutation.
+func loadDemo(api server.API) error {
 	now := time.Now()
 	for _, u := range []string{"alice", "bob", "carol"} {
-		if err := eng.AddUser(u); err != nil {
+		if err := api.AddUser(u); err != nil {
 			return err
 		}
 	}
 	follows := [][2]string{{"alice", "bob"}, {"carol", "bob"}, {"bob", "alice"}}
 	for _, f := range follows {
-		if err := eng.Follow(f[0], f[1]); err != nil {
+		if err := api.Follow(f[0], f[1]); err != nil {
 			return err
 		}
 	}
@@ -97,11 +198,11 @@ func loadDemo(eng *caar.Engine) error {
 		{ID: "vpn", Text: "secure fast vpn service", Bid: 0.6},
 	}
 	for _, a := range ads {
-		if err := eng.AddAd(a); err != nil {
+		if err := api.AddAd(a); err != nil {
 			return err
 		}
 	}
-	if err := eng.CheckIn("alice", 1.5, 1.5, now); err != nil {
+	if err := api.CheckIn("alice", 1.5, 1.5, now); err != nil {
 		return err
 	}
 	posts := []struct{ author, text string }{
@@ -110,7 +211,7 @@ func loadDemo(eng *caar.Engine) error {
 		{"bob", "coffee and pastries with the running club"},
 	}
 	for _, p := range posts {
-		if err := eng.Post(p.author, p.text, now); err != nil {
+		if err := api.Post(p.author, p.text, now); err != nil {
 			return err
 		}
 	}

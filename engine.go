@@ -49,9 +49,10 @@ type shard struct {
 
 // Common errors returned by Engine methods.
 var (
-	ErrUnknownUser = errors.New("caar: unknown user")
-	ErrUnknownAd   = errors.New("caar: unknown ad")
-	ErrDuplicate   = errors.New("caar: duplicate identifier")
+	ErrUnknownUser     = errors.New("caar: unknown user")
+	ErrUnknownAd       = errors.New("caar: unknown ad")
+	ErrUnknownCampaign = errors.New("caar: unknown campaign")
+	ErrDuplicate       = errors.New("caar: duplicate identifier")
 )
 
 // Open creates an engine from a configuration.
@@ -186,7 +187,13 @@ func (e *Engine) AddCampaign(name string, budget float64, start, end time.Time) 
 	if err != nil {
 		return err
 	}
-	return e.store.AddCampaign(c)
+	if err := e.store.AddCampaign(c); err != nil {
+		if errors.Is(err, adstore.ErrDuplicateCampaign) {
+			return fmt.Errorf("%w: campaign %q", ErrDuplicate, name)
+		}
+		return err
+	}
+	return nil
 }
 
 // AddAd validates and registers an advertisement.
@@ -241,6 +248,9 @@ func (e *Engine) AddAd(ad Ad) error {
 	}
 	if err := e.store.Add(internal); err != nil {
 		e.unmapAd(ad.ID, internal.ID)
+		if errors.Is(err, adstore.ErrUnknownCampaign) {
+			return fmt.Errorf("%w: %q (ad %q)", ErrUnknownCampaign, ad.Campaign, ad.ID)
+		}
 		return err
 	}
 	for _, sh := range e.shards {

@@ -45,6 +45,9 @@ var (
 	ErrNoSlots     = errors.New("adstore: ad targets no time slots")
 	ErrDuplicateID = errors.New("adstore: duplicate ad ID")
 	ErrUnknownAd   = errors.New("adstore: unknown ad")
+
+	ErrUnknownCampaign   = errors.New("adstore: unknown campaign")
+	ErrDuplicateCampaign = errors.New("adstore: duplicate campaign")
 )
 
 // Validate checks structural invariants of the ad.

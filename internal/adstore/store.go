@@ -32,7 +32,7 @@ func (s *Store) AddCampaign(c *Campaign) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, ok := s.campaigns[c.Name]; ok {
-		return fmt.Errorf("adstore: campaign %q already exists", c.Name)
+		return fmt.Errorf("%w: %q already exists", ErrDuplicateCampaign, c.Name)
 	}
 	s.campaigns[c.Name] = c
 	return nil
@@ -74,7 +74,7 @@ func (s *Store) Add(a *Ad) error {
 	}
 	if a.Campaign != "" {
 		if _, ok := s.campaigns[a.Campaign]; !ok {
-			return fmt.Errorf("adstore: ad %d references unknown campaign %q", a.ID, a.Campaign)
+			return fmt.Errorf("%w: ad %d references %q", ErrUnknownCampaign, a.ID, a.Campaign)
 		}
 	}
 	s.ads[a.ID] = a

@@ -1,0 +1,212 @@
+// Package faultinject supplies deterministic fault models for chaos-style
+// testing of the serving path: writers that fail, stall, or tear records
+// mid-write (simulating full disks, slow devices, and kill -9 during an
+// append), and an http.RoundTripper that drops or delays requests
+// (simulating a flaky network or a dead server).
+//
+// Everything here is deterministic — faults trigger on exact byte or
+// request counts — so tests assert precise recovery behavior instead of
+// sampling probabilities.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrInjected is the default error returned by injected faults.
+var ErrInjected = errors.New("faultinject: injected fault")
+
+// FailingWriter writes through to W until Budget bytes have been accepted,
+// then every subsequent Write fails with Err (ErrInjected when nil) without
+// writing anything — a disk that goes read-only or fills exactly at a byte
+// boundary.
+type FailingWriter struct {
+	W      io.Writer
+	Budget int64 // bytes accepted before failing
+	Err    error
+
+	written atomic.Int64
+}
+
+// Write implements io.Writer.
+func (f *FailingWriter) Write(p []byte) (int, error) {
+	if f.written.Load()+int64(len(p)) > f.Budget {
+		return 0, f.err()
+	}
+	n, err := f.W.Write(p)
+	f.written.Add(int64(n))
+	return n, err
+}
+
+// Written reports bytes accepted so far.
+func (f *FailingWriter) Written() int64 { return f.written.Load() }
+
+func (f *FailingWriter) err() error {
+	if f.Err != nil {
+		return f.Err
+	}
+	return ErrInjected
+}
+
+// PartialWriter writes through to W until Budget bytes have been accepted;
+// the write that crosses the budget is torn — its prefix up to the budget
+// is written, the rest discarded, and the short count returned with an
+// error. This is the write pattern left behind by a crash (kill -9, power
+// loss) mid-append.
+type PartialWriter struct {
+	W      io.Writer
+	Budget int64
+	Err    error
+
+	written atomic.Int64
+}
+
+// Write implements io.Writer.
+func (p *PartialWriter) Write(b []byte) (int, error) {
+	already := p.written.Load()
+	if already >= p.Budget {
+		return 0, p.err()
+	}
+	room := p.Budget - already
+	if int64(len(b)) <= room {
+		n, err := p.W.Write(b)
+		p.written.Add(int64(n))
+		return n, err
+	}
+	n, err := p.W.Write(b[:room])
+	p.written.Add(int64(n))
+	if err != nil {
+		return n, err
+	}
+	return n, fmt.Errorf("%w: torn write after %d bytes", p.err(), p.written.Load())
+}
+
+// Written reports bytes accepted so far.
+func (p *PartialWriter) Written() int64 { return p.written.Load() }
+
+func (p *PartialWriter) err() error {
+	if p.Err != nil {
+		return p.Err
+	}
+	return ErrInjected
+}
+
+// SlowWriter delays every write by Delay before passing it to W — a
+// saturated or degraded disk.
+type SlowWriter struct {
+	W     io.Writer
+	Delay time.Duration
+}
+
+// Write implements io.Writer.
+func (s *SlowWriter) Write(p []byte) (int, error) {
+	time.Sleep(s.Delay)
+	return s.W.Write(p)
+}
+
+// FlakyTransport is an http.RoundTripper that fails the first FailFirst
+// requests (connection-level error), optionally delays the rest by Delay,
+// and then delegates to Base (http.DefaultTransport when nil). Safe for
+// concurrent use.
+type FlakyTransport struct {
+	Base      http.RoundTripper
+	FailFirst int64 // number of initial requests to fail
+	Err       error
+	Delay     time.Duration
+
+	attempts atomic.Int64
+}
+
+// RoundTrip implements http.RoundTripper.
+func (f *FlakyTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	n := f.attempts.Add(1)
+	if n <= f.FailFirst {
+		if f.Err != nil {
+			return nil, f.Err
+		}
+		return nil, ErrInjected
+	}
+	if f.Delay > 0 {
+		select {
+		case <-time.After(f.Delay):
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		}
+	}
+	base := f.Base
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return base.RoundTrip(req)
+}
+
+// Attempts reports how many requests have passed through so far.
+func (f *FlakyTransport) Attempts() int64 { return f.attempts.Load() }
+
+// DownTransport refuses every request, like a server that is down; it
+// additionally counts attempts so tests can assert a circuit breaker
+// stopped issuing network calls.
+type DownTransport struct {
+	Err      error
+	attempts atomic.Int64
+}
+
+// RoundTrip implements http.RoundTripper.
+func (d *DownTransport) RoundTrip(*http.Request) (*http.Response, error) {
+	d.attempts.Add(1)
+	if d.Err != nil {
+		return nil, d.Err
+	}
+	return nil, ErrInjected
+}
+
+// Attempts reports refused requests so far.
+func (d *DownTransport) Attempts() int64 { return d.attempts.Load() }
+
+// Script sequences fault windows over a shared writer: Open marks the
+// writer healthy, Fail makes subsequent writes fail. It lets one test
+// drive a journal through healthy → torn → recovered phases without
+// re-plumbing writers.
+type Script struct {
+	mu      sync.Mutex
+	w       io.Writer
+	failing bool
+	err     error
+}
+
+// NewScript wraps w in a scriptable writer, initially healthy.
+func NewScript(w io.Writer) *Script { return &Script{w: w} }
+
+// Fail makes subsequent writes return err (ErrInjected when nil).
+func (s *Script) Fail(err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.failing = true
+	s.err = err
+}
+
+// Heal makes subsequent writes succeed again.
+func (s *Script) Heal() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.failing = false
+}
+
+// Write implements io.Writer.
+func (s *Script) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.failing {
+		if s.err != nil {
+			return 0, s.err
+		}
+		return 0, ErrInjected
+	}
+	return s.w.Write(p)
+}

@@ -1,0 +1,160 @@
+package server
+
+import (
+	"encoding/json"
+	"log"
+	"math"
+	"net/http"
+	"runtime/debug"
+	"strconv"
+	"time"
+)
+
+// Resilience middleware for the serving path. The handler chain built by
+// Handler() is, outermost first:
+//
+//	panic recovery → admission control (load shedding) → per-request
+//	deadline → request-body size limit → mux
+//
+// Each layer is independently configurable via Options passed to New; the
+// zero value of every knob disables that layer (except the body limit,
+// which defaults to 1 MiB, and panic recovery, which is always on).
+
+// DefaultMaxBodyBytes caps request bodies when Options.MaxBodyBytes is 0.
+const DefaultMaxBodyBytes = 1 << 20
+
+// Option configures a Server.
+type Option func(*Server)
+
+// WithMaxBodyBytes caps the request body size; oversized bodies yield 413.
+// n < 0 disables the cap.
+func WithMaxBodyBytes(n int64) Option { return func(s *Server) { s.maxBody = n } }
+
+// WithRequestTimeout bounds each request's handling time; requests that
+// exceed it receive 503 and their context is canceled.
+func WithRequestTimeout(d time.Duration) Option { return func(s *Server) { s.reqTimeout = d } }
+
+// WithMaxInFlight admits at most n concurrent requests; beyond that the
+// server sheds load with 429 + Retry-After instead of queueing without
+// bound.
+func WithMaxInFlight(n int) Option { return func(s *Server) { s.maxInFlight = n } }
+
+// WithRetryAfter sets the Retry-After hint attached to shed (429)
+// responses. Default 1s.
+func WithRetryAfter(d time.Duration) Option { return func(s *Server) { s.retryAfter = d } }
+
+// WithLogger routes panic reports and shed notices to l instead of the
+// process-wide default logger.
+func WithLogger(l *log.Logger) Option { return func(s *Server) { s.logger = l } }
+
+// Health is the server's self-reported resilience state, served at
+// /v1/healthz.
+type Health struct {
+	Status   string `json:"status"`
+	InFlight int64  `json:"in_flight"`
+	Shed     uint64 `json:"shed_total"`
+	Panics   uint64 `json:"panics_total"`
+}
+
+// Health returns a point-in-time view of the middleware counters.
+func (s *Server) Health() Health {
+	return Health{
+		Status:   "ok",
+		InFlight: s.inFlight.Load(),
+		Shed:     s.shed.Load(),
+		Panics:   s.panics.Load(),
+	}
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	ok(w, s.Health())
+}
+
+// logf writes to the configured logger, falling back to the default.
+func (s *Server) logf(format string, args ...any) {
+	if s.logger != nil {
+		s.logger.Printf(format, args...)
+		return
+	}
+	log.Printf(format, args...)
+}
+
+// withRecovery converts handler panics into 500 responses with a logged
+// stack trace, so one bad request can never take the process down.
+func (s *Server) withRecovery(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if p := recover(); p != nil {
+				if p == http.ErrAbortHandler {
+					panic(p) // deliberate connection abort; let net/http handle it
+				}
+				s.panics.Add(1)
+				s.logf("server: panic serving %s %s: %v\n%s", r.Method, r.URL.Path, p, debug.Stack())
+				httpError(w, http.StatusInternalServerError, "internal server error")
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// withAdmission sheds load with 429 + Retry-After once maxInFlight requests
+// are being served, keeping latency of admitted requests bounded under
+// overload. /v1/healthz is exempt so operators can observe a saturated
+// server.
+func (s *Server) withAdmission(next http.Handler) http.Handler {
+	if s.maxInFlight <= 0 {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/v1/healthz" {
+			next.ServeHTTP(w, r)
+			return
+		}
+		if s.inFlight.Add(1) > int64(s.maxInFlight) {
+			s.inFlight.Add(-1)
+			s.shed.Add(1)
+			retry := s.retryAfter
+			if retry <= 0 {
+				retry = time.Second
+			}
+			w.Header().Set("Retry-After", strconv.FormatInt(int64(math.Ceil(retry.Seconds())), 10))
+			httpError(w, http.StatusTooManyRequests, "server overloaded, retry later")
+			return
+		}
+		defer s.inFlight.Add(-1)
+		next.ServeHTTP(w, r)
+	})
+}
+
+// withDeadline bounds each request's total handling time using
+// http.TimeoutHandler: the handler runs with a context that expires at the
+// deadline and the client receives 503 if it is exceeded.
+func (s *Server) withDeadline(next http.Handler) http.Handler {
+	if s.reqTimeout <= 0 {
+		return next
+	}
+	body, _ := json.Marshal(errorBody{Error: "request deadline exceeded"})
+	return http.TimeoutHandler(next, s.reqTimeout, string(body))
+}
+
+// withBodyLimit caps request body size; the JSON decoder surfaces the
+// overflow as *http.MaxBytesError, mapped to 413 by decodeBody.
+func (s *Server) withBodyLimit(next http.Handler) http.Handler {
+	if s.maxBody < 0 {
+		return next
+	}
+	limit := s.maxBody
+	if limit == 0 {
+		limit = DefaultMaxBodyBytes
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Body != nil {
+			r.Body = http.MaxBytesReader(w, r.Body, limit)
+		}
+		next.ServeHTTP(w, r)
+	})
+}

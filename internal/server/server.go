@@ -28,12 +28,15 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"net/http"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	caar "caar"
+	"caar/journal"
 )
 
 // API is the engine surface the server exposes. *caar.Engine implements it
@@ -67,17 +70,42 @@ type Server struct {
 	eng API
 	mux *http.ServeMux
 	now func() time.Time
+
+	// resilience knobs (see middleware.go).
+	maxBody     int64
+	reqTimeout  time.Duration
+	maxInFlight int
+	retryAfter  time.Duration
+	logger      *log.Logger
+
+	inFlight atomic.Int64
+	shed     atomic.Uint64
+	panics   atomic.Uint64
 }
 
-// New creates a server over an engine (or any API implementation).
-func New(eng API) *Server {
+// New creates a server over an engine (or any API implementation). With no
+// options the server still recovers from handler panics and caps request
+// bodies at DefaultMaxBodyBytes; deadlines and admission control are off.
+func New(eng API, opts ...Option) *Server {
 	s := &Server{eng: eng, mux: http.NewServeMux(), now: time.Now}
+	for _, opt := range opts {
+		opt(s)
+	}
 	s.routes()
 	return s
 }
 
-// Handler returns the HTTP handler.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the HTTP handler wrapped in the resilience middleware
+// chain: panic recovery, admission control, per-request deadline, body
+// limit.
+func (s *Server) Handler() http.Handler {
+	var h http.Handler = s.mux
+	h = s.withBodyLimit(h)
+	h = s.withDeadline(h)
+	h = s.withAdmission(h)
+	h = s.withRecovery(h)
+	return h
+}
 
 func (s *Server) routes() {
 	s.mux.HandleFunc("/v1/users", s.post(s.handleAddUser))
@@ -91,6 +119,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("/v1/impressions", s.post(s.handleImpression))
 	s.mux.HandleFunc("/v1/stats", s.handleStats)
 	s.mux.HandleFunc("/v1/trending", s.handleTrending)
+	s.mux.HandleFunc("/v1/healthz", s.handleHealth)
 }
 
 // post wraps a handler with a method check.
@@ -114,10 +143,18 @@ func httpError(w http.ResponseWriter, code int, msg string) {
 	json.NewEncoder(w).Encode(errorBody{Error: msg})
 }
 
-// fail maps engine errors to HTTP status codes.
+// fail maps engine errors to HTTP status codes: unknown references are 404,
+// duplicates 409, and everything else — validation and configuration
+// failures — 400. Nothing the engine returns maps to a 500; those are
+// reserved for panics caught by the recovery middleware.
 func fail(w http.ResponseWriter, err error) {
 	switch {
-	case errors.Is(err, caar.ErrUnknownUser), errors.Is(err, caar.ErrUnknownAd):
+	case errors.Is(err, journal.ErrDurability):
+		// Applied in memory but not persisted: an infrastructure failure,
+		// not a client mistake.
+		httpError(w, http.StatusServiceUnavailable, err.Error())
+	case errors.Is(err, caar.ErrUnknownUser), errors.Is(err, caar.ErrUnknownAd),
+		errors.Is(err, caar.ErrUnknownCampaign):
 		httpError(w, http.StatusNotFound, err.Error())
 	case errors.Is(err, caar.ErrDuplicate):
 		httpError(w, http.StatusConflict, err.Error())
@@ -144,6 +181,23 @@ func decode(r *http.Request, into any) error {
 	return nil
 }
 
+// decodeBody decodes the request body into `into`, writing the appropriate
+// error response (413 for an oversized body, 400 otherwise) and returning
+// false on failure.
+func decodeBody(w http.ResponseWriter, r *http.Request, into any) bool {
+	if err := decode(r, into); err != nil {
+		var maxErr *http.MaxBytesError
+		if errors.As(err, &maxErr) {
+			httpError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("request body exceeds %d bytes", maxErr.Limit))
+			return false
+		}
+		httpError(w, http.StatusBadRequest, err.Error())
+		return false
+	}
+	return true
+}
+
 // at parses an optional RFC3339 timestamp, defaulting to now.
 func (s *Server) at(raw string) (time.Time, error) {
 	if raw == "" {
@@ -160,8 +214,7 @@ func (s *Server) handleAddUser(w http.ResponseWriter, r *http.Request) {
 	var req struct {
 		Handle string `json:"handle"`
 	}
-	if err := decode(r, &req); err != nil {
-		httpError(w, http.StatusBadRequest, err.Error())
+	if !decodeBody(w, r, &req) {
 		return
 	}
 	if err := s.eng.AddUser(req.Handle); err != nil {
@@ -176,8 +229,7 @@ func (s *Server) handleFollow(w http.ResponseWriter, r *http.Request) {
 		Follower string `json:"follower"`
 		Followee string `json:"followee"`
 	}
-	if err := decode(r, &req); err != nil {
-		httpError(w, http.StatusBadRequest, err.Error())
+	if !decodeBody(w, r, &req) {
 		return
 	}
 	var err error
@@ -204,8 +256,7 @@ func (s *Server) handleCheckIn(w http.ResponseWriter, r *http.Request) {
 		Lng  float64 `json:"lng"`
 		At   string  `json:"at"`
 	}
-	if err := decode(r, &req); err != nil {
-		httpError(w, http.StatusBadRequest, err.Error())
+	if !decodeBody(w, r, &req) {
 		return
 	}
 	at, err := s.at(req.At)
@@ -226,8 +277,7 @@ func (s *Server) handlePost(w http.ResponseWriter, r *http.Request) {
 		Text   string `json:"text"`
 		At     string `json:"at"`
 	}
-	if err := decode(r, &req); err != nil {
-		httpError(w, http.StatusBadRequest, err.Error())
+	if !decodeBody(w, r, &req) {
 		return
 	}
 	at, err := s.at(req.At)
@@ -249,8 +299,7 @@ func (s *Server) handleAddCampaign(w http.ResponseWriter, r *http.Request) {
 		Start  string  `json:"start"`
 		End    string  `json:"end"`
 	}
-	if err := decode(r, &req); err != nil {
-		httpError(w, http.StatusBadRequest, err.Error())
+	if !decodeBody(w, r, &req) {
 		return
 	}
 	start, err := time.Parse(time.RFC3339, req.Start)
@@ -283,8 +332,7 @@ type adRequest struct {
 
 func (s *Server) handleAddAd(w http.ResponseWriter, r *http.Request) {
 	var req adRequest
-	if err := decode(r, &req); err != nil {
-		httpError(w, http.StatusBadRequest, err.Error())
+	if !decodeBody(w, r, &req) {
 		return
 	}
 	ad := caar.Ad{
@@ -419,8 +467,7 @@ func (s *Server) handleImpression(w http.ResponseWriter, r *http.Request) {
 		User string `json:"user"` // optional: enables frequency capping
 		At   string `json:"at"`
 	}
-	if err := decode(r, &req); err != nil {
-		httpError(w, http.StatusBadRequest, err.Error())
+	if !decodeBody(w, r, &req) {
 		return
 	}
 	at, err := s.at(req.At)

@@ -1,0 +1,345 @@
+package journal
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// writeFixture journals a few entries into a temp file and returns the file
+// path plus the byte offset of the start of each record.
+func writeFixture(t *testing.T, entries []Entry) (string, []int64) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "journal.log")
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	w := NewFileWriter(f, SyncNever, 0)
+	var offsets []int64
+	for _, e := range entries {
+		pos, err := f.Seek(0, os.SEEK_END)
+		if err != nil {
+			t.Fatal(err)
+		}
+		offsets = append(offsets, pos)
+		if err := w.Append(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path, offsets
+}
+
+func fixtureEntries() []Entry {
+	return []Entry{
+		{Op: OpAddUser, User: "alice"},
+		{Op: OpAddUser, User: "bob"},
+		{Op: OpFollow, User: "alice", Followee: "bob"},
+		{Op: OpPost, User: "bob", Text: "marathon espresso", At: t0},
+	}
+}
+
+// TestRecoverTruncatesTornTail cuts the final record mid-frame (a crash
+// during append) and asserts Recover truncates exactly at the start of the
+// torn record and leaves the file appendable.
+func TestRecoverTruncatesTornTail(t *testing.T) {
+	path, offsets := writeFixture(t, fixtureEntries())
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tear the last record: keep its first 7 bytes only.
+	torn := raw[:offsets[3]+7]
+	if err := os.WriteFile(path, torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	eng := newEngine(t)
+	stats, err := Recover(f, eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.Torn {
+		t.Fatal("torn tail not detected")
+	}
+	if stats.Applied != 3 {
+		t.Fatalf("applied %d, want 3", stats.Applied)
+	}
+	if stats.ValidBytes != offsets[3] {
+		t.Fatalf("ValidBytes = %d, want %d (start of torn record)", stats.ValidBytes, offsets[3])
+	}
+	if stats.DiscardedBytes != 7 {
+		t.Fatalf("DiscardedBytes = %d, want 7", stats.DiscardedBytes)
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() != offsets[3] {
+		t.Fatalf("file size after recover = %d, want %d", fi.Size(), offsets[3])
+	}
+
+	// The file is positioned at its end: appending resumes cleanly.
+	w := NewFileWriter(f, SyncAlways, 0)
+	if err := w.Append(Entry{Op: OpPost, User: "bob", Text: "recovered and writing again", At: t0}); err != nil {
+		t.Fatal(err)
+	}
+	recovered := newEngine(t)
+	if _, err := f.Seek(0, os.SEEK_SET); err != nil {
+		t.Fatal(err)
+	}
+	stats2, err := Replay(f, recovered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats2.Applied != 4 || stats2.Torn {
+		t.Fatalf("post-recovery replay stats = %+v", stats2)
+	}
+}
+
+// TestRecoverDetectsBitFlip flips one byte inside the checksummed payload of
+// the final record; the CRC catches it and recovery truncates at the start
+// of that record.
+func TestRecoverDetectsBitFlip(t *testing.T) {
+	path, offsets := writeFixture(t, fixtureEntries())
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a bit well inside the last record's JSON payload.
+	raw[offsets[3]+20] ^= 0x40
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	stats, err := Recover(f, newEngine(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.Torn || stats.Applied != 3 {
+		t.Fatalf("stats = %+v, want torn with 3 applied", stats)
+	}
+	if stats.ValidBytes != offsets[3] {
+		t.Fatalf("ValidBytes = %d, want %d", stats.ValidBytes, offsets[3])
+	}
+}
+
+// TestReplayStopsAtMidStreamBitFlip flips a byte in a non-final record:
+// strict Replay must refuse rather than silently skip good data.
+func TestReplayStopsAtMidStreamBitFlip(t *testing.T) {
+	path, offsets := writeFixture(t, fixtureEntries())
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[offsets[1]+15] ^= 0x01
+	if _, err := Replay(bytes.NewReader(raw), newEngine(t)); err == nil {
+		t.Fatal("mid-stream bit flip accepted by strict replay")
+	}
+}
+
+// TestRecoverMidStreamCorruptionCutsTail asserts the documented (aggressive)
+// recovery policy: everything from the first corrupt record on is
+// discarded, even records that still verify after it.
+func TestRecoverMidStreamCorruptionCutsTail(t *testing.T) {
+	path, offsets := writeFixture(t, fixtureEntries())
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[offsets[2]+15] ^= 0x01
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	stats, err := Recover(f, newEngine(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Applied != 2 || !stats.Torn {
+		t.Fatalf("stats = %+v, want 2 applied + torn", stats)
+	}
+	if stats.ValidBytes != offsets[2] {
+		t.Fatalf("ValidBytes = %d, want %d", stats.ValidBytes, offsets[2])
+	}
+	if fi, _ := f.Stat(); fi.Size() != offsets[2] {
+		t.Fatalf("file not truncated to %d", offsets[2])
+	}
+}
+
+// TestReplayLegacyFormat replays a v1 (bare JSON lines) log unchanged.
+func TestReplayLegacyFormat(t *testing.T) {
+	log := strings.Join([]string{
+		`{"op":"add_user","user":"a"}`,
+		`{"op":"add_user","user":"b"}`,
+		`{"op":"follow","user":"a","followee":"b"}`,
+	}, "\n") + "\n"
+	eng := newEngine(t)
+	stats, err := Replay(strings.NewReader(log), eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Applied != 3 || stats.Skipped != 0 || stats.Torn {
+		t.Fatalf("stats = %+v", stats)
+	}
+}
+
+// TestReplayStatsClassification buckets skip errors by class and keeps the
+// first few verbatim.
+func TestReplayStatsClassification(t *testing.T) {
+	log := strings.Join([]string{
+		`{"op":"add_user","user":"a"}`,
+		`{"op":"add_user","user":"a"}`,                  // duplicate
+		`{"op":"follow","user":"a","followee":"ghost"}`, // unknown ref
+		`{"op":"frobnicate"}`,                           // invalid
+		`{"op":"add_campaign"}`,                         // invalid payload
+	}, "\n")
+	stats, err := Replay(strings.NewReader(log), newEngine(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Applied != 1 || stats.Skipped != 4 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if stats.SkippedDuplicate != 1 || stats.SkippedUnknownRef != 1 || stats.SkippedInvalid != 2 {
+		t.Fatalf("classification = dup:%d unknown:%d invalid:%d",
+			stats.SkippedDuplicate, stats.SkippedUnknownRef, stats.SkippedInvalid)
+	}
+	if len(stats.SkipErrors) != 4 {
+		t.Fatalf("SkipErrors = %v", stats.SkipErrors)
+	}
+	if !strings.Contains(stats.SkipErrors[0], "duplicate") {
+		t.Fatalf("first skip error %q not the duplicate", stats.SkipErrors[0])
+	}
+}
+
+// TestSkipErrorsBounded keeps only the first maxSkipErrors messages.
+func TestSkipErrorsBounded(t *testing.T) {
+	var sb strings.Builder
+	for range maxSkipErrors + 3 {
+		sb.WriteString(`{"op":"frobnicate"}` + "\n")
+	}
+	stats, err := Replay(strings.NewReader(sb.String()), newEngine(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Skipped != maxSkipErrors+3 {
+		t.Fatalf("skipped = %d", stats.Skipped)
+	}
+	if len(stats.SkipErrors) != maxSkipErrors {
+		t.Fatalf("SkipErrors length = %d, want %d", len(stats.SkipErrors), maxSkipErrors)
+	}
+}
+
+// TestSyncPolicies exercises always / interval / never against a counting
+// sync hook.
+func TestSyncPolicies(t *testing.T) {
+	newCounting := func(policy SyncPolicy, interval time.Duration) (*Writer, *int) {
+		calls := 0
+		w := NewWriter(&bytes.Buffer{})
+		w.syncFn = func() error { calls++; return nil }
+		w.policy = policy
+		w.interval = interval
+		return w, &calls
+	}
+
+	w, calls := newCounting(SyncAlways, 0)
+	for range 3 {
+		if err := w.Append(Entry{Op: OpAddUser, User: "a"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if *calls != 3 {
+		t.Fatalf("SyncAlways: %d sync calls, want 3", *calls)
+	}
+
+	w, calls = newCounting(SyncNever, 0)
+	for range 3 {
+		w.Append(Entry{Op: OpAddUser, User: "a"})
+	}
+	if *calls != 0 {
+		t.Fatalf("SyncNever: %d sync calls, want 0", *calls)
+	}
+	// Flush syncs regardless of policy.
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if *calls != 1 {
+		t.Fatalf("Flush under SyncNever: %d sync calls, want 1", *calls)
+	}
+
+	w, calls = newCounting(SyncIntervalPolicy, time.Minute)
+	clock := t0
+	w.now = func() time.Time { return clock }
+	w.Append(Entry{Op: OpAddUser, User: "a"}) // first append always syncs
+	clock = clock.Add(time.Second)
+	w.Append(Entry{Op: OpAddUser, User: "b"}) // within interval: no sync
+	clock = clock.Add(2 * time.Minute)
+	w.Append(Entry{Op: OpAddUser, User: "c"}) // past interval: sync
+	if *calls != 2 {
+		t.Fatalf("SyncInterval: %d sync calls, want 2", *calls)
+	}
+}
+
+func TestParseSyncPolicy(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want SyncPolicy
+	}{
+		{"always", SyncAlways}, {"interval", SyncIntervalPolicy}, {"never", SyncNever},
+	} {
+		got, err := ParseSyncPolicy(tc.in)
+		if err != nil || got != tc.want {
+			t.Fatalf("ParseSyncPolicy(%q) = %v, %v", tc.in, got, err)
+		}
+		if got.String() != tc.in {
+			t.Fatalf("String() = %q, want %q", got.String(), tc.in)
+		}
+	}
+	if _, err := ParseSyncPolicy("sometimes"); err == nil {
+		t.Fatal("bad policy accepted")
+	}
+}
+
+// TestRecoverCleanLog leaves an intact log untouched.
+func TestRecoverCleanLog(t *testing.T) {
+	path, _ := writeFixture(t, fixtureEntries())
+	before, _ := os.ReadFile(path)
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	stats, err := Recover(f, newEngine(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Torn || stats.Applied != 4 || stats.DiscardedBytes != 0 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	after, _ := os.ReadFile(path)
+	if !bytes.Equal(before, after) {
+		t.Fatal("clean log modified by recovery")
+	}
+}

@@ -5,17 +5,31 @@
 // state compactly, the journal additionally recovers the ephemeral feed
 // context by replaying recent events.
 //
-// Format: one JSON object per line, each with a type tag, so the log is
-// greppable and append-crash-tolerant (a torn final line is detected and
-// ignored during replay).
+// Format: one framed record per line —
+//
+//	j2 <payload-len> <crc32c-hex> <payload-json>\n
+//
+// The CRC32C checksum (Castagnoli) covers the JSON payload, so torn writes
+// and bit flips are detected rather than silently replayed. The log stays
+// line-oriented and greppable. Replay also accepts the legacy v1 format
+// (bare JSON object per line), so logs written before framing existed keep
+// replaying.
+//
+// Durability is configurable per Writer: fsync after every append
+// (SyncAlways), at most once per interval (SyncInterval), or never
+// (SyncNever, leaving durability to the OS page cache).
 package journal
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
+	"os"
+	"strconv"
 	"sync"
 	"time"
 
@@ -62,22 +76,98 @@ type CampaignEntry struct {
 	End    time.Time `json:"end"`
 }
 
+// framePrefix tags a checksummed v2 record; legacy v1 lines start with '{'.
+const framePrefix = "j2 "
+
+// ErrDurability marks a failure to persist an entry (write, flush or fsync
+// error). The operation was applied in memory but is NOT durable; servers
+// should surface it as a 5xx so clients don't mistake it for a rejected
+// request.
+var ErrDurability = errors.New("journal: durability failure")
+
+// castagnoli is the CRC32C polynomial table (hardware-accelerated on amd64
+// and arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// SyncPolicy selects when a file-backed Writer calls fsync.
+type SyncPolicy int
+
+const (
+	// SyncAlways fsyncs after every append: no acknowledged record is ever
+	// lost to a crash, at the cost of one disk flush per write.
+	SyncAlways SyncPolicy = iota
+	// SyncIntervalPolicy fsyncs at most once per configured interval; a
+	// crash loses at most the records appended since the last sync.
+	SyncIntervalPolicy
+	// SyncNever leaves flushing to the OS page cache.
+	SyncNever
+)
+
+// String implements fmt.Stringer.
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncIntervalPolicy:
+		return "interval"
+	case SyncNever:
+		return "never"
+	default:
+		return fmt.Sprintf("SyncPolicy(%d)", int(p))
+	}
+}
+
+// ParseSyncPolicy maps "always", "interval" or "never" to a SyncPolicy.
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch s {
+	case "always":
+		return SyncAlways, nil
+	case "interval":
+		return SyncIntervalPolicy, nil
+	case "never":
+		return SyncNever, nil
+	default:
+		return 0, fmt.Errorf("journal: unknown fsync policy %q (want always, interval or never)", s)
+	}
+}
+
 // Writer appends entries to a log. Safe for concurrent use; each entry is
 // written atomically with respect to other writers on the same Writer.
 type Writer struct {
 	mu  sync.Mutex
 	out *bufio.Writer
 	// Sync, when non-nil, is called after every append (e.g. os.File.Sync
-	// for durability; tests leave it nil).
+	// for durability; tests leave it nil). For policy-driven syncing use
+	// NewFileWriter instead.
 	Sync func() error
+
+	// policy-driven fsync state (NewFileWriter).
+	syncFn   func() error
+	policy   SyncPolicy
+	interval time.Duration
+	lastSync time.Time
+	now      func() time.Time
 }
 
 // NewWriter wraps w in a journal writer.
 func NewWriter(w io.Writer) *Writer {
-	return &Writer{out: bufio.NewWriter(w)}
+	return &Writer{out: bufio.NewWriter(w), now: time.Now}
 }
 
-// Append writes one entry and flushes it.
+// NewFileWriter wraps an opened journal file in a writer with an fsync
+// policy. interval is only meaningful with SyncIntervalPolicy. Call Close
+// (or Flush) before discarding the writer so buffered records reach the
+// file.
+func NewFileWriter(f *os.File, policy SyncPolicy, interval time.Duration) *Writer {
+	w := NewWriter(f)
+	w.syncFn = f.Sync
+	w.policy = policy
+	w.interval = interval
+	return w
+}
+
+// Append writes one framed entry and flushes it to the underlying writer;
+// whether it is also fsynced depends on the writer's sync policy.
 func (w *Writer) Append(e Entry) error {
 	if e.Op == "" {
 		return errors.New("journal: entry without op")
@@ -86,65 +176,251 @@ func (w *Writer) Append(e Entry) error {
 	if err != nil {
 		return fmt.Errorf("journal: marshal: %w", err)
 	}
+	crc := crc32.Checksum(buf, castagnoli)
+
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	if _, err := w.out.Write(append(buf, '\n')); err != nil {
-		return fmt.Errorf("journal: append: %w", err)
+	w.out.WriteString(framePrefix)
+	w.out.WriteString(strconv.Itoa(len(buf)))
+	w.out.WriteByte(' ')
+	fmt.Fprintf(w.out, "%08x ", crc)
+	w.out.Write(buf)
+	if err := w.out.WriteByte('\n'); err != nil {
+		return fmt.Errorf("%w: append: %w", ErrDurability, err)
 	}
 	if err := w.out.Flush(); err != nil {
-		return fmt.Errorf("journal: flush: %w", err)
+		return fmt.Errorf("%w: flush: %w", ErrDurability, err)
 	}
 	if w.Sync != nil {
 		if err := w.Sync(); err != nil {
+			return fmt.Errorf("%w: sync: %w", ErrDurability, err)
+		}
+	}
+	if err := w.maybeSyncLocked(); err != nil {
+		return fmt.Errorf("%w: sync: %w", ErrDurability, err)
+	}
+	return nil
+}
+
+// maybeSyncLocked applies the fsync policy; callers hold w.mu.
+func (w *Writer) maybeSyncLocked() error {
+	if w.syncFn == nil {
+		return nil
+	}
+	switch w.policy {
+	case SyncAlways:
+		return w.syncFn()
+	case SyncIntervalPolicy:
+		now := w.now()
+		if w.lastSync.IsZero() || now.Sub(w.lastSync) >= w.interval {
+			if err := w.syncFn(); err != nil {
+				return err
+			}
+			w.lastSync = now
+		}
+	}
+	return nil
+}
+
+// Flush forces buffered records to the underlying writer and, for
+// file-backed writers, fsyncs regardless of policy.
+func (w *Writer) Flush() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.out.Flush(); err != nil {
+		return fmt.Errorf("journal: flush: %w", err)
+	}
+	if w.syncFn != nil {
+		if err := w.syncFn(); err != nil {
 			return fmt.Errorf("journal: sync: %w", err)
 		}
 	}
 	return nil
 }
 
+// Close flushes and fsyncs pending records. It does not close the
+// underlying file; the caller owns it.
+func (w *Writer) Close() error { return w.Flush() }
+
 // ReplayStats summarizes one replay.
 type ReplayStats struct {
-	Applied int  // entries applied successfully
-	Skipped int  // entries that failed to apply (logged state conflicts)
-	Torn    bool // the final line was incomplete (crash during append)
+	Applied int // entries applied successfully
+	Skipped int // entries that failed to apply (logged state conflicts)
+
+	// Per-class breakdown of Skipped, so operators can tell benign
+	// duplicates (idempotent re-replay) from the engine rejecting ops that
+	// should have applied.
+	SkippedDuplicate  int // errors.Is caar.ErrDuplicate
+	SkippedUnknownRef int // unknown user/ad/campaign references
+	SkippedInvalid    int // malformed payloads, unknown ops, validation failures
+
+	// SkipErrors holds the first few skip errors verbatim for logging.
+	SkipErrors []string
+
+	Torn bool // the log tail was incomplete or corrupt (crash during append)
+
+	// ValidBytes is the byte offset just past the last structurally valid
+	// record; Recover truncates the file to this offset.
+	ValidBytes int64
+	// DiscardedBytes counts bytes Recover cut from a torn or corrupt tail.
+	DiscardedBytes int64
+}
+
+// maxSkipErrors bounds ReplayStats.SkipErrors.
+const maxSkipErrors = 5
+
+// classify buckets an apply error into the ReplayStats breakdown.
+func (s *ReplayStats) classify(err error) {
+	s.Skipped++
+	switch {
+	case errors.Is(err, caar.ErrDuplicate):
+		s.SkippedDuplicate++
+	case errors.Is(err, caar.ErrUnknownUser), errors.Is(err, caar.ErrUnknownAd),
+		errors.Is(err, caar.ErrUnknownCampaign):
+		s.SkippedUnknownRef++
+	default:
+		s.SkippedInvalid++
+	}
+	if len(s.SkipErrors) < maxSkipErrors {
+		s.SkipErrors = append(s.SkipErrors, err.Error())
+	}
 }
 
 // Replay applies a journal to an engine. Entries that fail to apply (e.g. a
-// duplicate user after a partial previous replay) are counted and skipped
-// rather than aborting, so replay is idempotent-ish over crash-recovered
-// logs; a malformed non-final line aborts with an error.
+// duplicate user after a partial previous replay) are counted, classified
+// and skipped rather than aborting, so replay is idempotent-ish over
+// crash-recovered logs. A corrupt final record is reported as a torn tail;
+// a corrupt record followed by more data aborts with an error (use Recover
+// for a file that should be truncated and resumed instead).
 func Replay(r io.Reader, eng *caar.Engine) (ReplayStats, error) {
+	return replay(r, eng, false)
+}
+
+// decodeLine validates one log line and returns its JSON payload.
+func decodeLine(line []byte) ([]byte, error) {
+	if bytes.HasPrefix(line, []byte(framePrefix)) {
+		rest := line[len(framePrefix):]
+		lenField, rest, ok := bytes.Cut(rest, []byte{' '})
+		if !ok {
+			return nil, errors.New("journal: framed record missing length")
+		}
+		crcField, payload, ok := bytes.Cut(rest, []byte{' '})
+		if !ok {
+			return nil, errors.New("journal: framed record missing checksum")
+		}
+		n, err := strconv.Atoi(string(lenField))
+		if err != nil || n != len(payload) {
+			return nil, fmt.Errorf("journal: framed record length %s != payload %d", lenField, len(payload))
+		}
+		want, err := strconv.ParseUint(string(crcField), 16, 32)
+		if err != nil {
+			return nil, fmt.Errorf("journal: bad checksum field %q", crcField)
+		}
+		if got := crc32.Checksum(payload, castagnoli); got != uint32(want) {
+			return nil, fmt.Errorf("journal: checksum mismatch (want %08x, got %08x)", want, got)
+		}
+		return payload, nil
+	}
+	// Legacy v1: bare JSON object. Validity is decided by unmarshalling.
+	return line, nil
+}
+
+// replay reads records, applying each to eng. In recover mode it stops at
+// the first structurally invalid record (truncation point); in strict mode
+// an invalid non-final record is an error.
+func replay(r io.Reader, eng *caar.Engine, recoverMode bool) (ReplayStats, error) {
 	var stats ReplayStats
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
-	var pending []byte
-	for sc.Scan() {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var offset int64
+	var pending []byte // a structurally invalid line, fate decided by what follows
+	for {
+		line, readErr := br.ReadBytes('\n')
+		if len(line) == 0 && readErr != nil {
+			break
+		}
+		lineEnd := offset + int64(len(line))
+		offset = lineEnd
+		content := bytes.TrimSuffix(line, []byte("\n"))
+		content = bytes.TrimSuffix(content, []byte("\r"))
+
 		if pending != nil {
-			// The previous line failed to parse but was not final: corrupt.
+			// The previous record failed to parse but was not final: corrupt.
 			return stats, fmt.Errorf("journal: corrupt entry: %s", truncate(pending))
 		}
-		line := sc.Bytes()
-		if len(line) == 0 {
+
+		if len(content) == 0 {
+			stats.ValidBytes = lineEnd
+			if readErr != nil {
+				break
+			}
 			continue
 		}
+
+		payload, err := decodeLine(content)
 		var e Entry
-		if err := json.Unmarshal(line, &e); err != nil {
-			// Possibly a torn final line; decide once we know whether more
-			// lines follow.
-			pending = append([]byte(nil), line...)
+		if err == nil {
+			err = json.Unmarshal(payload, &e)
+		}
+		if err != nil {
+			if recoverMode {
+				// Truncation point: everything from this record on is cut.
+				stats.Torn = true
+				return stats, nil
+			}
+			// Possibly a torn final record; decide once we know whether more
+			// data follows.
+			pending = append([]byte(nil), content...)
+			if readErr != nil {
+				break
+			}
 			continue
 		}
-		if err := apply(eng, e); err != nil {
-			stats.Skipped++
-			continue
+
+		if applyErr := apply(eng, e); applyErr != nil {
+			stats.classify(applyErr)
+		} else {
+			stats.Applied++
 		}
-		stats.Applied++
-	}
-	if err := sc.Err(); err != nil {
-		return stats, fmt.Errorf("journal: read: %w", err)
+		stats.ValidBytes = lineEnd
+		if readErr != nil {
+			break
+		}
 	}
 	if pending != nil {
 		stats.Torn = true
+	}
+	return stats, nil
+}
+
+// Recover replays a journal file in recovery mode: a torn or corrupt tail
+// is truncated to the last valid record instead of refusing to start, and
+// the file is left positioned at its end, ready for appending. Records
+// after a corrupt one (possible only after in-place corruption, never after
+// a crash mid-append) are discarded with the tail; DiscardedBytes reports
+// how much was cut.
+func Recover(f *os.File, eng *caar.Engine) (ReplayStats, error) {
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return ReplayStats{}, fmt.Errorf("journal: recover seek: %w", err)
+	}
+	stats, err := replay(f, eng, true)
+	if err != nil {
+		return stats, err
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		return stats, fmt.Errorf("journal: recover stat: %w", err)
+	}
+	if stats.ValidBytes < fi.Size() {
+		stats.DiscardedBytes = fi.Size() - stats.ValidBytes
+		if err := f.Truncate(stats.ValidBytes); err != nil {
+			return stats, fmt.Errorf("journal: truncate torn tail: %w", err)
+		}
+		if err := f.Sync(); err != nil {
+			return stats, fmt.Errorf("journal: sync after truncate: %w", err)
+		}
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		return stats, fmt.Errorf("journal: recover seek end: %w", err)
 	}
 	return stats, nil
 }
@@ -206,6 +482,10 @@ type Logged struct {
 func NewLogged(eng *caar.Engine, w *Writer) *Logged {
 	return &Logged{Engine: eng, w: w}
 }
+
+// Writer returns the underlying journal writer (e.g. to Flush it at
+// shutdown).
+func (l *Logged) Writer() *Writer { return l.w }
 
 // AddUser journals and applies.
 func (l *Logged) AddUser(handle string) error {

@@ -1,9 +1,14 @@
 package caar
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
+	"hash/crc32"
 	"io"
+	"os"
+	"path/filepath"
+	"strconv"
 	"time"
 
 	"caar/internal/adstore"
@@ -130,6 +135,123 @@ func (e *Engine) Snapshot(w io.Writer) error {
 		return fmt.Errorf("caar: snapshot encode: %w", err)
 	}
 	return nil
+}
+
+// snapshotTrailer prefixes the checksum line SaveSnapshot appends after the
+// JSON document. json.Decoder stops at the end of the JSON value, so the
+// trailer is invisible to plain Restore.
+const snapshotTrailer = "//caar-snapshot-crc32c "
+
+// PrevSnapshotSuffix is appended to the previous good snapshot's path when
+// SaveSnapshot replaces it; LoadSnapshot falls back to that file when the
+// primary fails verification.
+const PrevSnapshotSuffix = ".prev"
+
+// SaveSnapshot atomically writes the engine's durable state to path:
+// serialize to a temp file in the same directory, append a CRC32C trailer,
+// fsync, then rename over path. Any existing snapshot at path is first
+// preserved as path+".prev" so a verification failure on load can fall back
+// to the previous good state.
+func (e *Engine) SaveSnapshot(path string) error {
+	var buf bytes.Buffer
+	if err := e.Snapshot(&buf); err != nil {
+		return err
+	}
+	crc := crc32.Checksum(buf.Bytes(), crc32.MakeTable(crc32.Castagnoli))
+	fmt.Fprintf(&buf, "%s%08x\n", snapshotTrailer, crc)
+
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("caar: snapshot temp file: %w", err)
+	}
+	tmpName := tmp.Name()
+	cleanup := func() { tmp.Close(); os.Remove(tmpName) }
+	if _, err := tmp.Write(buf.Bytes()); err != nil {
+		cleanup()
+		return fmt.Errorf("caar: snapshot write: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		cleanup()
+		return fmt.Errorf("caar: snapshot fsync: %w", err)
+	}
+	if err := tmp.Chmod(0o644); err != nil {
+		cleanup()
+		return fmt.Errorf("caar: snapshot chmod: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("caar: snapshot close: %w", err)
+	}
+	if _, err := os.Stat(path); err == nil {
+		if err := os.Rename(path, path+PrevSnapshotSuffix); err != nil {
+			os.Remove(tmpName)
+			return fmt.Errorf("caar: snapshot rotate previous: %w", err)
+		}
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("caar: snapshot rename: %w", err)
+	}
+	// Persist the renames themselves (best effort; not all platforms
+	// support fsync on directories).
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		_ = d.Close()
+	}
+	return nil
+}
+
+// LoadSnapshot reads a snapshot written by SaveSnapshot, verifying its
+// checksum, and restores an engine from it. When the primary file is
+// missing, corrupt, or fails verification it falls back to the previous
+// good snapshot at path+".prev"; only if both fail does it return an error.
+// The returned path names the file that actually loaded, so operators can
+// tell a fallback from a normal restore. Snapshots without a checksum
+// trailer (written by Snapshot directly) load unverified.
+func LoadSnapshot(cfg Config, path string) (*Engine, string, error) {
+	eng, primaryErr := loadVerified(cfg, path)
+	if primaryErr == nil {
+		return eng, path, nil
+	}
+	prev := path + PrevSnapshotSuffix
+	eng, prevErr := loadVerified(cfg, prev)
+	if prevErr == nil {
+		return eng, prev, nil
+	}
+	return nil, "", fmt.Errorf("caar: snapshot %s: %w (previous: %v)", path, primaryErr, prevErr)
+}
+
+// loadVerified reads one snapshot file, checks the trailer checksum when
+// present, and restores from the payload.
+func loadVerified(cfg Config, path string) (*Engine, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	payload := raw
+	if i := bytes.LastIndex(raw, []byte(snapshotTrailer)); i >= 0 {
+		payload = raw[:i]
+		field := bytes.TrimSpace(raw[i+len(snapshotTrailer):])
+		want, err := strconv.ParseUint(string(field), 16, 32)
+		if err != nil {
+			return nil, fmt.Errorf("bad checksum trailer %q", field)
+		}
+		if got := crc32.Checksum(payload, crc32.MakeTable(crc32.Castagnoli)); got != uint32(want) {
+			return nil, fmt.Errorf("checksum mismatch (want %08x, got %08x)", want, got)
+		}
+	}
+	return Restore(cfg, bytes.NewReader(payload))
+}
+
+// SnapshotExists reports whether a loadable snapshot (primary or previous)
+// is present at path.
+func SnapshotExists(path string) bool {
+	if _, err := os.Stat(path); err == nil {
+		return true
+	}
+	_, err := os.Stat(path + PrevSnapshotSuffix)
+	return err == nil
 }
 
 // Restore opens a fresh engine from cfg and loads a snapshot into it. The
