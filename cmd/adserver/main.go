@@ -12,8 +12,9 @@
 // startup and writes a fresh one on shutdown; -journal recovers the event
 // log (truncating a torn tail left by a crash) and appends every mutation
 // at runtime with the fsync policy chosen by -fsync. On SIGINT/SIGTERM the
-// server drains in-flight requests, flushes the journal, and writes the
-// final snapshot before exiting.
+// server drains in-flight requests, flushes the journal, writes the final
+// snapshot, and — with both flags set — resets the journal, whose events the
+// snapshot now embeds, so the next startup doesn't double-apply them.
 package main
 
 import (
@@ -68,8 +69,11 @@ func run() error {
 	cfg.DecayHalfLife = *halfLife
 
 	// Restore durable state: snapshot first (compact), then journal replay
-	// on top (recent events, including any written after the snapshot).
+	// on top. After a graceful shutdown the journal is empty (its events are
+	// embedded in the final snapshot); after a crash it holds everything
+	// since the last snapshot.
 	var eng *caar.Engine
+	snapRestored := false
 	if *snapshotPath != "" && caar.SnapshotExists(*snapshotPath) {
 		var loaded string
 		eng, loaded, err = caar.LoadSnapshot(cfg, *snapshotPath)
@@ -81,6 +85,7 @@ func run() error {
 		} else {
 			log.Printf("snapshot restored from %s", loaded)
 		}
+		snapRestored = true
 	} else {
 		eng, err = caar.Open(cfg)
 		if err != nil {
@@ -90,13 +95,14 @@ func run() error {
 
 	var api server.API = eng
 	var jw *journal.Writer
+	var jf *os.File
 	if *journalPath != "" {
-		f, err := os.OpenFile(*journalPath, os.O_CREATE|os.O_RDWR, 0o644)
+		jf, err = os.OpenFile(*journalPath, os.O_CREATE|os.O_RDWR, 0o644)
 		if err != nil {
 			return fmt.Errorf("journal: %w", err)
 		}
-		defer f.Close()
-		stats, err := journal.Recover(f, eng)
+		defer jf.Close()
+		stats, err := journal.Recover(jf, eng)
 		if err != nil {
 			return fmt.Errorf("journal recovery: %w", err)
 		}
@@ -105,10 +111,15 @@ func run() error {
 		if stats.Torn {
 			log.Printf("journal: torn tail truncated, %d bytes discarded", stats.DiscardedBytes)
 		}
-		for _, e := range stats.SkipErrors {
-			log.Printf("journal: skipped entry: %s", e)
+		// After a snapshot restore, duplicate skips are expected (events from
+		// the crash window already in the snapshot); only dump samples when
+		// something other than a duplicate was skipped.
+		if !snapRestored || stats.Skipped > stats.SkippedDuplicate {
+			for _, e := range stats.SkipErrors {
+				log.Printf("journal: skipped entry: %s", e)
+			}
 		}
-		jw = journal.NewFileWriter(f, policy, *fsyncInterval)
+		jw = journal.NewFileWriter(jf, policy, *fsyncInterval)
 		api = journal.NewLogged(eng, jw)
 	}
 
@@ -171,6 +182,18 @@ func run() error {
 			return fmt.Errorf("final snapshot: %w", err)
 		}
 		log.Printf("snapshot written to %s", *snapshotPath)
+		// Every journaled event is now embedded in the snapshot (including
+		// campaign spend and vocabulary counts, which are NOT idempotent to
+		// replay). Reset the journal so the next startup restores the
+		// snapshot alone instead of double-applying the log on top. A crash
+		// in the instant between SaveSnapshot and Reset re-opens that window;
+		// duplicate-tolerant ops are skipped on replay and the gap is logged.
+		if jf != nil {
+			if err := journal.Reset(jf); err != nil {
+				return fmt.Errorf("journal reset after snapshot: %w", err)
+			}
+			log.Print("journal reset (state captured in snapshot)")
+		}
 	}
 	log.Print("adserver stopped")
 	return nil

@@ -97,6 +97,40 @@ func (p *PartialWriter) err() error {
 	return ErrInjected
 }
 
+// FailingReader reads through from R until Budget bytes have been
+// delivered, then every subsequent Read fails with Err (ErrInjected when
+// nil) — a disk developing a bad sector partway through a file. Reads that
+// would cross the budget are shortened to land exactly on it, so the fault
+// triggers at a deterministic byte offset.
+type FailingReader struct {
+	R      io.Reader
+	Budget int64 // bytes delivered before failing
+	Err    error
+
+	read atomic.Int64
+}
+
+// Read implements io.Reader.
+func (f *FailingReader) Read(p []byte) (int, error) {
+	already := f.read.Load()
+	if already >= f.Budget {
+		return 0, f.err()
+	}
+	if room := f.Budget - already; int64(len(p)) > room {
+		p = p[:room]
+	}
+	n, err := f.R.Read(p)
+	f.read.Add(int64(n))
+	return n, err
+}
+
+func (f *FailingReader) err() error {
+	if f.Err != nil {
+		return f.Err
+	}
+	return ErrInjected
+}
+
 // SlowWriter delays every write by Delay before passing it to W — a
 // saturated or degraded disk.
 type SlowWriter struct {

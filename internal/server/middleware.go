@@ -132,13 +132,32 @@ func (s *Server) withAdmission(next http.Handler) http.Handler {
 
 // withDeadline bounds each request's total handling time using
 // http.TimeoutHandler: the handler runs with a context that expires at the
-// deadline and the client receives 503 if it is exceeded.
+// deadline and the client receives 503 if it is exceeded. TimeoutHandler
+// writes its timeout body with no Content-Type (it would be sniffed as
+// text/html), so the response writer is wrapped to default the header to
+// JSON, keeping the 503 consistent with every other error response.
 func (s *Server) withDeadline(next http.Handler) http.Handler {
 	if s.reqTimeout <= 0 {
 		return next
 	}
 	body, _ := json.Marshal(errorBody{Error: "request deadline exceeded"})
-	return http.TimeoutHandler(next, s.reqTimeout, string(body))
+	th := http.TimeoutHandler(next, s.reqTimeout, string(body))
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		th.ServeHTTP(jsonByDefault{w}, r)
+	})
+}
+
+// jsonByDefault sets Content-Type to application/json at WriteHeader time
+// unless an inner handler already chose one. TimeoutHandler copies the
+// inner handler's headers before WriteHeader on the success path, so this
+// only kicks in for the timeout response it writes itself.
+type jsonByDefault struct{ http.ResponseWriter }
+
+func (w jsonByDefault) WriteHeader(code int) {
+	if w.Header().Get("Content-Type") == "" {
+		w.Header().Set("Content-Type", "application/json")
+	}
+	w.ResponseWriter.WriteHeader(code)
 }
 
 // withBodyLimit caps request body size; the JSON decoder surfaces the

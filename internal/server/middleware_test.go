@@ -172,12 +172,38 @@ func TestRequestDeadline(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	resp.Body.Close()
+	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusServiceUnavailable {
 		t.Fatalf("stuck request: status %d, want 503", resp.StatusCode)
 	}
 	if elapsed := time.Since(start); elapsed > 3*time.Second {
 		t.Fatalf("deadline not enforced: took %v", elapsed)
 	}
-}
+	// The timeout 503 must look like every other error response: JSON with
+	// the right media type, not a content-sniffed text/html body.
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("timeout response Content-Type = %q, want application/json", ct)
+	}
+	var eb struct {
+		Error string `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil {
+		t.Fatalf("timeout response body not JSON: %v", err)
+	}
+	if eb.Error == "" {
+		t.Fatal("timeout response has empty error field")
+	}
 
+	// A request that completes in time keeps the handler's own Content-Type.
+	resp2, err := http.Get(ts.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("healthz through timeout middleware: status %d", resp2.StatusCode)
+	}
+	if ct := resp2.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("healthz Content-Type = %q, want application/json", ct)
+	}
+}

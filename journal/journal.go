@@ -335,6 +335,12 @@ func replay(r io.Reader, eng *caar.Engine, recoverMode bool) (ReplayStats, error
 	var pending []byte // a structurally invalid line, fate decided by what follows
 	for {
 		line, readErr := br.ReadBytes('\n')
+		if readErr != nil && !errors.Is(readErr, io.EOF) {
+			// A read failure is not end-of-log: surfacing it (rather than
+			// treating the file as ending here) keeps Recover from truncating
+			// valid records past a transient I/O error.
+			return stats, fmt.Errorf("journal: read: %w", readErr)
+		}
 		if len(line) == 0 && readErr != nil {
 			break
 		}
@@ -423,6 +429,25 @@ func Recover(f *os.File, eng *caar.Engine) (ReplayStats, error) {
 		return stats, fmt.Errorf("journal: recover seek end: %w", err)
 	}
 	return stats, nil
+}
+
+// Reset truncates a journal file to empty and syncs it, leaving it
+// positioned for appending. Call it after the journaled state has been
+// durably captured elsewhere (a successful snapshot): the events in the log
+// are then already embedded in the snapshot, and replaying them on top at
+// the next startup would double-apply non-idempotent ops — re-charging
+// campaign spend and re-counting vocabulary document frequencies.
+func Reset(f *os.File) error {
+	if err := f.Truncate(0); err != nil {
+		return fmt.Errorf("journal: reset truncate: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("journal: reset sync: %w", err)
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("journal: reset seek: %w", err)
+	}
+	return nil
 }
 
 func truncate(b []byte) string {

@@ -1,0 +1,215 @@
+package journal
+
+// Tests for the graceful-shutdown contract between snapshots and the
+// journal: once a snapshot embeds the journaled events, the journal is
+// Reset so the next startup restores the snapshot alone — replaying the
+// log on top would re-charge campaign spend and re-count vocabulary
+// document frequencies (neither op is idempotent).
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	caar "caar"
+	"caar/internal/faultinject"
+)
+
+// snapMetrics extracts the non-idempotent state a double-replay would
+// corrupt from a snapshot's JSON document.
+type snapMetrics struct {
+	Vocab struct {
+		Docs int   `json:"docs"`
+		DF   []int `json:"df"`
+	} `json:"vocab"`
+	Campaigns []struct {
+		Name  string  `json:"name"`
+		Spent float64 `json:"spent"`
+	} `json:"campaigns"`
+}
+
+func metricsOf(t *testing.T, eng *caar.Engine) (docs, dfSum int, spent float64) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := eng.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var m snapMetrics
+	if err := json.Unmarshal(buf.Bytes(), &m); err != nil {
+		t.Fatal(err)
+	}
+	for _, df := range m.Vocab.DF {
+		dfSum += df
+	}
+	for _, c := range m.Campaigns {
+		spent += c.Spent
+	}
+	return m.Vocab.Docs, dfSum, spent
+}
+
+// TestSnapshotThenResetNoDoubleApply walks two full graceful
+// shutdown/restart cycles and asserts campaign spend and vocabulary
+// statistics stay exact: the journal reset after each snapshot means
+// recovery replays nothing that the snapshot already contains.
+func TestSnapshotThenResetNoDoubleApply(t *testing.T) {
+	dir := t.TempDir()
+	jpath := filepath.Join(dir, "events.log")
+	spath := filepath.Join(dir, "state.snap")
+
+	// Live run: every mutation journaled, including a billable impression
+	// (campaign spend) and posts (vocabulary document frequencies).
+	jf, err := os.OpenFile(jpath, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng1 := newEngine(t)
+	w := NewFileWriter(jf, SyncAlways, 0)
+	driveLogged(t, NewLogged(eng1, w))
+	docs1, df1, spent1 := metricsOf(t, eng1)
+	if spent1 == 0 {
+		t.Fatal("test premise broken: no campaign spend recorded")
+	}
+
+	// Graceful shutdown: flush journal, snapshot, reset journal.
+	shutdown := func(eng *caar.Engine, w *Writer, f *os.File) {
+		t.Helper()
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if err := eng.SaveSnapshot(spath); err != nil {
+			t.Fatal(err)
+		}
+		if err := Reset(f); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	shutdown(eng1, w, jf)
+
+	// Restart 1: snapshot restores everything; the reset journal must
+	// replay nothing on top.
+	restart := func() (*caar.Engine, *os.File) {
+		t.Helper()
+		eng, _, err := caar.LoadSnapshot(caar.DefaultConfig(), spath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := os.OpenFile(jpath, os.O_CREATE|os.O_RDWR, 0o644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stats, err := Recover(f, eng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.Applied != 0 || stats.Skipped != 0 {
+			t.Fatalf("recovery after snapshot+reset replayed %d / skipped %d entries, want 0/0",
+				stats.Applied, stats.Skipped)
+		}
+		return eng, f
+	}
+	eng2, jf2 := restart()
+	if docs, df, spent := metricsOf(t, eng2); docs != docs1 || df != df1 || spent != spent1 {
+		t.Fatalf("restart 1 state drifted: docs %d→%d, dfSum %d→%d, spent %v→%v",
+			docs1, docs, df1, df, spent1, spent)
+	}
+
+	// New traffic after the restart is journaled as usual…
+	w2 := NewFileWriter(jf2, SyncAlways, 0)
+	l2 := NewLogged(eng2, w2)
+	served, err := l2.ServeImpression("shoes", t0.Add(time.Minute))
+	if err != nil || !served {
+		t.Fatalf("impression after restart: served=%v err=%v", served, err)
+	}
+	docs2, df2sum, spent2 := metricsOf(t, eng2)
+	if spent2 <= spent1 {
+		t.Fatalf("second impression did not charge: %v → %v", spent1, spent2)
+	}
+
+	// …and a second shutdown/restart cycle still converges instead of
+	// compounding spend and DF on every restart.
+	shutdown(eng2, w2, jf2)
+	eng3, jf3 := restart()
+	defer jf3.Close()
+	if docs, df, spent := metricsOf(t, eng3); docs != docs2 || df != df2sum || spent != spent2 {
+		t.Fatalf("restart 2 state drifted: docs %d→%d, dfSum %d→%d, spent %v→%v",
+			docs2, docs, df2sum, df, spent2, spent)
+	}
+}
+
+// TestResetEmptiesJournal verifies Reset leaves an empty file positioned
+// for appending, and that post-reset appends recover normally.
+func TestResetEmptiesJournal(t *testing.T) {
+	f, err := os.OpenFile(filepath.Join(t.TempDir(), "wal"), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	w := NewFileWriter(f, SyncAlways, 0)
+	if err := w.Append(Entry{Op: OpAddUser, User: "alice"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := Reset(f); err != nil {
+		t.Fatal(err)
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() != 0 {
+		t.Fatalf("journal size after Reset = %d, want 0", fi.Size())
+	}
+
+	w2 := NewFileWriter(f, SyncAlways, 0)
+	if err := w2.Append(Entry{Op: OpAddUser, User: "bob"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	eng := newEngine(t)
+	stats, err := Recover(f, eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Applied != 1 || stats.Skipped != 0 {
+		t.Fatalf("recovery after reset+append: applied %d skipped %d, want 1/0", stats.Applied, stats.Skipped)
+	}
+}
+
+// TestReplaySurfacesReadErrors distinguishes a failing read from a clean
+// end-of-log: both strict and recover-mode replay must return the error so
+// Recover aborts instead of truncating valid records at the failure point.
+func TestReplaySurfacesReadErrors(t *testing.T) {
+	var log bytes.Buffer
+	driveLogged(t, NewLogged(newEngine(t), NewWriter(&log)))
+	raw := log.Bytes()
+	firstRec := int64(bytes.IndexByte(raw, '\n') + 1)
+	budget := firstRec + 3 // the read fails partway through record two
+
+	_, err := Replay(&faultinject.FailingReader{R: bytes.NewReader(raw), Budget: budget}, newEngine(t))
+	if !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("strict replay swallowed read error: %v", err)
+	}
+
+	stats, err := replay(&faultinject.FailingReader{R: bytes.NewReader(raw), Budget: budget}, newEngine(t), true)
+	if !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("recover-mode replay swallowed read error: %v", err)
+	}
+	if stats.Torn {
+		t.Fatal("read error misreported as torn tail")
+	}
+	if stats.ValidBytes != firstRec {
+		t.Fatalf("ValidBytes = %d, want %d (end of record one)", stats.ValidBytes, firstRec)
+	}
+}
