@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all check vet build test race bench clean
+.PHONY: all check vet build test race bench bench-smoke clean
 
 all: check
 
@@ -22,6 +22,12 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...
+
+# bench-smoke drives an in-process HTTP server for 5 seconds and fails if
+# the /v1/metrics scrape afterwards is empty — a fast end-to-end check
+# that the observability wiring survived whatever you just changed.
+bench-smoke:
+	$(GO) run ./cmd/adbench -serve-bench 5s -bench-out BENCH_PR2.json
 
 clean:
 	$(GO) clean ./...

@@ -6,6 +6,7 @@
 //	adbench -exp F1            # one experiment at default scale
 //	adbench -exp all -scale 1  # the full grid at full scale
 //	adbench -list              # list experiment IDs and titles
+//	adbench -serve-bench 5s    # in-process HTTP bench + metrics smoke test
 package main
 
 import (
@@ -20,12 +21,22 @@ func main() {
 	exp := flag.String("exp", "all", "experiment ID (T1, F1, …, or 'all')")
 	scale := flag.Float64("scale", 0.1, "workload scale factor (1.0 = full evaluation size)")
 	list := flag.Bool("list", false, "list available experiments and exit")
+	serveBench := flag.Duration("serve-bench", 0, "run the in-process HTTP server bench for this long and exit (0 = off)")
+	benchOut := flag.String("bench-out", "BENCH_PR2.json", "output file for -serve-bench results")
 	flag.Parse()
 
 	if *list {
 		for _, id := range experiments.IDs() {
 			e, _ := experiments.Lookup(id)
 			fmt.Printf("%-5s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	if *serveBench > 0 {
+		if err := runServeBench(*serveBench, *benchOut); err != nil {
+			fmt.Fprintln(os.Stderr, "adbench:", err)
+			os.Exit(1)
 		}
 		return
 	}

@@ -1,0 +1,231 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	caar "caar"
+	"caar/internal/server"
+	"caar/metrics"
+	"caar/obs"
+)
+
+// serveBenchResult is the JSON document written by -serve-bench (see
+// BENCH_PR2.json). Latencies come from metrics.LatencyHist quantiles, not an
+// ad-hoc sort, so results merge and compare across runs the same way the
+// experiment grid does.
+type serveBenchResult struct {
+	GeneratedAt     string                   `json:"generated_at"`
+	DurationSeconds float64                  `json:"duration_seconds"`
+	Workers         int                      `json:"workers"`
+	RequestsTotal   uint64                   `json:"requests_total"`
+	ThroughputRPS   float64                  `json:"throughput_rps"`
+	Endpoints       map[string]endpointStats `json:"endpoints"`
+	MetricSeries    int                      `json:"metric_series"`
+	MetricFamilies  int                      `json:"metric_families"`
+}
+
+type endpointStats struct {
+	Count uint64  `json:"count"`
+	P50ms float64 `json:"p50_ms"`
+	P95ms float64 `json:"p95_ms"`
+	P99ms float64 `json:"p99_ms"`
+}
+
+// runServeBench stands up an in-process adserver (engine + HTTP middleware
+// sharing one obs registry), drives a mixed read/write workload against it
+// for dur, and writes per-endpoint throughput and latency quantiles to
+// outPath. It fails if the /v1/metrics scrape afterwards is empty — the
+// bench doubles as a smoke test that the observability layer is actually
+// wired end to end.
+func runServeBench(dur time.Duration, outPath string) error {
+	reg := obs.NewRegistry()
+	cfg := caar.DefaultConfig()
+	cfg.Shards = 4
+	cfg.Metrics = reg
+	eng, err := caar.Open(cfg)
+	if err != nil {
+		return err
+	}
+
+	// Seed a small social graph with ads so recommendations have work to do.
+	const nUsers = 64
+	users := make([]string, nUsers)
+	now := time.Now()
+	for i := range users {
+		users[i] = fmt.Sprintf("user%03d", i)
+		if err := eng.AddUser(users[i]); err != nil {
+			return err
+		}
+	}
+	for i, u := range users {
+		for f := 1; f <= 4; f++ {
+			if err := eng.Follow(u, users[(i+f*7)%nUsers]); err != nil {
+				return err
+			}
+		}
+	}
+	for i := 0; i < 40; i++ {
+		ad := caar.Ad{
+			ID:   fmt.Sprintf("ad%03d", i),
+			Text: fmt.Sprintf("word%04d word%04d word%04d offer sale", i%500, (i*3)%500, (i*11)%500),
+			Bid:  0.1 + float64(i%10)/20,
+		}
+		if err := eng.AddAd(ad); err != nil {
+			return err
+		}
+	}
+	for i, u := range users {
+		text := fmt.Sprintf("word%04d word%04d word%04d morning update", i%500, (i*5)%500, (i*13)%500)
+		if err := eng.Post(u, text, now); err != nil {
+			return err
+		}
+	}
+
+	ts := httptest.NewServer(server.New(eng, server.WithMetrics(reg)).Handler())
+	defer ts.Close()
+	client := ts.Client()
+	at := now.Format(time.RFC3339Nano)
+
+	const workers = 8
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		recHist  metrics.LatencyHist // /v1/recommendations
+		postHist metrics.LatencyHist // /v1/posts
+		firstErr error
+	)
+	deadline := time.Now().Add(dur)
+	start := time.Now()
+	for wk := 0; wk < workers; wk++ {
+		wg.Add(1)
+		go func(wk int) {
+			defer wg.Done()
+			var localRec, localPost metrics.LatencyHist
+			for i := 0; time.Now().Before(deadline); i++ {
+				user := users[(wk*131+i)%nUsers]
+				isPost := i%10 < 3 // 30% writes
+				t0 := time.Now()
+				var (
+					resp *http.Response
+					err  error
+				)
+				if isPost {
+					body, _ := json.Marshal(map[string]string{
+						"author": user,
+						"text":   fmt.Sprintf("word%04d word%04d update", (wk*31+i)%500, (i*7)%500),
+						"at":     at,
+					})
+					resp, err = client.Post(ts.URL+"/v1/posts", "application/json", bytes.NewReader(body))
+				} else {
+					resp, err = client.Get(ts.URL + "/v1/recommendations?user=" + user + "&k=5&at=" + at)
+				}
+				elapsed := time.Since(t0)
+				if resp != nil {
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+				}
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+				if isPost {
+					localPost.Observe(elapsed)
+				} else {
+					localRec.Observe(elapsed)
+				}
+			}
+			mu.Lock()
+			recHist.Merge(&localRec)
+			postHist.Merge(&localPost)
+			mu.Unlock()
+		}(wk)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if firstErr != nil {
+		return fmt.Errorf("serve-bench: request failed: %w", firstErr)
+	}
+
+	// Scrape the exposition the workload just populated; an empty scrape
+	// means the observability wiring is broken, which fails the bench.
+	series, families, err := scrapeMetrics(client, ts.URL+"/v1/metrics")
+	if err != nil {
+		return err
+	}
+	if series == 0 {
+		return fmt.Errorf("serve-bench: /v1/metrics scrape returned no series")
+	}
+
+	total := recHist.Count() + postHist.Count()
+	res := serveBenchResult{
+		GeneratedAt:     time.Now().UTC().Format(time.RFC3339),
+		DurationSeconds: elapsed.Seconds(),
+		Workers:         workers,
+		RequestsTotal:   total,
+		ThroughputRPS:   metrics.Throughput{Events: total, Elapsed: elapsed}.PerSecond(),
+		Endpoints: map[string]endpointStats{
+			"/v1/recommendations": histStats(&recHist),
+			"/v1/posts":           histStats(&postHist),
+		},
+		MetricSeries:   series,
+		MetricFamilies: families,
+	}
+
+	out, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if err := os.WriteFile(outPath, out, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("serve-bench: %d requests in %v (%.1f req/s), %d metric series in %d families, wrote %s\n",
+		total, elapsed.Round(time.Millisecond), res.ThroughputRPS, series, families, outPath)
+	return nil
+}
+
+func histStats(h *metrics.LatencyHist) endpointStats {
+	ms := func(q float64) float64 { return float64(h.Quantile(q)) / float64(time.Millisecond) }
+	return endpointStats{Count: h.Count(), P50ms: ms(0.5), P95ms: ms(0.95), P99ms: ms(0.99)}
+}
+
+// scrapeMetrics fetches a Prometheus exposition and counts sample lines
+// (series) and "# TYPE" lines (families).
+func scrapeMetrics(client *http.Client, url string) (series, families int, err error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return 0, 0, fmt.Errorf("serve-bench: metrics scrape: %w", err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, 0, fmt.Errorf("serve-bench: metrics scrape: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return 0, 0, fmt.Errorf("serve-bench: metrics scrape: status %d", resp.StatusCode)
+	}
+	for _, line := range strings.Split(string(body), "\n") {
+		switch {
+		case line == "":
+		case strings.HasPrefix(line, "# TYPE"):
+			families++
+		case strings.HasPrefix(line, "#"):
+		default:
+			series++
+		}
+	}
+	return series, families, nil
+}

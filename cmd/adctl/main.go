@@ -18,6 +18,10 @@
 //	impression <ad-id>
 //	trending [slot] [k]
 //	stats
+//	health
+//	ready
+//	statusz
+//	metrics
 package main
 
 import (
@@ -190,6 +194,48 @@ func run(ctx context.Context, c *client.Client, cmd string, args []string, now t
 		fmt.Printf("posts delivered  %d\n", st.PostsDelivered)
 		fmt.Printf("check-ins        %d\n", st.CheckIns)
 		fmt.Printf("shards           %d\n", st.Shards)
+		return nil
+	case "health":
+		h, err := c.Health(ctx)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("status     %s\n", h.Status)
+		fmt.Printf("in flight  %d\n", h.InFlight)
+		fmt.Printf("shed       %d\n", h.Shed)
+		fmt.Printf("panics     %d\n", h.Panics)
+		for _, p := range h.Problems {
+			fmt.Printf("problem    %s\n", p)
+		}
+		return nil
+	case "ready":
+		ready, reasons, err := c.Ready(ctx)
+		if err != nil {
+			return err
+		}
+		if ready {
+			fmt.Println("ready")
+			return nil
+		}
+		fmt.Println("degraded")
+		for _, r := range reasons {
+			fmt.Printf("reason  %s\n", r)
+		}
+		os.Exit(1)
+		return nil
+	case "statusz":
+		text, err := c.Statusz(ctx)
+		if err != nil {
+			return err
+		}
+		fmt.Print(text)
+		return nil
+	case "metrics":
+		text, err := c.MetricsText(ctx)
+		if err != nil {
+			return err
+		}
+		fmt.Print(text)
 		return nil
 	default:
 		return fmt.Errorf("unknown command %q", cmd)

@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"os"
 	"time"
 
@@ -29,12 +30,14 @@ func main() {
 	flag.IntVar(&cfg.AvgFollowees, "followees", cfg.AvgFollowees, "average followees per user")
 	statsOnly := flag.Bool("stats", false, "print workload statistics instead of the trace")
 	load := flag.String("load", "", "load a trace file instead of generating")
+	verbose := flag.Bool("v", false, "log generation timing as JSON on stderr")
 	flag.Parse()
 
 	var (
 		w   *workload.Workload
 		err error
 	)
+	start := time.Now()
 	if *load != "" {
 		f, ferr := os.Open(*load)
 		if ferr != nil {
@@ -47,6 +50,15 @@ func main() {
 	}
 	if err != nil {
 		log.Fatalf("adgen: %v", err)
+	}
+	if *verbose {
+		// The trace goes to stdout; structured progress stays on stderr so
+		// `adgen -v > workload.jsonl` composes.
+		slog.New(slog.NewJSONHandler(os.Stderr, nil)).Info("workload ready",
+			slog.Int("users", len(w.Users)),
+			slog.Int("ads", len(w.Ads)),
+			slog.Int("events", len(w.Events)),
+			slog.Duration("took", time.Since(start)))
 	}
 
 	if *statsOnly {

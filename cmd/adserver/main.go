@@ -23,15 +23,19 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	caar "caar"
 	"caar/internal/server"
 	"caar/journal"
+	"caar/obs"
 )
 
 func main() {
@@ -55,18 +59,31 @@ func run() error {
 	maxBody := flag.Int64("max-body", server.DefaultMaxBodyBytes, "max request body bytes (-1 = unlimited)")
 	shutdownGrace := flag.Duration("shutdown-grace", 15*time.Second, "time to drain in-flight requests on SIGINT/SIGTERM")
 	demo := flag.Bool("demo", false, "preload a small demo dataset")
+	logLevel := flag.String("log-level", "info", "structured log level: debug, info, warn or error")
+	slowReq := flag.Duration("slow-request", 500*time.Millisecond, "log requests slower than this at warn level (0 = off)")
+	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof profiling under /debug/pprof/")
 	flag.Parse()
 
 	policy, err := journal.ParseSyncPolicy(*fsync)
 	if err != nil {
 		return err
 	}
+	level, err := parseLogLevel(*logLevel)
+	if err != nil {
+		return err
+	}
+	logger := slog.New(slog.NewJSONHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+
+	// One registry shared by every layer — engine, journal and HTTP server —
+	// so a single GET /v1/metrics scrape exposes the whole process.
+	reg := obs.NewRegistry()
 
 	cfg := caar.DefaultConfig()
 	cfg.Algorithm = caar.Algorithm(*algorithm)
 	cfg.Shards = *shards
 	cfg.WindowSize = *windowSize
 	cfg.DecayHalfLife = *halfLife
+	cfg.Metrics = reg
 
 	// Restore durable state: snapshot first (compact), then journal replay
 	// on top. After a graceful shutdown the journal is empty (its events are
@@ -102,10 +119,12 @@ func run() error {
 			return fmt.Errorf("journal: %w", err)
 		}
 		defer jf.Close()
+		jm := journal.NewMetrics(reg)
 		stats, err := journal.Recover(jf, eng)
 		if err != nil {
 			return fmt.Errorf("journal recovery: %w", err)
 		}
+		jm.ObserveReplay(stats)
 		log.Printf("journal recovered: %d applied, %d skipped (%d duplicate, %d unknown ref, %d invalid)",
 			stats.Applied, stats.Skipped, stats.SkippedDuplicate, stats.SkippedUnknownRef, stats.SkippedInvalid)
 		if stats.Torn {
@@ -120,6 +139,7 @@ func run() error {
 			}
 		}
 		jw = journal.NewFileWriter(jf, policy, *fsyncInterval)
+		jw.SetMetrics(jm)
 		api = journal.NewLogged(eng, jw)
 	}
 
@@ -134,10 +154,28 @@ func run() error {
 		server.WithMaxInFlight(*maxInFlight),
 		server.WithRequestTimeout(*requestTimeout),
 		server.WithMaxBodyBytes(*maxBody),
+		server.WithMetrics(reg),
+		server.WithAccessLog(logger),
+		server.WithSlowRequestThreshold(*slowReq),
 	)
+	handler := srv.Handler()
+	if *pprofOn {
+		// Profiling is opt-in: the pprof mux wraps the API handler so
+		// /debug/pprof/ stays outside the admission/deadline middleware and a
+		// long CPU profile is not cut off by the request timeout.
+		outer := http.NewServeMux()
+		outer.HandleFunc("/debug/pprof/", pprof.Index)
+		outer.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		outer.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		outer.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		outer.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		outer.Handle("/", handler)
+		handler = outer
+		logger.Info("pprof enabled", slog.String("path", "/debug/pprof/"))
+	}
 	httpSrv := &http.Server{
 		Addr:              *addr,
-		Handler:           srv.Handler(),
+		Handler:           handler,
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       30 * time.Second,
 		WriteTimeout:      30 * time.Second,
@@ -197,6 +235,21 @@ func run() error {
 	}
 	log.Print("adserver stopped")
 	return nil
+}
+
+// parseLogLevel maps the -log-level flag to a slog level.
+func parseLogLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(s) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "info":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("invalid -log-level %q (want debug, info, warn or error)", s)
 }
 
 // loadDemo seeds through the API (not the raw engine) so the demo data is

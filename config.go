@@ -8,6 +8,7 @@ import (
 	"caar/internal/core"
 	"caar/internal/geo"
 	"caar/internal/timeslot"
+	"caar/obs"
 )
 
 // Config configures an Engine. The zero value is not usable; start from
@@ -52,6 +53,13 @@ type Config struct {
 	// OnRecommend receives continuous-mode results. It may be called from
 	// multiple goroutines when Shards > 1.
 	OnRecommend func(user string, recs []Recommendation)
+
+	// Metrics, when non-nil, is the observability registry the engine
+	// registers its collectors on — pass the process-wide registry to expose
+	// engine metrics alongside server and journal metrics on one scrape
+	// endpoint. nil gives the engine a private registry (reachable through
+	// Engine.Metrics), so instrumentation is always on.
+	Metrics *obs.Registry
 }
 
 // DefaultConfig returns a production-shaped configuration: CAP engine,

@@ -13,6 +13,7 @@ import (
 	"caar/internal/geo"
 	"caar/internal/textproc"
 	"caar/internal/timeslot"
+	"caar/obs"
 )
 
 // Engine is the public recommender. It is safe for concurrent use: the text
@@ -39,6 +40,9 @@ type Engine struct {
 
 	postsDelivered atomic.Uint64
 	checkIns       atomic.Uint64
+
+	metrics *obs.Registry
+	obsm    *engineMetrics
 }
 
 // shard is one engine instance plus its serializing lock.
@@ -105,6 +109,18 @@ func Open(cfg Config) (*Engine, error) {
 			return nil, err
 		}
 		e.shards = append(e.shards, shard{mu: new(sync.Mutex), eng: eng})
+	}
+
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	e.metrics = reg
+	e.obsm = newEngineMetrics(reg, e)
+	for _, sh := range e.shards {
+		if ss, ok := sh.eng.(core.StageSetter); ok {
+			ss.SetStageRecorder(e.obsm.recordCoreStage)
+		}
 	}
 	return e, nil
 }
@@ -201,7 +217,7 @@ func (e *Engine) AddAd(ad Ad) error {
 	if ad.ID == "" {
 		return fmt.Errorf("%w: empty ad ID", ErrBadConfig)
 	}
-	vec := e.pipeline.Vector(ad.Text)
+	vec := e.vectorize(ad.Text)
 	if len(vec) == 0 {
 		return fmt.Errorf("caar: ad %q has no indexable keywords in %q", ad.ID, ad.Text)
 	}
@@ -316,7 +332,7 @@ func (e *Engine) Post(author, text string, at time.Time) error {
 		ID:     feed.MessageID(e.msgSeq.Add(1)),
 		Author: uid,
 		Time:   at,
-		Vec:    e.pipeline.Vector(text),
+		Vec:    e.vectorize(text),
 	}
 	e.trends.observe(timeslot.Of(at), msg.Vec)
 	followers := e.graph.Followers(uid)
@@ -385,21 +401,52 @@ func (e *Engine) deliver(msg feed.Message, all []feed.UserID, at time.Time) erro
 
 // Recommend returns the top-k ads for a user at the given time.
 func (e *Engine) Recommend(user string, k int, at time.Time) ([]Recommendation, error) {
+	return e.recommend(user, k, at, ServingPolicy{})
+}
+
+// recommend is the unified serving pipeline behind Recommend and
+// RecommendWithPolicy: lookup → (shard-lock wait) → core ranking
+// (retrieve/score/topk, recorded by the shard engine) → result mapping →
+// policy filtering. Every stage lands in the per-stage latency histograms —
+// the policy stage too, even with a zero policy, so each query touches the
+// whole stage family and the stage counts stay mutually comparable.
+func (e *Engine) recommend(user string, k int, at time.Time, policy ServingPolicy) ([]Recommendation, error) {
+	start := time.Now()
 	uid, err := e.lookupUser(user)
 	if err != nil {
+		e.obsm.recommendErrors.Inc()
 		return nil, err
 	}
 	if k < 1 {
+		e.obsm.recommendErrors.Inc()
 		return nil, fmt.Errorf("%w: k=%d", ErrBadConfig, k)
+	}
+	span := e.obsm.stage(e.obsm.stageLookup, start)
+
+	fetch := k
+	if policy.enabled() {
+		fetch = k * policy.overfetch()
 	}
 	sh := e.shardOf(uid)
 	sh.mu.Lock()
-	scored, err := sh.eng.TopAds(uid, k, at)
+	locked := time.Now()
+	e.obsm.lockWaitSeconds.ObserveDuration(locked.Sub(span))
+	scored, err := sh.eng.TopAds(uid, fetch, at)
 	sh.mu.Unlock()
 	if err != nil {
+		e.obsm.recommendErrors.Inc()
 		return nil, err
 	}
-	return e.toRecommendations(scored), nil
+
+	span = time.Now()
+	recs := e.toRecommendations(scored)
+	span = e.obsm.stage(e.obsm.stageMap, span)
+	out := e.applyPolicy(user, k, at, policy, recs)
+	e.obsm.stage(e.obsm.stagePolicy, span)
+
+	e.obsm.recommendSeconds.ObserveDuration(time.Since(start))
+	e.obsm.recommends.Inc()
+	return out, nil
 }
 
 // ServeImpression bills one impression of an ad against its campaign's
@@ -410,9 +457,19 @@ func (e *Engine) ServeImpression(adID string, at time.Time) (bool, error) {
 	internalID, ok := e.adIDs[adID]
 	e.mu.RUnlock()
 	if !ok {
+		e.obsm.impressions.With("error").Inc()
 		return false, fmt.Errorf("%w: %q", ErrUnknownAd, adID)
 	}
-	return e.store.ChargeImpression(internalID, at)
+	served, err := e.store.ChargeImpression(internalID, at)
+	switch {
+	case err != nil:
+		e.obsm.impressions.With("error").Inc()
+	case served:
+		e.obsm.impressions.With("billed").Inc()
+	default:
+		e.obsm.impressions.With("budget_exhausted").Inc()
+	}
+	return served, err
 }
 
 func (e *Engine) userName(u feed.UserID) string {

@@ -1,0 +1,237 @@
+package caar
+
+import (
+	"sync/atomic"
+	"time"
+
+	"caar/internal/adstore"
+	"caar/internal/core"
+	"caar/internal/textproc"
+	"caar/obs"
+)
+
+// Engine observability: every engine carries a metrics registry (its own
+// private one unless Config.Metrics supplies a shared registry) and records
+// the serving pipeline's per-stage latency spans plus sampled gauges over
+// live state. Metric names are stable API — they are documented in
+// README.md §Observability and scraped by dashboards; renaming one is a
+// breaking change.
+
+// StageBuckets is the bucket layout of per-stage recommend spans: finer
+// than request-level LatencyBuckets because CAP's retrieve stage sits in
+// the sub-microsecond range its incremental design was built for.
+var stageBuckets = obs.ExpBuckets(1e-6, 2, 22) // 1 µs .. ~2.1 s
+
+// fsyncBuckets covers journal fsync and snapshot write latencies.
+var fsyncBuckets = obs.ExpBuckets(10e-6, 2, 20) // 10 µs .. ~5.2 s
+
+// engineMetrics bundles the engine's registered collectors. All fields are
+// non-nil once the engine is open.
+type engineMetrics struct {
+	// Per-stage recommend spans, one histogram per pipeline stage. The
+	// lookup/map/policy stages are recorded by the facade; retrieve/score/
+	// topk by the core engine under the shard lock.
+	stageSeconds  *obs.HistogramVec
+	stageLookup   *obs.Histogram
+	stageRetrieve *obs.Histogram
+	stageScore    *obs.Histogram
+	stageTopK     *obs.Histogram
+	stageMap      *obs.Histogram
+	stagePolicy   *obs.Histogram
+
+	recommendSeconds *obs.Histogram
+	recommends       *obs.Counter
+	recommendErrors  *obs.Counter
+	lockWaitSeconds  *obs.Histogram
+	vectorizeSeconds *obs.Histogram
+	impressions      *obs.CounterVec
+
+	snapshotSeconds *obs.Histogram
+	snapshotSize    *obs.Gauge
+	snapshotErrors  *obs.Counter
+
+	lastSnapshotUnix atomic.Int64
+	lastSnapshotErr  atomic.Value // string; "" after a successful save
+}
+
+// newEngineMetrics registers the engine's collectors on reg and installs
+// gauge functions sampling e's live state at scrape time.
+func newEngineMetrics(reg *obs.Registry, e *Engine) *engineMetrics {
+	m := &engineMetrics{
+		stageSeconds: reg.HistogramVec("caar_engine_recommend_stage_seconds",
+			"Latency of each recommend pipeline stage (lookup, retrieve, score, topk, map, policy).",
+			stageBuckets, "stage"),
+		recommendSeconds: reg.Histogram("caar_engine_recommend_seconds",
+			"End-to-end engine recommend latency.", stageBuckets),
+		recommends: reg.Counter("caar_engine_recommends_total",
+			"Completed recommend queries."),
+		recommendErrors: reg.Counter("caar_engine_recommend_errors_total",
+			"Recommend queries rejected with an error."),
+		lockWaitSeconds: reg.Histogram("caar_engine_shard_lock_wait_seconds",
+			"Time a recommend query waited for its shard's serializing lock.", stageBuckets),
+		vectorizeSeconds: reg.Histogram("caar_engine_vectorize_seconds",
+			"Text pipeline vectorization latency (posts and ad copy).", stageBuckets),
+		impressions: reg.CounterVec("caar_engine_impressions_total",
+			"Impression billing attempts by outcome.", "result"),
+		snapshotSeconds: reg.Histogram("caar_snapshot_write_seconds",
+			"Wall time of SaveSnapshot (serialize, fsync, rename).", fsyncBuckets),
+		snapshotSize: reg.Gauge("caar_snapshot_size_bytes",
+			"Size of the last successfully written snapshot."),
+		snapshotErrors: reg.Counter("caar_snapshot_errors_total",
+			"Failed snapshot writes."),
+	}
+	m.stageLookup = m.stageSeconds.With("lookup")
+	m.stageRetrieve = m.stageSeconds.With(core.StageRetrieve.String())
+	m.stageScore = m.stageSeconds.With(core.StageScore.String())
+	m.stageTopK = m.stageSeconds.With(core.StageTopK.String())
+	m.stageMap = m.stageSeconds.With("map")
+	m.stagePolicy = m.stageSeconds.With("policy")
+	m.lastSnapshotErr.Store("")
+
+	reg.GaugeFunc("caar_engine_users", "Registered users.", func() float64 {
+		e.mu.RLock()
+		defer e.mu.RUnlock()
+		return float64(len(e.users))
+	})
+	reg.GaugeFunc("caar_engine_ads", "Live advertisements.", func() float64 {
+		return float64(e.store.Len())
+	})
+	reg.GaugeFunc("caar_engine_follow_edges", "Follow edges in the social graph.", func() float64 {
+		return float64(e.graph.Edges())
+	})
+	reg.GaugeFunc("caar_engine_campaigns", "Registered campaigns.", func() float64 {
+		n := 0
+		e.store.ForEachCampaign(func(*adstore.Campaign) { n++ })
+		return float64(n)
+	})
+	reg.GaugeFunc("caar_engine_campaign_budget_remaining", "Unspent budget summed over all campaigns.", func() float64 {
+		var left float64
+		e.store.ForEachCampaign(func(c *adstore.Campaign) { left += c.Remaining() })
+		return left
+	})
+	reg.GaugeFunc("caar_engine_index_terms", "Distinct terms interned in the text pipeline's vocabulary.", func() float64 {
+		return float64(e.pipeline.Vocab.Size())
+	})
+	reg.GaugeFunc("caar_engine_index_postings", "Total (term, ad) postings across shard inverted indexes.", func() float64 {
+		total := 0
+		for _, sh := range e.shards {
+			sh.mu.Lock()
+			if is, ok := sh.eng.(interface{ IndexStats() (int, int) }); ok {
+				_, p := is.IndexStats()
+				total += p
+			}
+			sh.mu.Unlock()
+		}
+		return float64(total)
+	})
+	reg.GaugeFunc("caar_engine_window_messages", "Messages resident in user feed windows (context occupancy).", func() float64 {
+		total := 0
+		for _, sh := range e.shards {
+			sh.mu.Lock()
+			if ws, ok := sh.eng.(interface{ WindowStats() (int, int) }); ok {
+				_, entries := ws.WindowStats()
+				total += entries
+			}
+			sh.mu.Unlock()
+		}
+		return float64(total)
+	})
+	reg.GaugeFunc("caar_engine_candidate_buffer_entries", "CAP candidate-buffer entries summed over users (0 for IL/RS).", func() float64 {
+		total := 0
+		for _, sh := range e.shards {
+			sh.mu.Lock()
+			if c, ok := sh.eng.(*core.CAP); ok {
+				total += c.TotalBufferEntries()
+			}
+			sh.mu.Unlock()
+		}
+		return float64(total)
+	})
+	reg.GaugeFunc("caar_engine_cached_messages", "Messages with live shared delta lists (CAP fan-out sharing).", func() float64 {
+		total := 0
+		for _, sh := range e.shards {
+			sh.mu.Lock()
+			if c, ok := sh.eng.(*core.CAP); ok {
+				total += c.CachedMessages()
+			}
+			sh.mu.Unlock()
+		}
+		return float64(total)
+	})
+	reg.GaugeFunc("caar_engine_shards", "Engine shard count.", func() float64 {
+		return float64(len(e.shards))
+	})
+	reg.CounterFunc("caar_engine_posts_delivered_total", "Posts fanned out to follower windows.", func() uint64 {
+		return e.postsDelivered.Load()
+	})
+	reg.CounterFunc("caar_engine_checkins_total", "User location check-ins.", func() uint64 {
+		return e.checkIns.Load()
+	})
+	reg.GaugeFunc("caar_snapshot_age_seconds", "Seconds since the last successful snapshot write (-1 before the first).", func() float64 {
+		last := m.lastSnapshotUnix.Load()
+		if last == 0 {
+			return -1
+		}
+		return time.Since(time.Unix(last, 0)).Seconds()
+	})
+	return m
+}
+
+// stage records one facade-side pipeline span and returns the start point
+// of the next stage, sharing a single monotonic clock read between them.
+func (m *engineMetrics) stage(h *obs.Histogram, start time.Time) time.Time {
+	now := time.Now()
+	h.ObserveDuration(now.Sub(start))
+	return now
+}
+
+// recordCoreStage is the core.StageRecorder installed on every shard engine:
+// it routes the stages measured under the shard lock into the shared
+// per-stage histogram family.
+func (m *engineMetrics) recordCoreStage(s core.Stage, d time.Duration) {
+	switch s {
+	case core.StageRetrieve:
+		m.stageRetrieve.ObserveDuration(d)
+	case core.StageScore:
+		m.stageScore.ObserveDuration(d)
+	case core.StageTopK:
+		m.stageTopK.ObserveDuration(d)
+	}
+}
+
+// vectorize wraps a text-pipeline call with its latency span.
+func (e *Engine) vectorize(text string) textproc.SparseVector {
+	start := time.Now()
+	vec := e.pipeline.Vector(text)
+	e.obsm.vectorizeSeconds.ObserveDuration(time.Since(start))
+	return vec
+}
+
+// snapshotResult records the outcome of one SaveSnapshot for the snapshot
+// metrics and the readiness probe.
+func (m *engineMetrics) snapshotResult(start time.Time, size int64, err error) {
+	m.snapshotSeconds.ObserveDuration(time.Since(start))
+	if err != nil {
+		m.snapshotErrors.Inc()
+		m.lastSnapshotErr.Store(err.Error())
+		return
+	}
+	m.lastSnapshotErr.Store("")
+	m.lastSnapshotUnix.Store(time.Now().Unix())
+	m.snapshotSize.Set(float64(size))
+}
+
+// Metrics returns the engine's observability registry — the one passed in
+// Config.Metrics, or the engine's private registry otherwise. Expose it
+// over HTTP with obs.Registry.Handler or server.WithMetrics.
+func (e *Engine) Metrics() *obs.Registry { return e.metrics }
+
+// HealthProblems reports conditions that should mark the deployment
+// degraded (not dead): currently a failed last snapshot write. The server's
+// readiness probe aggregates these.
+func (e *Engine) HealthProblems() []string {
+	if s, _ := e.obsm.lastSnapshotErr.Load().(string); s != "" {
+		return []string{"snapshot: last write failed: " + s}
+	}
+	return nil
+}

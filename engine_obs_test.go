@@ -1,0 +1,78 @@
+package caar
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestRecommendTouchesEveryStage: one recommendation request must leave a
+// sample in every pipeline-stage histogram — lookup, retrieve, score, topk,
+// map and policy — so a stage that silently stops being measured fails
+// loudly here rather than as a flat line on a dashboard.
+func TestRecommendTouchesEveryStage(t *testing.T) {
+	e, err := Open(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range []string{"u1", "u2"} {
+		if err := e.AddUser(u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Follow("u1", "u2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.AddAd(Ad{ID: "a1", Text: "coffee espresso pastries", Bid: 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Post("u2", "morning coffee espresso downtown", morning); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Recommend("u1", 3, morning.Add(time.Minute)); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := e.Metrics().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	body := buf.String()
+
+	for _, stage := range []string{"lookup", "retrieve", "score", "topk", "map", "policy"} {
+		want := fmt.Sprintf(`caar_engine_recommend_stage_seconds_count{stage=%q} 1`, stage)
+		if !strings.Contains(body, want) {
+			t.Errorf("stage %q not recorded: missing %q", stage, want)
+		}
+	}
+	if !strings.Contains(body, "caar_engine_recommend_seconds_count 1") {
+		t.Error("total recommend latency not recorded")
+	}
+	if !strings.Contains(body, "caar_engine_recommends_total 1") {
+		t.Error("recommend counter not incremented")
+	}
+	// Post and AddAd both vectorize text.
+	if !strings.Contains(body, "caar_engine_vectorize_seconds_count 2") {
+		t.Error("vectorization latency not recorded for post + ad")
+	}
+}
+
+// TestEngineExposesMetricFamilies: the engine registry alone must expose a
+// substantial family set (the acceptance floor for the whole process is 20
+// across engine + server + journal).
+func TestEngineExposesMetricFamilies(t *testing.T) {
+	e, err := Open(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := e.Metrics().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	families := strings.Count(buf.String(), "# TYPE ")
+	if families < 15 {
+		t.Fatalf("engine registry exposes %d families, want >= 15:\n%s", families, buf.String())
+	}
+}

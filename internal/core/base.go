@@ -24,6 +24,10 @@ type base struct {
 	scoring Scoring
 	store   *adstore.Store
 	users   map[feed.UserID]*userState
+
+	// stages, when non-nil, receives per-stage TopAds latency spans (see
+	// stages.go). nil keeps the query path free of clock reads.
+	stages StageRecorder
 }
 
 func newBase(s Scoring, store *adstore.Store) (*base, error) {
@@ -42,6 +46,16 @@ func newBase(s Scoring, store *adstore.Store) (*base, error) {
 
 // Store exposes the ad store (for budget inspection by the facade).
 func (b *base) Store() *adstore.Store { return b.store }
+
+// WindowStats reports the number of registered users and the total count of
+// window-resident messages — the live feed-context occupancy, sampled by
+// the facade's observability gauges. Callers hold the engine's lock.
+func (b *base) WindowStats() (users, entries int) {
+	for _, st := range b.users {
+		entries += st.win.Len()
+	}
+	return len(b.users), entries
+}
 
 func (b *base) AddUser(u feed.UserID) {
 	if _, ok := b.users[u]; ok {

@@ -273,7 +273,9 @@ func (e *CAP) maybeRebuild(u feed.UserID, st *userState, buf *dynBuf) {
 }
 
 // TopAds implements Recommender: rank the buffered text candidates plus the
-// static-only remainder. No index traversal happens on this path.
+// static-only remainder. No index traversal happens on this path — the
+// retrieve stage is just the window-context factor lookup, because CAP
+// materialized the candidate set incrementally at delivery time.
 func (e *CAP) TopAds(u feed.UserID, k int, t time.Time) ([]Scored, error) {
 	st, err := e.state(u)
 	if err != nil {
@@ -283,10 +285,12 @@ func (e *CAP) TopAds(u feed.UserID, k int, t time.Time) ([]Scored, error) {
 	if !ok {
 		return nil, fmt.Errorf("%w: %d", ErrUnknownUser, u)
 	}
+	span := e.stageStart()
 	_, winFactor := st.win.ContextRef(t)
 	mult := buf.scale * winFactor
 	sl := timeslot.Of(t)
 	c := topk.NewCollector(k)
+	span = e.stageDone(StageRetrieve, span)
 
 	for ad, v := range buf.u {
 		e.offer(c, e.ad(ad), v*mult, st, sl, t)
@@ -295,10 +299,13 @@ func (e *CAP) TopAds(u feed.UserID, k int, t time.Time) ([]Scored, error) {
 		_, seen := buf.u[id]
 		return seen
 	})
+	span = e.stageDone(StageScore, span)
 
-	return e.resolve(c.Items(), st, func(id adstore.AdID) float64 {
+	out := e.resolve(c.Items(), st, func(id adstore.AdID) float64 {
 		return buf.u[id] * mult
-	}), nil
+	})
+	e.stageDone(StageTopK, span)
+	return out, nil
 }
 
 // BufferSize returns the candidate-buffer size of a user, a memory/latency

@@ -61,6 +61,13 @@ func (ix *indexed) unregisterAd(id adstore.AdID) {
 // ad returns the shard-local ad record (nil when withdrawn).
 func (ix *indexed) ad(id adstore.AdID) *adstore.Ad { return ix.ads[id] }
 
+// IndexStats reports the keyword inverted index's size: indexed ads and
+// total (term, ad) postings. Callers hold the engine's lock; the facade's
+// observability gauges sample it at scrape time.
+func (ix *indexed) IndexStats() (ads, postings int) {
+	return ix.inv.Len(), ix.inv.Postings()
+}
+
 func (ix *indexed) addAd(a *adstore.Ad) error {
 	if err := ix.store.Add(a); err != nil {
 		return err
@@ -173,11 +180,13 @@ func (e *IL) TopAds(u feed.UserID, k int, t time.Time) ([]Scored, error) {
 	if err != nil {
 		return nil, err
 	}
+	span := e.stageStart()
 	ctx, factor := st.win.ContextRef(t)
 	sl := timeslot.Of(t)
 	c := topk.NewCollector(k)
-
 	deltas := e.inv.DeltaList(ctx)
+	span = e.stageDone(StageRetrieve, span)
+
 	textOf := make(map[adstore.AdID]float64, len(deltas))
 	for _, d := range deltas {
 		textRel := d.Coeff * factor
@@ -188,6 +197,9 @@ func (e *IL) TopAds(u feed.UserID, k int, t time.Time) ([]Scored, error) {
 		_, seen := textOf[id]
 		return seen
 	})
+	span = e.stageDone(StageScore, span)
 
-	return e.resolve(c.Items(), st, func(id adstore.AdID) float64 { return textOf[id] }), nil
+	out := e.resolve(c.Items(), st, func(id adstore.AdID) float64 { return textOf[id] })
+	e.stageDone(StageTopK, span)
+	return out, nil
 }

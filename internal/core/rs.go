@@ -57,24 +57,34 @@ func (e *RS) Deliver(msg feed.Message, followers []feed.UserID) error {
 	return nil
 }
 
-// TopAds implements Recommender by exhaustive scan.
+// TopAds implements Recommender by exhaustive scan. RS has no retrieval
+// structure, so its retrieve stage covers only the window-context fetch;
+// all the work lands in the score stage — exactly the contrast the
+// per-stage spans exist to expose.
 func (e *RS) TopAds(u feed.UserID, k int, t time.Time) ([]Scored, error) {
 	st, err := e.state(u)
 	if err != nil {
 		return nil, err
 	}
+	span := e.stageStart()
 	ctx, factor := st.win.ContextRef(t)
 	sl := timeslot.Of(t)
 	c := topk.NewCollector(k)
+	span = e.stageDone(StageRetrieve, span)
+
 	e.store.ForEach(func(a *adstore.Ad) {
 		textRel := a.Vec.Dot(ctx) * factor
 		e.offer(c, a, textRel, st, sl, t)
 	})
-	return e.resolve(c.Items(), st, func(id adstore.AdID) float64 {
+	span = e.stageDone(StageScore, span)
+
+	out := e.resolve(c.Items(), st, func(id adstore.AdID) float64 {
 		a := e.store.Get(id)
 		if a == nil {
 			return 0
 		}
 		return a.Vec.Dot(ctx) * factor
-	}), nil
+	})
+	e.stageDone(StageTopK, span)
+	return out, nil
 }

@@ -8,7 +8,6 @@ import (
 	"net/http/httptest"
 	"os"
 	"path/filepath"
-	"sort"
 	"sync"
 	"testing"
 	"time"
@@ -17,6 +16,7 @@ import (
 	"caar/client"
 	"caar/internal/faultinject"
 	"caar/journal"
+	"caar/metrics"
 )
 
 // Chaos-style integration tests: the full serving path (engine → journal →
@@ -225,7 +225,7 @@ func TestChaosOverloadShedsAndDrains(t *testing.T) {
 	var (
 		wg        sync.WaitGroup
 		mu        sync.Mutex
-		latencies []time.Duration
+		latencies metrics.LatencyHist
 		failures  int
 	)
 	for w := 0; w < workers; w++ {
@@ -250,7 +250,7 @@ func TestChaosOverloadShedsAndDrains(t *testing.T) {
 				if err != nil {
 					failures++
 				} else {
-					latencies = append(latencies, elapsed)
+					latencies.Observe(elapsed)
 				}
 				mu.Unlock()
 			}
@@ -273,8 +273,7 @@ func TestChaosOverloadShedsAndDrains(t *testing.T) {
 	// admitted requests hold the engine for only ~5ms, and the client's 1s
 	// Retry-After rounds clear the backlog within a couple of cycles — so
 	// nothing should approach the 10-attempt worst case.
-	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
-	p99 := latencies[len(latencies)*99/100]
+	p99 := latencies.Quantile(0.99)
 	if p99 > 5*time.Second {
 		t.Fatalf("p99 latency %v unbounded under overload", p99)
 	}

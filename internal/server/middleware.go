@@ -47,23 +47,33 @@ func WithRetryAfter(d time.Duration) Option { return func(s *Server) { s.retryAf
 // process-wide default logger.
 func WithLogger(l *log.Logger) Option { return func(s *Server) { s.logger = l } }
 
-// Health is the server's self-reported resilience state, served at
-// /v1/healthz.
+// Health is the server's self-reported state, served at /v1/healthz.
+// /v1/healthz is a liveness probe: it answers 200 as long as the process
+// serves, even while Status is "degraded" — restart decisions belong to the
+// operator, not the load balancer. The readiness probe at /v1/readyz turns
+// the same degradation into a 503 (see obs.go).
 type Health struct {
-	Status   string `json:"status"`
-	InFlight int64  `json:"in_flight"`
-	Shed     uint64 `json:"shed_total"`
-	Panics   uint64 `json:"panics_total"`
+	Status   string   `json:"status"` // "ok" or "degraded"
+	InFlight int64    `json:"in_flight"`
+	Shed     uint64   `json:"shed_total"`
+	Panics   uint64   `json:"panics_total"`
+	Problems []string `json:"problems,omitempty"`
 }
 
-// Health returns a point-in-time view of the middleware counters.
+// Health returns a point-in-time view of the middleware counters and any
+// degraded-state reasons the engine reports.
 func (s *Server) Health() Health {
-	return Health{
+	h := Health{
 		Status:   "ok",
 		InFlight: s.inFlight.Load(),
 		Shed:     s.shed.Load(),
 		Panics:   s.panics.Load(),
 	}
+	if probs := s.healthProblems(); len(probs) > 0 {
+		h.Status = "degraded"
+		h.Problems = probs
+	}
+	return h
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
@@ -103,14 +113,14 @@ func (s *Server) withRecovery(next http.Handler) http.Handler {
 
 // withAdmission sheds load with 429 + Retry-After once maxInFlight requests
 // are being served, keeping latency of admitted requests bounded under
-// overload. /v1/healthz is exempt so operators can observe a saturated
-// server.
+// overload. Health and observability endpoints are exempt so operators can
+// observe a saturated server.
 func (s *Server) withAdmission(next http.Handler) http.Handler {
 	if s.maxInFlight <= 0 {
 		return next
 	}
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if r.URL.Path == "/v1/healthz" {
+		if isOperatorPath(r.URL.Path) {
 			next.ServeHTTP(w, r)
 			return
 		}

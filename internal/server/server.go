@@ -29,6 +29,7 @@ import (
 	"errors"
 	"fmt"
 	"log"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"strings"
@@ -37,6 +38,7 @@ import (
 
 	caar "caar"
 	"caar/journal"
+	"caar/obs"
 )
 
 // API is the engine surface the server exposes. *caar.Engine implements it
@@ -81,29 +83,44 @@ type Server struct {
 	inFlight atomic.Int64
 	shed     atomic.Uint64
 	panics   atomic.Uint64
+
+	// observability (see obs.go). obsInFlight counts every request in the
+	// chain, unlike inFlight which belongs to admission control (and stays 0
+	// when admission is disabled).
+	metrics     *obs.Registry
+	sm          *serverMetrics
+	accessLog   *slog.Logger
+	slowReq     time.Duration
+	start       time.Time
+	obsInFlight atomic.Int64
 }
 
 // New creates a server over an engine (or any API implementation). With no
 // options the server still recovers from handler panics and caps request
 // bodies at DefaultMaxBodyBytes; deadlines and admission control are off.
 func New(eng API, opts ...Option) *Server {
-	s := &Server{eng: eng, mux: http.NewServeMux(), now: time.Now}
+	s := &Server{eng: eng, mux: http.NewServeMux(), now: time.Now, start: time.Now()}
 	for _, opt := range opts {
 		opt(s)
 	}
+	if s.metrics == nil {
+		s.metrics = obs.NewRegistry()
+	}
+	s.sm = newServerMetrics(s)
 	s.routes()
 	return s
 }
 
-// Handler returns the HTTP handler wrapped in the resilience middleware
-// chain: panic recovery, admission control, per-request deadline, body
-// limit.
+// Handler returns the HTTP handler wrapped in the middleware chain,
+// outermost first: observability (request ID, metrics, access log), panic
+// recovery, admission control, per-request deadline, body limit.
 func (s *Server) Handler() http.Handler {
 	var h http.Handler = s.mux
 	h = s.withBodyLimit(h)
 	h = s.withDeadline(h)
 	h = s.withAdmission(h)
 	h = s.withRecovery(h)
+	h = s.withObservability(h)
 	return h
 }
 
@@ -120,6 +137,9 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("/v1/stats", s.handleStats)
 	s.mux.HandleFunc("/v1/trending", s.handleTrending)
 	s.mux.HandleFunc("/v1/healthz", s.handleHealth)
+	s.mux.HandleFunc("/v1/readyz", s.handleReady)
+	s.mux.Handle("/v1/metrics", s.metrics.Handler())
+	s.mux.HandleFunc("/v1/statusz", s.handleStatusz)
 }
 
 // post wraps a handler with a method check.

@@ -31,6 +31,7 @@ import (
 	"os"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	caar "caar"
@@ -147,6 +148,13 @@ type Writer struct {
 	interval time.Duration
 	lastSync time.Time
 	now      func() time.Time
+
+	// observability: degraded flips on a durability failure and clears on
+	// the next successful append; readers (the readiness probe) must not
+	// block on w.mu behind a hung fsync, hence atomics.
+	metrics  *Metrics
+	degraded atomic.Bool
+	lastErr  atomic.Value // string
 }
 
 // NewWriter wraps w in a journal writer.
@@ -166,6 +174,48 @@ func NewFileWriter(f *os.File, policy SyncPolicy, interval time.Duration) *Write
 	return w
 }
 
+// SetMetrics attaches observability collectors to the writer. Call before
+// the first Append; a nil-metrics writer skips all recording.
+func (w *Writer) SetMetrics(m *Metrics) {
+	w.metrics = m
+	if m != nil {
+		m.degraded.Set(0)
+	}
+}
+
+// Degraded reports whether the writer is in durability-error state — the
+// last append failed to persist — along with the failure message. The next
+// successful append clears it.
+func (w *Writer) Degraded() (bool, string) {
+	if !w.degraded.Load() {
+		return false, ""
+	}
+	msg, _ := w.lastErr.Load().(string)
+	return true, msg
+}
+
+// noteAppendError flags the durability-error state and passes err through.
+func (w *Writer) noteAppendError(err error) error {
+	w.degraded.Store(true)
+	w.lastErr.Store(err.Error())
+	if w.metrics != nil {
+		w.metrics.appendErrors.Inc()
+		w.metrics.degraded.Set(1)
+	}
+	return err
+}
+
+// noteAppendOK records a durable append of n framed bytes and clears the
+// degraded state.
+func (w *Writer) noteAppendOK(n int) {
+	w.degraded.Store(false)
+	if w.metrics != nil {
+		w.metrics.appends.Inc()
+		w.metrics.appendBytes.Add(uint64(n))
+		w.metrics.degraded.Set(0)
+	}
+}
+
 // Append writes one framed entry and flushes it to the underlying writer;
 // whether it is also fsynced depends on the writer's sync policy.
 func (w *Writer) Append(e Entry) error {
@@ -180,25 +230,28 @@ func (w *Writer) Append(e Entry) error {
 
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	lenStr := strconv.Itoa(len(buf))
 	w.out.WriteString(framePrefix)
-	w.out.WriteString(strconv.Itoa(len(buf)))
+	w.out.WriteString(lenStr)
 	w.out.WriteByte(' ')
 	fmt.Fprintf(w.out, "%08x ", crc)
 	w.out.Write(buf)
 	if err := w.out.WriteByte('\n'); err != nil {
-		return fmt.Errorf("%w: append: %w", ErrDurability, err)
+		return w.noteAppendError(fmt.Errorf("%w: append: %w", ErrDurability, err))
 	}
 	if err := w.out.Flush(); err != nil {
-		return fmt.Errorf("%w: flush: %w", ErrDurability, err)
+		return w.noteAppendError(fmt.Errorf("%w: flush: %w", ErrDurability, err))
 	}
 	if w.Sync != nil {
 		if err := w.Sync(); err != nil {
-			return fmt.Errorf("%w: sync: %w", ErrDurability, err)
+			return w.noteAppendError(fmt.Errorf("%w: sync: %w", ErrDurability, err))
 		}
 	}
 	if err := w.maybeSyncLocked(); err != nil {
-		return fmt.Errorf("%w: sync: %w", ErrDurability, err)
+		return w.noteAppendError(fmt.Errorf("%w: sync: %w", ErrDurability, err))
 	}
+	// Frame layout: "j2 " + len + " " + 8-hex-digit CRC + " " + payload + "\n".
+	w.noteAppendOK(len(framePrefix) + len(lenStr) + 1 + 9 + len(buf) + 1)
 	return nil
 }
 
@@ -209,17 +262,29 @@ func (w *Writer) maybeSyncLocked() error {
 	}
 	switch w.policy {
 	case SyncAlways:
-		return w.syncFn()
+		return w.timedSync()
 	case SyncIntervalPolicy:
 		now := w.now()
 		if w.lastSync.IsZero() || now.Sub(w.lastSync) >= w.interval {
-			if err := w.syncFn(); err != nil {
+			if err := w.timedSync(); err != nil {
 				return err
 			}
 			w.lastSync = now
 		}
 	}
 	return nil
+}
+
+// timedSync runs syncFn under the fsync latency histogram.
+func (w *Writer) timedSync() error {
+	if w.metrics == nil {
+		return w.syncFn()
+	}
+	start := time.Now()
+	err := w.syncFn()
+	w.metrics.fsyncs.Inc()
+	w.metrics.fsyncSeconds.ObserveDuration(time.Since(start))
+	return err
 }
 
 // Flush forces buffered records to the underlying writer and, for
@@ -511,6 +576,18 @@ func NewLogged(eng *caar.Engine, w *Writer) *Logged {
 // Writer returns the underlying journal writer (e.g. to Flush it at
 // shutdown).
 func (l *Logged) Writer() *Writer { return l.w }
+
+// HealthProblems aggregates degraded-state reasons from the engine
+// (snapshot failures) and the journal writer (durability failures). The
+// server's readiness probe reports these with a 503 so load balancers stop
+// routing to a replica that can no longer persist what it acknowledges.
+func (l *Logged) HealthProblems() []string {
+	probs := l.Engine.HealthProblems()
+	if bad, msg := l.w.Degraded(); bad {
+		probs = append(probs, "journal: last append not durable: "+msg)
+	}
+	return probs
+}
 
 // AddUser journals and applies.
 func (l *Logged) AddUser(handle string) error {

@@ -32,6 +32,14 @@ func (p ServingPolicy) enabled() bool {
 	return (p.FrequencyCap > 0 && p.FrequencyWindow > 0) || p.MaxPerCampaign > 0
 }
 
+// overfetch returns the effective candidate-fetch multiplier.
+func (p ServingPolicy) overfetch() int {
+	if p.OverfetchFactor < 1 {
+		return 4
+	}
+	return p.OverfetchFactor
+}
+
 // impressionLog tracks recent impression times per (user, ad) for frequency
 // capping. Old entries are pruned lazily on access.
 type impressionLog struct {
@@ -113,18 +121,16 @@ func (e *Engine) RecordImpressionTo(user, adID string, at time.Time) (bool, erro
 // policy's frequency cap and campaign-diversity constraints on top of the
 // relevance ranking. With a zero policy it is equivalent to Recommend.
 func (e *Engine) RecommendWithPolicy(user string, k int, at time.Time, policy ServingPolicy) ([]Recommendation, error) {
-	if !policy.enabled() {
-		return e.Recommend(user, k, at)
-	}
-	over := policy.OverfetchFactor
-	if over < 1 {
-		over = 4
-	}
-	candidates, err := e.Recommend(user, k*over, at)
-	if err != nil {
-		return nil, err
-	}
+	return e.recommend(user, k, at, policy)
+}
 
+// applyPolicy greedily selects up to k recommendations from the over-fetched
+// candidate list under the policy's constraints. With no active constraint
+// the candidates pass through unchanged (the pipeline fetched exactly k).
+func (e *Engine) applyPolicy(user string, k int, at time.Time, policy ServingPolicy, candidates []Recommendation) []Recommendation {
+	if !policy.enabled() {
+		return candidates
+	}
 	perCampaign := map[string]int{}
 	out := make([]Recommendation, 0, k)
 	for _, cand := range candidates {
@@ -147,7 +153,7 @@ func (e *Engine) RecommendWithPolicy(user string, k int, at time.Time, policy Se
 		}
 		out = append(out, cand)
 	}
-	return out, nil
+	return out
 }
 
 // campaignOf resolves an external ad ID to its campaign name ("" when

@@ -153,45 +153,54 @@ const PrevSnapshotSuffix = ".prev"
 // preserved as path+".prev" so a verification failure on load can fall back
 // to the previous good state.
 func (e *Engine) SaveSnapshot(path string) error {
+	start := time.Now()
+	size, err := e.saveSnapshot(path)
+	e.obsm.snapshotResult(start, size, err)
+	return err
+}
+
+// saveSnapshot does the work of SaveSnapshot and reports the bytes written.
+func (e *Engine) saveSnapshot(path string) (int64, error) {
 	var buf bytes.Buffer
 	if err := e.Snapshot(&buf); err != nil {
-		return err
+		return 0, err
 	}
 	crc := crc32.Checksum(buf.Bytes(), crc32.MakeTable(crc32.Castagnoli))
 	fmt.Fprintf(&buf, "%s%08x\n", snapshotTrailer, crc)
+	size := int64(buf.Len())
 
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
 	if err != nil {
-		return fmt.Errorf("caar: snapshot temp file: %w", err)
+		return 0, fmt.Errorf("caar: snapshot temp file: %w", err)
 	}
 	tmpName := tmp.Name()
 	cleanup := func() { tmp.Close(); os.Remove(tmpName) }
 	if _, err := tmp.Write(buf.Bytes()); err != nil {
 		cleanup()
-		return fmt.Errorf("caar: snapshot write: %w", err)
+		return 0, fmt.Errorf("caar: snapshot write: %w", err)
 	}
 	if err := tmp.Sync(); err != nil {
 		cleanup()
-		return fmt.Errorf("caar: snapshot fsync: %w", err)
+		return 0, fmt.Errorf("caar: snapshot fsync: %w", err)
 	}
 	if err := tmp.Chmod(0o644); err != nil {
 		cleanup()
-		return fmt.Errorf("caar: snapshot chmod: %w", err)
+		return 0, fmt.Errorf("caar: snapshot chmod: %w", err)
 	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmpName)
-		return fmt.Errorf("caar: snapshot close: %w", err)
+		return 0, fmt.Errorf("caar: snapshot close: %w", err)
 	}
 	if _, err := os.Stat(path); err == nil {
 		if err := os.Rename(path, path+PrevSnapshotSuffix); err != nil {
 			os.Remove(tmpName)
-			return fmt.Errorf("caar: snapshot rotate previous: %w", err)
+			return 0, fmt.Errorf("caar: snapshot rotate previous: %w", err)
 		}
 	}
 	if err := os.Rename(tmpName, path); err != nil {
 		os.Remove(tmpName)
-		return fmt.Errorf("caar: snapshot rename: %w", err)
+		return 0, fmt.Errorf("caar: snapshot rename: %w", err)
 	}
 	// Persist the renames themselves (best effort; not all platforms
 	// support fsync on directories).
@@ -199,7 +208,7 @@ func (e *Engine) SaveSnapshot(path string) error {
 		_ = d.Sync()
 		_ = d.Close()
 	}
-	return nil
+	return size, nil
 }
 
 // LoadSnapshot reads a snapshot written by SaveSnapshot, verifying its
