@@ -1,0 +1,67 @@
+package client
+
+import (
+	"context"
+	"net/http"
+	"net/url"
+	"strconv"
+	"time"
+
+	caar "caar"
+	"caar/obs"
+	"caar/obs/trace"
+)
+
+// TraceList is the response of /v1/traces: newest-first summaries of the
+// captured traces plus, when present, the stage histograms' bucket
+// exemplars (trace IDs keyed by pipeline stage).
+type TraceList struct {
+	Traces    []trace.Summary                 `json:"traces"`
+	Exemplars map[string][]obs.BucketExemplar `json:"exemplars,omitempty"`
+}
+
+// Traces lists up to n captured traces, newest first. A server without a
+// trace store answers 404, surfaced as an *APIError.
+func (c *Client) Traces(ctx context.Context, n int) (TraceList, error) {
+	q := url.Values{}
+	if n > 0 {
+		q.Set("n", strconv.Itoa(n))
+	}
+	path := "/v1/traces"
+	if len(q) > 0 {
+		path += "?" + q.Encode()
+	}
+	var out TraceList
+	err := c.do(ctx, http.MethodGet, path, nil, &out)
+	return out, err
+}
+
+// TraceByID fetches one captured trace — spans with candidate counts,
+// score decomposition, policy actions — by its ID (usually the request's
+// X-Request-Id).
+func (c *Client) TraceByID(ctx context.Context, id string) (*trace.Trace, error) {
+	var tr trace.Trace
+	if err := c.do(ctx, http.MethodGet, "/v1/traces/"+url.PathEscape(id), nil, &tr); err != nil {
+		return nil, err
+	}
+	return &tr, nil
+}
+
+// RecommendExplained is Recommend with ?explain=1: alongside the slate it
+// returns the request's trace, whose Ads carry the additive score
+// decomposition (text + geo + bid = score) of every returned ad.
+func (c *Client) RecommendExplained(ctx context.Context, user string, k int, at time.Time) ([]caar.Recommendation, *trace.Trace, error) {
+	q := url.Values{}
+	q.Set("user", user)
+	q.Set("k", strconv.Itoa(k))
+	q.Set("at", at.Format(time.RFC3339))
+	q.Set("explain", "1")
+	var out struct {
+		Recommendations []caar.Recommendation `json:"recommendations"`
+		Explain         *trace.Trace          `json:"explain"`
+	}
+	if err := c.do(ctx, http.MethodGet, "/v1/recommendations?"+q.Encode(), nil, &out); err != nil {
+		return nil, nil, err
+	}
+	return out.Recommendations, out.Explain, nil
+}

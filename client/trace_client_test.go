@@ -1,0 +1,97 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	caar "caar"
+	"caar/internal/server"
+	"caar/obs/trace"
+)
+
+// newTracedClientServer is newClientServer with request tracing enabled at
+// full sampling, seeded so recommends return an ad.
+func newTracedClientServer(t *testing.T) *Client {
+	t.Helper()
+	cfg := caar.DefaultConfig()
+	cfg.DecayHalfLife = time.Hour
+	cfg.Tracer = trace.NewStore(trace.Config{Capacity: 16, SampleRate: 1})
+	eng, err := caar.Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := time.Date(2026, 7, 6, 9, 0, 0, 0, time.UTC)
+	for _, u := range []string{"alice", "bob"} {
+		if err := eng.AddUser(u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := eng.Follow("alice", "bob"); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.AddAd(caar.Ad{ID: "shoes", Text: "marathon running shoes", Bid: 0.4}); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Post("bob", "marathon running today", at); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(server.New(eng).Handler())
+	t.Cleanup(ts.Close)
+	c, err := New(ts.URL, WithHTTPClient(ts.Client()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestClientTracesAndExplain(t *testing.T) {
+	c := newTracedClientServer(t)
+	ctx := context.Background()
+	at := time.Date(2026, 7, 6, 9, 1, 0, 0, time.UTC)
+
+	recs, tr, err := c.RecommendExplained(ctx, "alice", 2, at)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) == 0 || tr == nil {
+		t.Fatalf("recs=%v trace=%v", recs, tr)
+	}
+	if len(tr.Ads) != len(recs) {
+		t.Fatalf("%d traced ads for %d recs", len(tr.Ads), len(recs))
+	}
+
+	list, err := c.Traces(ctx, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Traces) == 0 {
+		t.Fatal("no traces listed")
+	}
+	if len(list.Exemplars) == 0 {
+		t.Fatal("no exemplars in listing")
+	}
+
+	got, err := c.TraceByID(ctx, tr.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != tr.ID || len(got.Spans) != len(tr.Spans) {
+		t.Fatalf("fetched trace %+v does not match explained trace %+v", got, tr)
+	}
+
+	var apiErr *APIError
+	if _, err := c.TraceByID(ctx, "no-such-id"); !errors.As(err, &apiErr) || apiErr.StatusCode != 404 {
+		t.Fatalf("missing trace: err=%v", err)
+	}
+}
+
+func TestClientTracesDisabled(t *testing.T) {
+	c := newClientServer(t)
+	var apiErr *APIError
+	if _, err := c.Traces(context.Background(), 5); !errors.As(err, &apiErr) || apiErr.StatusCode != 404 {
+		t.Fatalf("traces on an untraced server: err=%v", err)
+	}
+}

@@ -6,7 +6,7 @@
 //	adbench -exp F1            # one experiment at default scale
 //	adbench -exp all -scale 1  # the full grid at full scale
 //	adbench -list              # list experiment IDs and titles
-//	adbench -serve-bench 5s    # in-process HTTP bench + metrics smoke test
+//	adbench -serve-bench 5s    # tracing-overhead bench + metrics smoke test
 package main
 
 import (
@@ -22,7 +22,7 @@ func main() {
 	scale := flag.Float64("scale", 0.1, "workload scale factor (1.0 = full evaluation size)")
 	list := flag.Bool("list", false, "list available experiments and exit")
 	serveBench := flag.Duration("serve-bench", 0, "run the in-process HTTP server bench for this long and exit (0 = off)")
-	benchOut := flag.String("bench-out", "BENCH_PR2.json", "output file for -serve-bench results")
+	benchOut := flag.String("bench-out", "BENCH_PR3.json", "output file for -serve-bench results")
 	flag.Parse()
 
 	if *list {

@@ -15,6 +15,9 @@
 //	add-ad <id> <bid> [-campaign c] [-geo lat,lng,radiusKm] [-slots morning,afternoon] <text...>
 //	remove-ad <id>
 //	recommend <user> [k]
+//	explain <user> [k]
+//	traces [n]
+//	trace <id>
 //	impression <ad-id>
 //	trending [slot] [k]
 //	stats
@@ -36,6 +39,7 @@ import (
 
 	caar "caar"
 	"caar/client"
+	"caar/obs/trace"
 )
 
 func main() {
@@ -149,6 +153,90 @@ func run(ctx context.Context, c *client.Client, cmd string, args []string, now t
 				i+1, r.AdID, r.Score, r.Text, r.Geo, r.Bid)
 		}
 		return nil
+	case "explain":
+		if err := need(1); err != nil {
+			return err
+		}
+		k := 5
+		if len(args) > 1 {
+			var err error
+			if k, err = strconv.Atoi(args[1]); err != nil {
+				return fmt.Errorf("k: %w", err)
+			}
+		}
+		recs, tr, err := c.RecommendExplained(ctx, args[0], k, now)
+		if err != nil {
+			return err
+		}
+		if len(recs) == 0 {
+			fmt.Println("(no eligible ads)")
+		}
+		for i, r := range recs {
+			fmt.Printf("%2d. %-24s score=%.4f text=%.4f geo=%.4f bid=%.4f\n",
+				i+1, r.AdID, r.Score, r.Text, r.Geo, r.Bid)
+		}
+		if tr != nil {
+			fmt.Printf("\ntrace %s (%.3f ms, %s)\n", tr.ID, tr.DurationSeconds*1e3, tr.Outcome)
+			printSpans(tr)
+			for _, pa := range tr.Policy {
+				fmt.Printf("policy  %-24s %s\n", pa.AdID, pa.Action)
+			}
+		}
+		return nil
+	case "traces":
+		n := 20
+		if len(args) > 0 {
+			var err error
+			if n, err = strconv.Atoi(args[0]); err != nil {
+				return fmt.Errorf("n: %w", err)
+			}
+		}
+		list, err := c.Traces(ctx, n)
+		if err != nil {
+			return err
+		}
+		if len(list.Traces) == 0 {
+			fmt.Println("(no captured traces)")
+			return nil
+		}
+		for _, s := range list.Traces {
+			fmt.Printf("%-32s %-8s %-8s %8.3fms user=%s ads=%d\n",
+				s.ID, s.Outcome, s.CaptureReason, s.DurationSeconds*1e3, s.User, s.Ads)
+		}
+		for stage, exs := range list.Exemplars {
+			for _, ex := range exs {
+				fmt.Printf("exemplar %-10s le=%-8s %8.3fms trace=%s\n",
+					stage, ex.BucketLE, ex.Value*1e3, ex.TraceID)
+			}
+		}
+		return nil
+	case "trace":
+		if err := need(1); err != nil {
+			return err
+		}
+		tr, err := c.TraceByID(ctx, args[0])
+		if err != nil {
+			return err
+		}
+		fmt.Printf("trace %s  user=%s k=%d  %.3fms  %s (%s)\n",
+			tr.ID, tr.User, tr.K, tr.DurationSeconds*1e3, tr.Outcome, tr.CaptureReason)
+		fmt.Printf("algo    %s  shard=%d  lock_wait=%.3fms\n",
+			tr.Algorithm, tr.Shard, tr.LockWaitSeconds*1e3)
+		if tr.Error != "" {
+			fmt.Printf("error   %s\n", tr.Error)
+		}
+		printSpans(tr)
+		for _, a := range tr.Ads {
+			fmt.Printf("ad      %-24s score=%.4f text=%.4f geo=%.4f bid=%.4f\n",
+				a.AdID, a.Score, a.Text, a.Geo, a.Bid)
+		}
+		for _, pa := range tr.Policy {
+			fmt.Printf("policy  %-24s %s\n", pa.AdID, pa.Action)
+		}
+		for k, v := range tr.Annotations {
+			fmt.Printf("note    %s=%s\n", k, v)
+		}
+		return nil
 	case "impression":
 		if err := need(1); err != nil {
 			return err
@@ -239,6 +327,14 @@ func run(ctx context.Context, c *client.Client, cmd string, args []string, now t
 		return nil
 	default:
 		return fmt.Errorf("unknown command %q", cmd)
+	}
+}
+
+// printSpans renders a trace's stage spans as an attrition funnel.
+func printSpans(tr *trace.Trace) {
+	for _, sp := range tr.Spans {
+		fmt.Printf("stage   %-10s %8.3fms  in=%-5d out=%d\n",
+			sp.Stage, sp.DurationSeconds*1e3, sp.In, sp.Out)
 	}
 }
 

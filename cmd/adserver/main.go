@@ -8,6 +8,11 @@
 // The service starts empty; load users, follows, ads and campaigns through
 // the API. Optionally -demo preloads a small demo dataset.
 //
+// Tracing: the request-scoped flight recorder is on by default, head-sampling
+// 1% of recommends and always capturing slow (-trace-slow) and errored ones.
+// Inspect captures via GET /v1/traces, force one with ?explain=1, disable
+// with -trace-capacity 0.
+//
 // Durability: -snapshot restores engine state from an atomic snapshot at
 // startup and writes a fresh one on shutdown; -journal recovers the event
 // log (truncating a torn tail left by a crash) and appends every mutation
@@ -36,6 +41,7 @@ import (
 	"caar/internal/server"
 	"caar/journal"
 	"caar/obs"
+	"caar/obs/trace"
 )
 
 func main() {
@@ -62,6 +68,9 @@ func run() error {
 	logLevel := flag.String("log-level", "info", "structured log level: debug, info, warn or error")
 	slowReq := flag.Duration("slow-request", 500*time.Millisecond, "log requests slower than this at warn level (0 = off)")
 	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof profiling under /debug/pprof/")
+	traceCapacity := flag.Int("trace-capacity", trace.DefaultCapacity, "captured traces retained in the ring buffer (0 = tracing off)")
+	traceSample := flag.Float64("trace-sample", 0.01, "head-sampling rate of ordinary requests (0 = tail capture only, 1 = every request)")
+	traceSlow := flag.Duration("trace-slow", 250*time.Millisecond, "always capture requests slower than this (0 = no slow tail capture)")
 	flag.Parse()
 
 	policy, err := journal.ParseSyncPolicy(*fsync)
@@ -84,6 +93,13 @@ func run() error {
 	cfg.WindowSize = *windowSize
 	cfg.DecayHalfLife = *halfLife
 	cfg.Metrics = reg
+	if *traceCapacity > 0 {
+		cfg.Tracer = trace.NewStore(trace.Config{
+			Capacity:      *traceCapacity,
+			SampleRate:    *traceSample,
+			SlowThreshold: *traceSlow,
+		})
+	}
 
 	// Restore durable state: snapshot first (compact), then journal replay
 	// on top. After a graceful shutdown the journal is empty (its events are

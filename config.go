@@ -9,6 +9,7 @@ import (
 	"caar/internal/geo"
 	"caar/internal/timeslot"
 	"caar/obs"
+	"caar/obs/trace"
 )
 
 // Config configures an Engine. The zero value is not usable; start from
@@ -60,6 +61,14 @@ type Config struct {
 	// endpoint. nil gives the engine a private registry (reachable through
 	// Engine.Metrics), so instrumentation is always on.
 	Metrics *obs.Registry
+
+	// Tracer, when non-nil, enables request-scoped flight recording: each
+	// recommend builds a trace (per-stage spans with candidate counts, score
+	// decomposition, policy actions) and submits it to the store, which
+	// head-samples ordinary requests and unconditionally tail-captures slow
+	// and errored ones. nil disables tracing; the recommend hot path then
+	// pays nothing (no clock reads, no allocations) beyond a nil check.
+	Tracer *trace.Store
 }
 
 // DefaultConfig returns a production-shaped configuration: CAP engine,

@@ -14,6 +14,7 @@ import (
 	"caar/internal/textproc"
 	"caar/internal/timeslot"
 	"caar/obs"
+	"caar/obs/trace"
 )
 
 // Engine is the public recommender. It is safe for concurrent use: the text
@@ -43,12 +44,24 @@ type Engine struct {
 
 	metrics *obs.Registry
 	obsm    *engineMetrics
+	tracer  *trace.Store
 }
 
-// shard is one engine instance plus its serializing lock.
+// shard is one engine instance plus its serializing lock and the trace
+// sink its stage recorder reads. shard is copied by value; the pointers
+// keep all copies sharing one lock and one sink.
 type shard struct {
-	mu  *sync.Mutex
-	eng core.Shardable
+	mu   *sync.Mutex
+	eng  core.Shardable
+	sink *coreTraceSink
+}
+
+// coreTraceSink routes the stage spans measured under the shard lock into
+// the active request's trace. The tr field is written (set and cleared) and
+// read only while the shard lock is held — TopAds is serialized by that
+// lock — so no atomics are needed.
+type coreTraceSink struct {
+	tr *trace.Trace
 }
 
 // Common errors returned by Engine methods.
@@ -108,7 +121,7 @@ func Open(cfg Config) (*Engine, error) {
 		if err != nil {
 			return nil, err
 		}
-		e.shards = append(e.shards, shard{mu: new(sync.Mutex), eng: eng})
+		e.shards = append(e.shards, shard{mu: new(sync.Mutex), eng: eng, sink: new(coreTraceSink)})
 	}
 
 	reg := cfg.Metrics
@@ -117,9 +130,19 @@ func Open(cfg Config) (*Engine, error) {
 	}
 	e.metrics = reg
 	e.obsm = newEngineMetrics(reg, e)
+	e.tracer = cfg.Tracer
+	if e.tracer != nil {
+		e.tracer.RegisterMetrics(reg)
+	}
 	for _, sh := range e.shards {
 		if ss, ok := sh.eng.(core.StageSetter); ok {
-			ss.SetStageRecorder(e.obsm.recordCoreStage)
+			sink := sh.sink
+			ss.SetStageRecorder(func(s core.Stage, d time.Duration, in, out int) {
+				e.obsm.recordCoreStage(s, d)
+				if tr := sink.tr; tr != nil {
+					tr.AddSpan(s.String(), d, in, out)
+				}
+			})
 		}
 	}
 	return e, nil
@@ -401,27 +424,37 @@ func (e *Engine) deliver(msg feed.Message, all []feed.UserID, at time.Time) erro
 
 // Recommend returns the top-k ads for a user at the given time.
 func (e *Engine) Recommend(user string, k int, at time.Time) ([]Recommendation, error) {
-	return e.recommend(user, k, at, ServingPolicy{})
+	recs, _, err := e.recommend(user, k, at, ServingPolicy{}, TraceRequest{})
+	return recs, err
 }
 
-// recommend is the unified serving pipeline behind Recommend and
-// RecommendWithPolicy: lookup → (shard-lock wait) → core ranking
-// (retrieve/score/topk, recorded by the shard engine) → result mapping →
-// policy filtering. Every stage lands in the per-stage latency histograms —
-// the policy stage too, even with a zero policy, so each query touches the
-// whole stage family and the stage counts stay mutually comparable.
-func (e *Engine) recommend(user string, k int, at time.Time, policy ServingPolicy) ([]Recommendation, error) {
+// recommend is the unified serving pipeline behind Recommend,
+// RecommendWithPolicy and RecommendTraced: lookup → (shard-lock wait) →
+// core ranking (retrieve/score/topk, recorded by the shard engine) →
+// result mapping → policy filtering. Every stage lands in the per-stage
+// latency histograms — the policy stage too, even with a zero policy, so
+// each query touches the whole stage family and the stage counts stay
+// mutually comparable. When a tracer is configured (or the request forces
+// an explanation) the same stage boundaries also feed the request's flight
+// record; with tracing off, tr stays nil and the extra cost is one nil
+// check per stage.
+func (e *Engine) recommend(user string, k int, at time.Time, policy ServingPolicy, treq TraceRequest) ([]Recommendation, *trace.Trace, error) {
 	start := time.Now()
+	tr := e.beginTrace(treq, user, k, at, start)
 	uid, err := e.lookupUser(user)
 	if err != nil {
 		e.obsm.recommendErrors.Inc()
-		return nil, err
+		return nil, e.finishTrace(tr, time.Since(start), err), err
 	}
 	if k < 1 {
 		e.obsm.recommendErrors.Inc()
-		return nil, fmt.Errorf("%w: k=%d", ErrBadConfig, k)
+		err := fmt.Errorf("%w: k=%d", ErrBadConfig, k)
+		return nil, e.finishTrace(tr, time.Since(start), err), err
 	}
 	span := e.obsm.stage(e.obsm.stageLookup, start)
+	if tr != nil {
+		tr.AddSpan("lookup", span.Sub(start), 1, 1)
+	}
 
 	fetch := k
 	if policy.enabled() {
@@ -431,22 +464,40 @@ func (e *Engine) recommend(user string, k int, at time.Time, policy ServingPolic
 	sh.mu.Lock()
 	locked := time.Now()
 	e.obsm.lockWaitSeconds.ObserveDuration(locked.Sub(span))
+	if tr != nil {
+		tr.Shard = int(uid) % len(e.shards)
+		tr.LockWaitSeconds = locked.Sub(span).Seconds()
+		sh.sink.tr = tr
+	}
 	scored, err := sh.eng.TopAds(uid, fetch, at)
+	if tr != nil {
+		sh.sink.tr = nil
+	}
 	sh.mu.Unlock()
 	if err != nil {
 		e.obsm.recommendErrors.Inc()
-		return nil, err
+		return nil, e.finishTrace(tr, time.Since(start), err), err
 	}
 
 	span = time.Now()
 	recs := e.toRecommendations(scored)
-	span = e.obsm.stage(e.obsm.stageMap, span)
-	out := e.applyPolicy(user, k, at, policy, recs)
-	e.obsm.stage(e.obsm.stagePolicy, span)
+	mapped := e.obsm.stage(e.obsm.stageMap, span)
+	if tr != nil {
+		tr.AddSpan("map", mapped.Sub(span), len(scored), len(recs))
+	}
+	out := e.applyPolicy(user, k, at, policy, recs, tr)
+	done := e.obsm.stage(e.obsm.stagePolicy, mapped)
+	if tr != nil {
+		tr.AddSpan("policy", done.Sub(mapped), len(recs), len(out))
+		for _, rec := range out {
+			tr.AddAd(trace.AdScore{AdID: rec.AdID, Score: rec.Score, Text: rec.Text, Geo: rec.Geo, Bid: rec.Bid})
+		}
+	}
 
-	e.obsm.recommendSeconds.ObserveDuration(time.Since(start))
+	elapsed := time.Since(start)
+	e.obsm.recommendSeconds.ObserveDuration(elapsed)
 	e.obsm.recommends.Inc()
-	return out, nil
+	return out, e.finishTrace(tr, elapsed, nil), nil
 }
 
 // ServeImpression bills one impression of an ad against its campaign's

@@ -8,6 +8,7 @@ import (
 	"caar/internal/core"
 	"caar/internal/textproc"
 	"caar/obs"
+	"caar/obs/trace"
 )
 
 // Engine observability: every engine carries a metrics registry (its own
@@ -52,6 +53,10 @@ type engineMetrics struct {
 
 	lastSnapshotUnix atomic.Int64
 	lastSnapshotErr  atomic.Value // string; "" after a successful save
+
+	// lastExemplarNano gates how often ordinary sampled traces refresh the
+	// histogram exemplars (see attachExemplars).
+	lastExemplarNano atomic.Int64
 }
 
 // newEngineMetrics registers the engine's collectors on reg and installs
@@ -185,9 +190,10 @@ func (m *engineMetrics) stage(h *obs.Histogram, start time.Time) time.Time {
 	return now
 }
 
-// recordCoreStage is the core.StageRecorder installed on every shard engine:
-// it routes the stages measured under the shard lock into the shared
-// per-stage histogram family.
+// recordCoreStage routes the stages measured under the shard lock into the
+// shared per-stage histogram family. The per-shard core.StageRecorder
+// closure (engine.go) calls it, adding the candidate counts to the active
+// request trace when one is attached to the shard's sink.
 func (m *engineMetrics) recordCoreStage(s core.Stage, d time.Duration) {
 	switch s {
 	case core.StageRetrieve:
@@ -197,6 +203,55 @@ func (m *engineMetrics) recordCoreStage(s core.Stage, d time.Duration) {
 	case core.StageTopK:
 		m.stageTopK.ObserveDuration(d)
 	}
+}
+
+// stageHist maps a span's stage name to its latency histogram (nil for
+// unknown stages).
+func (m *engineMetrics) stageHist(stage string) *obs.Histogram {
+	switch stage {
+	case "lookup":
+		return m.stageLookup
+	case "retrieve":
+		return m.stageRetrieve
+	case "score":
+		return m.stageScore
+	case "topk":
+		return m.stageTopK
+	case "map":
+		return m.stageMap
+	case "policy":
+		return m.stagePolicy
+	}
+	return nil
+}
+
+// exemplarRefresh bounds how often ordinary sampled traces rewrite the
+// histogram exemplars. Exemplars only need freshness on a human timescale;
+// without the gate, full-rate tracing would take seven shared histogram
+// mutexes on every request, and a preempted holder stalls the whole
+// serving path — a pure p99 tax for no operator benefit.
+const exemplarRefresh = 100 * time.Millisecond
+
+// attachExemplars links a captured trace into the aggregate view: each
+// stage span becomes the exemplar of the bucket it landed in, and the
+// end-to-end duration annotates the recommend histogram — so the slowest
+// buckets on a dashboard carry the ID of a trace that actually hit them.
+// Interesting captures (slow, errored, explained) always attach; routine
+// head-sampled ones refresh the exemplars at most every exemplarRefresh.
+func (m *engineMetrics) attachExemplars(tr *trace.Trace) {
+	if tr.CaptureReason == trace.ReasonSampled {
+		now := time.Now().UnixNano()
+		last := m.lastExemplarNano.Load()
+		if now-last < int64(exemplarRefresh) || !m.lastExemplarNano.CompareAndSwap(last, now) {
+			return
+		}
+	}
+	for _, sp := range tr.Spans {
+		if h := m.stageHist(sp.Stage); h != nil {
+			h.AttachExemplar(sp.DurationSeconds, tr.ID)
+		}
+	}
+	m.recommendSeconds.AttachExemplar(tr.DurationSeconds, tr.ID)
 }
 
 // vectorize wraps a text-pipeline call with its latency span.

@@ -290,21 +290,25 @@ func (e *CAP) TopAds(u feed.UserID, k int, t time.Time) ([]Scored, error) {
 	mult := buf.scale * winFactor
 	sl := timeslot.Of(t)
 	c := topk.NewCollector(k)
-	span = e.stageDone(StageRetrieve, span)
+	span = e.stageDone(StageRetrieve, span, len(buf.u), len(buf.u))
 
+	offered := 0
 	for ad, v := range buf.u {
-		e.offer(c, e.ad(ad), v*mult, st, sl, t)
+		if e.offer(c, e.ad(ad), v*mult, st, sl, t) {
+			offered++
+		}
 	}
-	e.offerStatic(c, st, sl, t, func(id adstore.AdID) bool {
+	examined, offeredStatic := e.offerStatic(c, st, sl, t, func(id adstore.AdID) bool {
 		_, seen := buf.u[id]
 		return seen
 	})
-	span = e.stageDone(StageScore, span)
+	offered += offeredStatic
+	span = e.stageDone(StageScore, span, len(buf.u)+examined, offered)
 
 	out := e.resolve(c.Items(), st, func(id adstore.AdID) float64 {
 		return buf.u[id] * mult
 	})
-	e.stageDone(StageTopK, span)
+	e.stageDone(StageTopK, span, offered, len(out))
 	return out, nil
 }
 

@@ -98,13 +98,18 @@ func (ix *indexed) CheckIn(u feed.UserID, p geo.Point, t time.Time) error {
 // geo-targeted ads registered in the user's grid cell plus global ads in
 // descending bid order, stopping as soon as no further global ad can enter
 // the collector. skip filters ads already offered through the text path.
-func (ix *indexed) offerStatic(c *topk.Collector, st *userState, sl timeslot.Slot, t time.Time, skip func(adstore.AdID) bool) {
+// It reports how many static candidates it examined and how many passed
+// eligibility gating into the collector, for the score stage's trace span.
+func (ix *indexed) offerStatic(c *topk.Collector, st *userState, sl timeslot.Slot, t time.Time, skip func(adstore.AdID) bool) (examined, offered int) {
 	if st.hasLoc {
 		for _, id := range ix.geoIdx.LocalCandidates(st.loc) {
 			if skip != nil && skip(id) {
 				continue
 			}
-			ix.offer(c, ix.ad(id), 0, st, sl, t)
+			examined++
+			if ix.offer(c, ix.ad(id), 0, st, sl, t) {
+				offered++
+			}
 		}
 	}
 	// Global ads: bid-descending, so static scores are non-increasing. Once
@@ -122,8 +127,12 @@ func (ix *indexed) offerStatic(c *topk.Collector, st *userState, sl timeslot.Slo
 		if skip != nil && skip(id) {
 			continue
 		}
-		ix.offer(c, a, 0, st, sl, t)
+		examined++
+		if ix.offer(c, a, 0, st, sl, t) {
+			offered++
+		}
 	}
+	return examined, offered
 }
 
 // IL is the Inverted-List baseline: per-query threshold evaluation over the
@@ -185,21 +194,25 @@ func (e *IL) TopAds(u feed.UserID, k int, t time.Time) ([]Scored, error) {
 	sl := timeslot.Of(t)
 	c := topk.NewCollector(k)
 	deltas := e.inv.DeltaList(ctx)
-	span = e.stageDone(StageRetrieve, span)
+	span = e.stageDone(StageRetrieve, span, len(deltas), len(deltas))
 
+	offered := 0
 	textOf := make(map[adstore.AdID]float64, len(deltas))
 	for _, d := range deltas {
 		textRel := d.Coeff * factor
 		textOf[d.Ad] = textRel
-		e.offer(c, e.ad(d.Ad), textRel, st, sl, t)
+		if e.offer(c, e.ad(d.Ad), textRel, st, sl, t) {
+			offered++
+		}
 	}
-	e.offerStatic(c, st, sl, t, func(id adstore.AdID) bool {
+	examined, offeredStatic := e.offerStatic(c, st, sl, t, func(id adstore.AdID) bool {
 		_, seen := textOf[id]
 		return seen
 	})
-	span = e.stageDone(StageScore, span)
+	offered += offeredStatic
+	span = e.stageDone(StageScore, span, len(deltas)+examined, offered)
 
 	out := e.resolve(c.Items(), st, func(id adstore.AdID) float64 { return textOf[id] })
-	e.stageDone(StageTopK, span)
+	e.stageDone(StageTopK, span, offered, len(out))
 	return out, nil
 }

@@ -70,13 +70,17 @@ func (e *RS) TopAds(u feed.UserID, k int, t time.Time) ([]Scored, error) {
 	ctx, factor := st.win.ContextRef(t)
 	sl := timeslot.Of(t)
 	c := topk.NewCollector(k)
-	span = e.stageDone(StageRetrieve, span)
+	universe := e.store.Len()
+	span = e.stageDone(StageRetrieve, span, universe, universe)
 
+	offered := 0
 	e.store.ForEach(func(a *adstore.Ad) {
 		textRel := a.Vec.Dot(ctx) * factor
-		e.offer(c, a, textRel, st, sl, t)
+		if e.offer(c, a, textRel, st, sl, t) {
+			offered++
+		}
 	})
-	span = e.stageDone(StageScore, span)
+	span = e.stageDone(StageScore, span, universe, offered)
 
 	out := e.resolve(c.Items(), st, func(id adstore.AdID) float64 {
 		a := e.store.Get(id)
@@ -85,6 +89,6 @@ func (e *RS) TopAds(u feed.UserID, k int, t time.Time) ([]Scored, error) {
 		}
 		return a.Vec.Dot(ctx) * factor
 	})
-	e.stageDone(StageTopK, span)
+	e.stageDone(StageTopK, span, offered, len(out))
 	return out, nil
 }

@@ -39,10 +39,14 @@ func (s Stage) String() string {
 	}
 }
 
-// StageRecorder receives the elapsed time of each TopAds stage. It is
+// StageRecorder receives, for each TopAds stage, its elapsed time and the
+// candidate counts flowing into (in) and out of (out) the stage — the
+// attrition funnel a request trace renders (retrieve 4312 → score 987 →
+// topk 10). The score stage's in-count may exceed retrieve's out-count:
+// the static/geo remainder adds candidates the text path never saw. It is
 // called while the engine's serializing lock is held, so implementations
 // must be fast and must not call back into the engine.
-type StageRecorder func(s Stage, d time.Duration)
+type StageRecorder func(s Stage, d time.Duration, in, out int)
 
 // StageSetter is implemented by every engine (via base); the facade uses it
 // to attach its metrics registry without widening the Recommender interface.
@@ -65,13 +69,14 @@ func (b *base) stageStart() time.Time {
 	return time.Now()
 }
 
-// stageDone records one stage span and returns the start point of the next
-// stage, so consecutive stages share a single clock read.
-func (b *base) stageDone(s Stage, start time.Time) time.Time {
+// stageDone records one stage span with its candidate counts and returns
+// the start point of the next stage, so consecutive stages share a single
+// clock read.
+func (b *base) stageDone(s Stage, start time.Time, in, out int) time.Time {
 	if b.stages == nil || start.IsZero() {
 		return time.Time{}
 	}
 	now := time.Now()
-	b.stages(s, now.Sub(start))
+	b.stages(s, now.Sub(start), in, out)
 	return now
 }

@@ -10,6 +10,7 @@ import (
 	"net/http"
 	"runtime"
 	"strconv"
+	"strings"
 	"sync/atomic"
 	"time"
 
@@ -84,6 +85,9 @@ func newServerMetrics(s *Server) *serverMetrics {
 		}
 		return 1
 	})
+	// Go runtime health (goroutines, heap, GC pause, GOMAXPROCS) rides on
+	// the same registry; registration is idempotent across servers.
+	obs.RegisterRuntime(reg)
 	return m
 }
 
@@ -101,6 +105,39 @@ var reqIDSeq atomic.Uint64
 
 func newRequestID() string {
 	return reqIDPrefix + "-" + strconv.FormatUint(reqIDSeq.Add(1), 10)
+}
+
+// maxRequestIDLen caps adopted client request IDs; anything longer is
+// truncated before sanitizing.
+const maxRequestIDLen = 128
+
+// sanitizeRequestID hardens a client-supplied X-Request-Id before it is
+// echoed into response headers, log lines and trace IDs: the length is
+// capped and every byte outside graphic ASCII (controls, spaces, newlines,
+// escape sequences, non-ASCII) is stripped — a hostile ID must not be able
+// to inject log lines or smuggle header bytes. Returns "" when nothing
+// printable survives, which makes the middleware mint a fresh ID.
+func sanitizeRequestID(raw string) string {
+	if len(raw) > maxRequestIDLen {
+		raw = raw[:maxRequestIDLen]
+	}
+	clean := true
+	for i := 0; i < len(raw); i++ {
+		if raw[i] <= 0x20 || raw[i] >= 0x7f {
+			clean = false
+			break
+		}
+	}
+	if clean {
+		return raw
+	}
+	b := make([]byte, 0, len(raw))
+	for i := 0; i < len(raw); i++ {
+		if c := raw[i]; c > 0x20 && c < 0x7f {
+			b = append(b, c)
+		}
+	}
+	return string(b)
 }
 
 type ctxKey int
@@ -155,12 +192,15 @@ func (r *statusRecorder) Unwrap() http.ResponseWriter { return r.ResponseWriter 
 var endpoints = []string{
 	"/v1/users", "/v1/follow", "/v1/checkins", "/v1/posts", "/v1/campaigns",
 	"/v1/recommendations", "/v1/impressions", "/v1/trending", "/v1/stats",
-	"/v1/healthz", "/v1/readyz", "/v1/metrics", "/v1/statusz",
+	"/v1/healthz", "/v1/readyz", "/v1/metrics", "/v1/statusz", "/v1/traces",
 }
 
 func endpointLabel(path string) string {
 	if path == "/v1/ads" || len(path) > len("/v1/ads/") && path[:len("/v1/ads/")] == "/v1/ads/" {
 		return "/v1/ads"
+	}
+	if strings.HasPrefix(path, "/v1/traces/") {
+		return "/v1/traces"
 	}
 	for _, ep := range endpoints {
 		if path == ep {
@@ -172,13 +212,14 @@ func endpointLabel(path string) string {
 
 // isOperatorPath reports whether the path is a health/observability endpoint
 // that must stay reachable on a saturated server (exempt from admission
-// control).
+// control) — the trace endpoints included, because the flight recorder is
+// read exactly when the server is misbehaving.
 func isOperatorPath(path string) bool {
 	switch path {
-	case "/v1/healthz", "/v1/readyz", "/v1/metrics", "/v1/statusz":
+	case "/v1/healthz", "/v1/readyz", "/v1/metrics", "/v1/statusz", "/v1/traces":
 		return true
 	}
-	return false
+	return strings.HasPrefix(path, "/v1/traces/")
 }
 
 func statusClass(code int) string {
@@ -204,7 +245,7 @@ func (s *Server) withObservability(next http.Handler) http.Handler {
 		start := time.Now()
 		s.obsInFlight.Add(1)
 		defer s.obsInFlight.Add(-1)
-		reqID := r.Header.Get("X-Request-Id")
+		reqID := sanitizeRequestID(r.Header.Get("X-Request-Id"))
 		if reqID == "" {
 			reqID = newRequestID()
 		}

@@ -64,6 +64,51 @@ func TestRequestIDMintedAndEchoed(t *testing.T) {
 	}
 }
 
+// TestSanitizeRequestID: hostile client request IDs — header-injection
+// newlines, control bytes, unprintable characters, unbounded length — are
+// stripped or capped before the server echoes and logs them.
+func TestSanitizeRequestID(t *testing.T) {
+	cases := []struct{ raw, want string }{
+		{"ok-id-123", "ok-id-123"},                      // clean IDs pass verbatim
+		{"evil\x00id\x7fwith\tjunk", "evilidwithjunk"},  // NUL/DEL/tab stripped
+		{"inject\r\nSet-Cookie: x", "injectSet-Cookie:x"}, // CRLF and spaces gone
+		{"\x01\x02\x03", ""},                            // all junk → discard, mint
+		{"", ""},
+		{strings.Repeat("x", 4096), strings.Repeat("x", 128)}, // capped
+	}
+	for _, c := range cases {
+		if got := sanitizeRequestID(c.raw); got != c.want {
+			t.Errorf("sanitizeRequestID(%q) = %q, want %q", c.raw, got, c.want)
+		}
+	}
+}
+
+// TestRequestIDSanitizedEndToEnd: the middleware applies sanitization to
+// hostile-but-transmittable IDs (the http client refuses to send the worst
+// bytes itself): tabs are stripped, oversized IDs are capped.
+func TestRequestIDSanitizedEndToEnd(t *testing.T) {
+	_, ts := newObsTestServer(t)
+
+	send := func(t *testing.T, raw string) string {
+		t.Helper()
+		req, _ := http.NewRequest(http.MethodGet, ts.URL+"/v1/stats", nil)
+		req.Header["X-Request-Id"] = []string{raw} // bypass Set's canonicalization
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.Header.Get("X-Request-Id")
+	}
+
+	if got := send(t, "tab\there"); got != "tabhere" {
+		t.Fatalf("tab survived sanitization: %q", got)
+	}
+	if got := send(t, strings.Repeat("x", 4096)); len(got) != 128 {
+		t.Fatalf("overlong ID not capped at 128: len=%d %q…", len(got), got[:16])
+	}
+}
+
 // TestAccessLogCarriesRequestID: the slog access-log line for a request
 // carries the same request_id the response header does — the contract that
 // makes a latency spike in the histogram traceable to its log line.

@@ -16,10 +16,14 @@
 //	POST   /v1/impressions      {"ad": "...", "user": "..."?, "at": "RFC3339"?}
 //	GET    /v1/trending?slot=morning&k=10
 //	GET    /v1/stats
+//	GET    /v1/traces?n=50      (captured request traces, newest first)
+//	GET    /v1/traces/{id}      (one full trace with score decomposition)
 //
-// GET /v1/recommendations also accepts serving-policy parameters:
+// GET /v1/recommendations also accepts serving-policy parameters —
 // freq_cap + freq_window (per-user frequency capping) and max_per_campaign
-// (slate diversity).
+// (slate diversity) — plus explain=1, which inlines the request's flight
+// record (per-stage spans, per-ad score decomposition, policy actions) in
+// the response.
 //
 // Timestamps default to the server's current time when omitted.
 package server
@@ -39,6 +43,7 @@ import (
 	caar "caar"
 	"caar/journal"
 	"caar/obs"
+	"caar/obs/trace"
 )
 
 // API is the engine surface the server exposes. *caar.Engine implements it
@@ -140,6 +145,8 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("/v1/readyz", s.handleReady)
 	s.mux.Handle("/v1/metrics", s.metrics.Handler())
 	s.mux.HandleFunc("/v1/statusz", s.handleStatusz)
+	s.mux.HandleFunc("/v1/traces", s.handleTraces)
+	s.mux.HandleFunc("/v1/traces/", s.handleTraces)
 }
 
 // post wraps a handler with a method check.
@@ -422,22 +429,47 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	var recs []caar.Recommendation
-	if usePolicy {
+	explain := false
+	if raw := q.Get("explain"); raw != "" {
+		explain = raw == "1" || raw == "true"
+	}
+
+	// A trace-capable engine serves every recommend through the traced path
+	// so the request ID flows into the flight recorder; ?explain=1 inlines
+	// the captured trace (spans, score decomposition, policy actions) in the
+	// response.
+	ta, hasTrace := s.eng.(TraceAPI)
+	if explain && !hasTrace {
+		httpError(w, http.StatusBadRequest, "explain not supported by this deployment")
+		return
+	}
+	var (
+		recs []caar.Recommendation
+		tr   *trace.Trace
+	)
+	switch {
+	case hasTrace:
+		recs, tr, err = ta.RecommendTraced(user, k, at, policy,
+			caar.TraceRequest{ID: RequestID(r.Context()), Explain: explain})
+	case usePolicy:
 		pa, okCast := s.eng.(PolicyAPI)
 		if !okCast {
 			httpError(w, http.StatusBadRequest, "serving-policy parameters not supported by this deployment")
 			return
 		}
 		recs, err = pa.RecommendWithPolicy(user, k, at, policy)
-	} else {
+	default:
 		recs, err = s.eng.Recommend(user, k, at)
 	}
 	if err != nil {
 		fail(w, err)
 		return
 	}
-	ok(w, map[string]any{"user": user, "recommendations": recs})
+	resp := map[string]any{"user": user, "recommendations": recs}
+	if explain && tr != nil {
+		resp["explain"] = tr
+	}
+	ok(w, resp)
 }
 
 // parsePolicy reads the optional serving-policy query parameters:

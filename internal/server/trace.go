@@ -1,0 +1,93 @@
+package server
+
+import (
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	caar "caar"
+	"caar/obs"
+	"caar/obs/trace"
+)
+
+// Trace endpoints: the operator's window into the request-scoped flight
+// recorder.
+//
+//	GET /v1/traces?n=50     — newest-first summaries of captured traces,
+//	                          plus the stage histograms' bucket exemplars
+//	                          (trace IDs by latency bucket)
+//	GET /v1/traces/{id}     — one full trace: spans with candidate counts,
+//	                          score decomposition, policy actions
+//
+// Both return 404 when the deployment has no trace store. They are
+// operator paths: exempt from admission control, because the flight
+// recorder is read exactly when the server is misbehaving.
+
+// TraceAPI is implemented by engines that support request-scoped flight
+// recording (*caar.Engine does; *journal.Logged promotes it). The serving
+// layer uses it to thread the request ID into the trace and to answer
+// ?explain=1.
+type TraceAPI interface {
+	RecommendTraced(user string, k int, at time.Time, policy caar.ServingPolicy, treq caar.TraceRequest) ([]caar.Recommendation, *trace.Trace, error)
+	Tracer() *trace.Store
+}
+
+// exemplarAPI is the optional engine surface exposing stage-histogram
+// exemplars for the trace listing.
+type exemplarAPI interface {
+	StageExemplars() map[string][]obs.BucketExemplar
+}
+
+// traceStore returns the deployment's trace store, or nil when the engine
+// does not trace.
+func (s *Server) traceStore() *trace.Store {
+	if ta, ok := s.eng.(TraceAPI); ok {
+		return ta.Tracer()
+	}
+	return nil
+}
+
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	store := s.traceStore()
+	if store == nil {
+		httpError(w, http.StatusNotFound, "request tracing disabled in this deployment")
+		return
+	}
+
+	if id := strings.TrimPrefix(r.URL.Path, "/v1/traces/"); id != r.URL.Path && id != "" {
+		tr := store.Get(id)
+		if tr == nil {
+			httpError(w, http.StatusNotFound, "no captured trace with id "+strconv.Quote(id))
+			return
+		}
+		ok(w, tr)
+		return
+	}
+
+	n := 50
+	if raw := r.URL.Query().Get("n"); raw != "" {
+		parsed, err := strconv.Atoi(raw)
+		if err != nil || parsed < 1 {
+			httpError(w, http.StatusBadRequest, "n must be a positive integer")
+			return
+		}
+		n = parsed
+	}
+	traces := store.List(n)
+	sums := make([]trace.Summary, 0, len(traces))
+	for _, t := range traces {
+		sums = append(sums, t.Summary())
+	}
+	body := map[string]any{"traces": sums}
+	if ea, okCast := s.eng.(exemplarAPI); okCast {
+		if ex := ea.StageExemplars(); len(ex) > 0 {
+			body["exemplars"] = ex
+		}
+	}
+	ok(w, body)
+}

@@ -275,15 +275,22 @@ type Histogram struct {
 	counts []atomic.Uint64 // len(bounds)+1; last is the +Inf bucket
 	sum    atomic.Uint64   // float64 bits
 	count  atomic.Uint64
+
+	// exemplars (see exemplar.go): lazily allocated slot per bucket holding
+	// the latest attached exemplar (empty TraceID = unset). A slice, not a
+	// map, so attaching on the hot serving path is a mutex-guarded value
+	// copy with no per-attach allocation.
+	exMu sync.Mutex
+	ex   []BucketExemplar
 }
 
 func newHistogram(bounds []float64) *Histogram {
 	return &Histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1)}
 }
 
-// Observe records one sample.
-func (h *Histogram) Observe(v float64) {
-	// Binary search for the first bound >= v.
+// bucketIndex returns the index of the bucket v falls into: the first bound
+// >= v, or the +Inf bucket.
+func (h *Histogram) bucketIndex(v float64) int {
 	lo, hi := 0, len(h.bounds)
 	for lo < hi {
 		mid := (lo + hi) / 2
@@ -293,7 +300,12 @@ func (h *Histogram) Observe(v float64) {
 			lo = mid + 1
 		}
 	}
-	h.counts[lo].Add(1)
+	return lo
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	h.counts[h.bucketIndex(v)].Add(1)
 	h.count.Add(1)
 	for {
 		old := h.sum.Load()

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"fmt"
 	"strings"
 	"sync"
 	"testing"
@@ -76,6 +77,84 @@ func TestGaugeAndCounterFuncs(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("output missing %q:\n%s", want, out)
 		}
+	}
+}
+
+// TestRuntimeGauges: RegisterRuntime exposes the four Go-runtime health
+// gauges with sane (non-negative, mostly positive) values, sampled at
+// scrape time.
+func TestRuntimeGauges(t *testing.T) {
+	r := NewRegistry()
+	RegisterRuntime(r)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, fam := range []string{
+		"caar_go_goroutines", "caar_go_gomaxprocs",
+		"caar_go_heap_inuse_bytes", "caar_go_gc_pause_seconds_total",
+	} {
+		if !strings.Contains(out, "# TYPE "+fam+" gauge") {
+			t.Errorf("runtime family %q missing from exposition:\n%s", fam, out)
+			continue
+		}
+		var v float64
+		for _, line := range strings.Split(out, "\n") {
+			if strings.HasPrefix(line, fam+" ") {
+				if _, err := fmt.Sscanf(line, fam+" %g", &v); err != nil {
+					t.Errorf("unparsable sample line %q: %v", line, err)
+				}
+			}
+		}
+		if v < 0 {
+			t.Errorf("%s = %g, want >= 0", fam, v)
+		}
+		if (fam == "caar_go_goroutines" || fam == "caar_go_gomaxprocs" ||
+			fam == "caar_go_heap_inuse_bytes") && v == 0 {
+			t.Errorf("%s = 0, want > 0 in a running process", fam)
+		}
+	}
+}
+
+// TestHistogramExemplars: AttachExemplar annotates (without re-counting)
+// the bucket an observation fell into; Exemplars returns them bucket-
+// ordered and SlowestExemplar picks the highest annotated bucket.
+func TestHistogramExemplars(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_ex_seconds", "h", []float64{0.001, 0.01, 0.1})
+	if h.Exemplars() != nil {
+		t.Error("fresh histogram must have no exemplars")
+	}
+
+	h.Observe(0.0005)
+	h.AttachExemplar(0.0005, "trace-fast")
+	h.Observe(5)
+	h.AttachExemplar(5, "trace-slow")
+	h.AttachExemplar(0.0005, "") // empty trace ID is a no-op
+
+	if h.Count() != 2 {
+		t.Fatalf("AttachExemplar changed the observation count: %d", h.Count())
+	}
+	ex := h.Exemplars()
+	if len(ex) != 2 {
+		t.Fatalf("Exemplars = %+v, want 2 entries", ex)
+	}
+	if ex[0].TraceID != "trace-fast" || ex[0].BucketLE != "0.001" {
+		t.Errorf("fastest exemplar = %+v", ex[0])
+	}
+	if ex[1].TraceID != "trace-slow" || ex[1].BucketLE != "+Inf" {
+		t.Errorf("slowest exemplar = %+v", ex[1])
+	}
+	slow, found := h.SlowestExemplar()
+	if !found || slow.TraceID != "trace-slow" || slow.Value != 5 {
+		t.Errorf("SlowestExemplar = %+v found=%v", slow, found)
+	}
+	// Replacing the same bucket keeps the newest annotation.
+	h.AttachExemplar(6, "trace-slower")
+	if slow, _ := h.SlowestExemplar(); slow.TraceID != "trace-slower" {
+		t.Errorf("bucket exemplar not replaced: %+v", slow)
 	}
 }
 

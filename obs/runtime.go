@@ -1,0 +1,49 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// RegisterRuntime installs scrape-time gauges over the Go runtime's own
+// health signals: goroutine count, heap in use, cumulative GC pause and
+// GOMAXPROCS. All four are GaugeFuncs — nothing is recorded between
+// scrapes, so the instrumentation is free on the serving path.
+//
+// ReadMemStats stops the world, so the memory-backed gauges share one
+// sample cached for a short interval; a scrape reading both heap and GC
+// pause pays for at most one stop-the-world.
+func RegisterRuntime(r *Registry) {
+	var (
+		mu   sync.Mutex
+		ms   runtime.MemStats
+		last time.Time
+	)
+	memstats := func() runtime.MemStats {
+		mu.Lock()
+		defer mu.Unlock()
+		if last.IsZero() || time.Since(last) > 250*time.Millisecond {
+			runtime.ReadMemStats(&ms)
+			last = time.Now()
+		}
+		return ms
+	}
+
+	r.GaugeFunc("caar_go_goroutines",
+		"Goroutines at scrape time.", func() float64 {
+			return float64(runtime.NumGoroutine())
+		})
+	r.GaugeFunc("caar_go_gomaxprocs",
+		"GOMAXPROCS at scrape time.", func() float64 {
+			return float64(runtime.GOMAXPROCS(0))
+		})
+	r.GaugeFunc("caar_go_heap_inuse_bytes",
+		"Bytes in in-use heap spans.", func() float64 {
+			return float64(memstats().HeapInuse)
+		})
+	r.GaugeFunc("caar_go_gc_pause_seconds_total",
+		"Cumulative stop-the-world GC pause since process start.", func() float64 {
+			return float64(memstats().PauseTotalNs) / 1e9
+		})
+}

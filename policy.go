@@ -3,6 +3,8 @@ package caar
 import (
 	"sync"
 	"time"
+
+	"caar/obs/trace"
 )
 
 // ServingPolicy adds delivery constraints on top of raw relevance ranking:
@@ -121,13 +123,17 @@ func (e *Engine) RecordImpressionTo(user, adID string, at time.Time) (bool, erro
 // policy's frequency cap and campaign-diversity constraints on top of the
 // relevance ranking. With a zero policy it is equivalent to Recommend.
 func (e *Engine) RecommendWithPolicy(user string, k int, at time.Time, policy ServingPolicy) ([]Recommendation, error) {
-	return e.recommend(user, k, at, policy)
+	recs, _, err := e.recommend(user, k, at, policy, TraceRequest{})
+	return recs, err
 }
 
 // applyPolicy greedily selects up to k recommendations from the over-fetched
 // candidate list under the policy's constraints. With no active constraint
 // the candidates pass through unchanged (the pipeline fetched exactly k).
-func (e *Engine) applyPolicy(user string, k int, at time.Time, policy ServingPolicy, candidates []Recommendation) []Recommendation {
+// When the request carries a trace, every drop decision is recorded as a
+// policy action, so an explained slate shows why a higher-scored candidate
+// is missing from the response.
+func (e *Engine) applyPolicy(user string, k int, at time.Time, policy ServingPolicy, candidates []Recommendation, tr *trace.Trace) []Recommendation {
 	if !policy.enabled() {
 		return candidates
 	}
@@ -140,12 +146,18 @@ func (e *Engine) applyPolicy(user string, k int, at time.Time, policy ServingPol
 		if policy.FrequencyCap > 0 && policy.FrequencyWindow > 0 {
 			seen := e.impressions.countSince(user, cand.AdID, at, policy.FrequencyWindow)
 			if seen >= policy.FrequencyCap {
+				if tr != nil {
+					tr.AddPolicyAction(cand.AdID, "dropped_frequency_cap")
+				}
 				continue
 			}
 		}
 		if policy.MaxPerCampaign > 0 {
 			if camp := e.campaignOf(cand.AdID); camp != "" {
 				if perCampaign[camp] >= policy.MaxPerCampaign {
+					if tr != nil {
+						tr.AddPolicyAction(cand.AdID, "dropped_campaign_diversity")
+					}
 					continue
 				}
 				perCampaign[camp]++
