@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all check vet staticcheck build test race bench bench-smoke clean
+.PHONY: all check vet staticcheck build test race bench bench-smoke bench-contention clean
 
 all: check
 
@@ -27,6 +27,9 @@ build:
 test:
 	$(GO) test ./...
 
+# race covers every package under the race detector; the root package and
+# internal/core carry the concurrency-sensitive paths (COW directory swaps,
+# shard locking, dynBuf aging) and their stress tests.
 race:
 	$(GO) test -race ./...
 
@@ -39,6 +42,13 @@ bench:
 # recommend p99 by more than 10%.
 bench-smoke:
 	$(GO) run ./cmd/adbench -serve-bench 5s -bench-out BENCH_PR3.json
+
+# bench-contention drives parallel Recommend workers against a live engine
+# while a writer churns AddAd/RemoveAd, at 1/4/8 workers, and writes the
+# per-phase throughput, exact latency quantiles, and speedup-vs-1-worker to
+# BENCH_PR4.json.
+bench-contention:
+	$(GO) run ./cmd/adbench -contention 6s -contention-out BENCH_PR4.json
 
 clean:
 	$(GO) clean ./...

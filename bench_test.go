@@ -8,6 +8,7 @@ package caar_test
 import (
 	"fmt"
 	"io"
+	"sync"
 	"testing"
 	"time"
 
@@ -115,4 +116,49 @@ func BenchmarkRecommend(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkRecommendParallel measures top-5 queries issued from GOMAXPROCS
+// goroutines at once while a writer churns AddAd/RemoveAd — the read path
+// must scale instead of serializing on global engine state. (The
+// `cmd/adbench -contention` bench measures the same shape at fixed worker
+// counts and emits BENCH_PR4.json.)
+func BenchmarkRecommendParallel(b *testing.B) {
+	eng, names, now := benchEngine(b, caar.AlgorithmCAP, 200, 5000)
+	stop := make(chan struct{})
+	var writerDone sync.WaitGroup
+	writerDone.Add(1)
+	go func() {
+		defer writerDone.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			id := fmt.Sprintf("churn-%d", i)
+			if err := eng.AddAd(caar.Ad{ID: id, Text: "word0042 word0084 flash deal", Bid: 0.2}); err != nil {
+				b.Error(err)
+				return
+			}
+			if err := eng.RemoveAd(id); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	}()
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			i++
+			if _, err := eng.Recommend(names[i%100+1], 5, now); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.StopTimer()
+	close(stop)
+	writerDone.Wait()
 }

@@ -1,0 +1,226 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	caar "caar"
+	"caar/metrics"
+)
+
+// The contention bench measures how the serving read path scales when
+// global engine state is churning: parallel Recommend workers run directly
+// against the engine (no HTTP — this isolates engine locking, not the
+// server) while one writer continuously adds and withdraws ads. With the
+// copy-on-write directory, readers resolve names off an atomically-loaded
+// snapshot and never touch a global lock, so read throughput should grow
+// with worker count even under a hot writer; the seed engine serialized
+// every reader on one RWMutex (three acquisitions per request, plus one
+// per candidate under policy) and flatlined instead.
+
+// contentionWorkerCounts are the parallelism levels measured per run.
+var contentionWorkerCounts = []int{1, 4, 8}
+
+// contentionResult is the JSON document written by -contention (see
+// BENCH_PR4.json).
+type contentionResult struct {
+	GeneratedAt  string            `json:"generated_at"`
+	Algorithm    string            `json:"algorithm"`
+	Shards       int               `json:"shards"`
+	SliceSeconds float64           `json:"slice_seconds"`
+	Phases       []contentionPhase `json:"phases"`
+}
+
+// contentionPhase is one worker-count measurement: read throughput and
+// exact latency quantiles while the ad churn writer runs concurrently.
+type contentionPhase struct {
+	Workers       int     `json:"workers"`
+	Requests      uint64  `json:"requests"`
+	ThroughputRPS float64 `json:"throughput_rps"`
+	P50ms         float64 `json:"p50_ms"`
+	P95ms         float64 `json:"p95_ms"`
+	P99ms         float64 `json:"p99_ms"`
+	WriterOps     uint64  `json:"writer_ops"`
+	// SpeedupVs1 is this phase's throughput relative to the 1-worker
+	// phase of the same run — the scalability signal the bench exists for.
+	SpeedupVs1 float64 `json:"speedup_vs_1"`
+}
+
+// runContentionBench seeds one engine, then for each worker count drives a
+// closed-loop Recommend workload against it for dur while a writer churns
+// AddAd/RemoveAd, and writes the per-phase throughput and exact quantiles
+// to outPath.
+func runContentionBench(dur time.Duration, outPath string) error {
+	const (
+		nUsers = 256
+		nAds   = 500
+		nPosts = 200
+	)
+	cfg := caar.DefaultConfig()
+	cfg.Shards = 4
+	eng, err := caar.Open(cfg)
+	if err != nil {
+		return err
+	}
+	users := make([]string, nUsers)
+	for i := range users {
+		users[i] = fmt.Sprintf("user%04d", i)
+		if err := eng.AddUser(users[i]); err != nil {
+			return err
+		}
+	}
+	for i, u := range users {
+		for f := 1; f <= 4; f++ {
+			if err := eng.Follow(u, users[(i+f*13)%nUsers]); err != nil {
+				return err
+			}
+		}
+	}
+	for i := 0; i < nAds; i++ {
+		ad := caar.Ad{
+			ID:   fmt.Sprintf("ad%04d", i),
+			Text: fmt.Sprintf("word%04d word%04d word%04d offer sale", i%600, (i*3)%600, (i*11)%600),
+			Bid:  0.1 + float64(i%10)/20,
+		}
+		if err := eng.AddAd(ad); err != nil {
+			return err
+		}
+	}
+	now := time.Date(2026, 7, 6, 9, 0, 0, 0, time.UTC)
+	for i := 0; i < nPosts; i++ {
+		now = now.Add(time.Second)
+		text := fmt.Sprintf("word%04d word%04d word%04d morning update", i%600, (i*5)%600, (i*13)%600)
+		if err := eng.Post(users[i%nUsers], text, now); err != nil {
+			return err
+		}
+	}
+
+	res := contentionResult{
+		GeneratedAt:  time.Now().UTC().Format(time.RFC3339),
+		Algorithm:    string(eng.Algorithm()),
+		Shards:       cfg.Shards,
+		SliceSeconds: dur.Seconds(),
+	}
+	churnSeq := 0
+	for _, workers := range contentionWorkerCounts {
+		phase, err := runContentionPhase(eng, users, now, dur, workers, &churnSeq)
+		if err != nil {
+			return err
+		}
+		res.Phases = append(res.Phases, phase)
+	}
+	base := res.Phases[0].ThroughputRPS
+	for i := range res.Phases {
+		if base > 0 {
+			res.Phases[i].SpeedupVs1 = res.Phases[i].ThroughputRPS / base
+		}
+	}
+
+	out, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if err := os.WriteFile(outPath, out, 0o644); err != nil {
+		return err
+	}
+	for _, p := range res.Phases {
+		fmt.Printf("contention: %d workers: %d recommends (%.0f req/s, %.2fx vs 1 worker, p99 %.3fms) under %d writer ops\n",
+			p.Workers, p.Requests, p.ThroughputRPS, p.SpeedupVs1, p.P99ms, p.WriterOps)
+	}
+	fmt.Printf("contention: wrote %s\n", outPath)
+	return nil
+}
+
+// runContentionPhase measures one worker count: `workers` goroutines loop
+// Recommend while a writer goroutine churns AddAd/RemoveAd until the slice
+// ends. churnSeq persists across phases so ad names are never reused.
+func runContentionPhase(eng *caar.Engine, users []string, at time.Time, dur time.Duration, workers int, churnSeq *int) (contentionPhase, error) {
+	var (
+		stop      atomic.Bool
+		writerOps atomic.Uint64
+		writerErr error
+		writerWg  sync.WaitGroup
+	)
+	writerWg.Add(1)
+	go func() {
+		defer writerWg.Done()
+		for i := *churnSeq; !stop.Load(); i++ {
+			*churnSeq = i + 1
+			name := fmt.Sprintf("churn%07d", i)
+			ad := caar.Ad{
+				ID:   name,
+				Text: fmt.Sprintf("word%04d word%04d flash deal", i%600, (i*7)%600),
+				Bid:  0.2,
+			}
+			if err := eng.AddAd(ad); err != nil {
+				writerErr = err
+				return
+			}
+			if err := eng.RemoveAd(name); err != nil {
+				writerErr = err
+				return
+			}
+			writerOps.Add(2)
+		}
+	}()
+
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		lats     []time.Duration
+		firstErr error
+	)
+	deadline := time.Now().Add(dur)
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			local := make([]time.Duration, 0, 1<<16)
+			for i := 0; time.Now().Before(deadline); i++ {
+				user := users[(w*131+i)%len(users)]
+				t0 := time.Now()
+				_, err := eng.Recommend(user, 5, at)
+				elapsed := time.Since(t0)
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+				local = append(local, elapsed)
+			}
+			mu.Lock()
+			lats = append(lats, local...)
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	stop.Store(true)
+	writerWg.Wait()
+	if firstErr != nil {
+		return contentionPhase{}, fmt.Errorf("contention: recommend failed: %w", firstErr)
+	}
+	if writerErr != nil {
+		return contentionPhase{}, fmt.Errorf("contention: writer failed: %w", writerErr)
+	}
+
+	st := exactStats(lats)
+	return contentionPhase{
+		Workers:       workers,
+		Requests:      st.Count,
+		ThroughputRPS: metrics.Throughput{Events: st.Count, Elapsed: elapsed}.PerSecond(),
+		P50ms:         st.P50ms,
+		P95ms:         st.P95ms,
+		P99ms:         st.P99ms,
+		WriterOps:     writerOps.Load(),
+	}, nil
+}

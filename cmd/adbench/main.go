@@ -7,6 +7,7 @@
 //	adbench -exp all -scale 1  # the full grid at full scale
 //	adbench -list              # list experiment IDs and titles
 //	adbench -serve-bench 5s    # tracing-overhead bench + metrics smoke test
+//	adbench -contention 3s     # parallel-recommend-under-writer-churn bench
 package main
 
 import (
@@ -23,6 +24,8 @@ func main() {
 	list := flag.Bool("list", false, "list available experiments and exit")
 	serveBench := flag.Duration("serve-bench", 0, "run the in-process HTTP server bench for this long and exit (0 = off)")
 	benchOut := flag.String("bench-out", "BENCH_PR3.json", "output file for -serve-bench results")
+	contention := flag.Duration("contention", 0, "run the parallel-recommend contention bench for this long per worker count and exit (0 = off)")
+	contentionOut := flag.String("contention-out", "BENCH_PR4.json", "output file for -contention results")
 	flag.Parse()
 
 	if *list {
@@ -35,6 +38,14 @@ func main() {
 
 	if *serveBench > 0 {
 		if err := runServeBench(*serveBench, *benchOut); err != nil {
+			fmt.Fprintln(os.Stderr, "adbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *contention > 0 {
+		if err := runContentionBench(*contention, *contentionOut); err != nil {
 			fmt.Fprintln(os.Stderr, "adbench:", err)
 			os.Exit(1)
 		}

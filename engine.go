@@ -18,21 +18,24 @@ import (
 )
 
 // Engine is the public recommender. It is safe for concurrent use: the text
-// pipeline and ad store are concurrency-safe, and per-shard locks serialize
+// pipeline and ad store are concurrency-safe, per-shard locks serialize
 // engine-state mutation while allowing posts to fan out across shards in
-// parallel.
+// parallel, and the name-resolution state (user handles, ad names,
+// campaigns) lives in an immutable copy-on-write directory published with
+// an atomic pointer — the serving read path resolves names without taking
+// any global lock.
 type Engine struct {
 	cfg      Config
 	pipeline *textproc.Pipeline
 	store    *adstore.Store
 	graph    *feed.Graph
 
-	mu      sync.RWMutex // guards users, adIDs, adNames
-	users   map[string]feed.UserID
-	names   []string
-	adIDs   map[string]adstore.AdID
-	adNames map[adstore.AdID]string
-	nextAd  adstore.AdID
+	// dir is the current name-resolution snapshot. Readers load it once
+	// per request; writers clone-mutate-publish under dirMu. nextAd is
+	// also guarded by dirMu.
+	dir    atomic.Pointer[directory]
+	dirMu  sync.Mutex
+	nextAd adstore.AdID
 
 	shards      []shard
 	msgSeq      atomic.Int64
@@ -45,6 +48,100 @@ type Engine struct {
 	metrics *obs.Registry
 	obsm    *engineMetrics
 	tracer  *trace.Store
+}
+
+// adRef is a directory entry for one live ad: its external name and its
+// campaign (empty for campaign-less ads). Keeping the campaign here lets
+// the policy stage resolve it without consulting the (locked) ad store.
+type adRef struct {
+	name     string
+	campaign string
+}
+
+// directory is the engine's immutable name-resolution snapshot: user
+// handles, ad names and ad campaigns. A directory is never mutated after
+// being published via Engine.dir — writers build a new one under
+// Engine.dirMu and atomically swap it in, so readers work against one
+// consistent view with zero lock acquisitions and writers never block
+// readers.
+type directory struct {
+	users map[string]feed.UserID
+	names []string // handle by internal user ID
+	adIDs map[string]adstore.AdID
+	ads   map[adstore.AdID]adRef
+}
+
+func newDirectory() *directory {
+	return &directory{
+		users: make(map[string]feed.UserID),
+		adIDs: make(map[string]adstore.AdID),
+		ads:   make(map[adstore.AdID]adRef),
+	}
+}
+
+// clone deep-copies the directory so a writer can mutate its private copy
+// before publishing. Cost is O(users+ads), paid only on control-plane
+// writes (AddUser/AddAd/RemoveAd), never on the serving path.
+func (d *directory) clone() *directory {
+	nd := &directory{
+		users: make(map[string]feed.UserID, len(d.users)+1),
+		names: append(make([]string, 0, len(d.names)+1), d.names...),
+		adIDs: make(map[string]adstore.AdID, len(d.adIDs)+1),
+		ads:   make(map[adstore.AdID]adRef, len(d.ads)+1),
+	}
+	for h, id := range d.users {
+		nd.users[h] = id
+	}
+	for n, id := range d.adIDs {
+		nd.adIDs[n] = id
+	}
+	for id, ref := range d.ads {
+		nd.ads[id] = ref
+	}
+	return nd
+}
+
+// withAd returns a copy of the directory with one ad mapping added.
+func (d *directory) withAd(name string, id adstore.AdID, campaign string) *directory {
+	nd := d.clone()
+	nd.adIDs[name] = id
+	nd.ads[id] = adRef{name: name, campaign: campaign}
+	return nd
+}
+
+// withoutAd returns a copy of the directory with one ad mapping removed.
+func (d *directory) withoutAd(name string, id adstore.AdID) *directory {
+	nd := d.clone()
+	delete(nd.adIDs, name)
+	delete(nd.ads, id)
+	return nd
+}
+
+// lookup resolves a user handle in this snapshot.
+func (d *directory) lookup(handle string) (feed.UserID, error) {
+	id, ok := d.users[handle]
+	if !ok {
+		return 0, fmt.Errorf("%w: %q", ErrUnknownUser, handle)
+	}
+	return id, nil
+}
+
+// userName resolves an internal user ID back to its handle.
+func (d *directory) userName(u feed.UserID) string {
+	if int(u) < len(d.names) {
+		return d.names[u]
+	}
+	return fmt.Sprintf("user-%d", u)
+}
+
+// campaignOf resolves an external ad ID to its campaign name ("" when
+// campaign-less or withdrawn from this snapshot).
+func (d *directory) campaignOf(adID string) string {
+	id, ok := d.adIDs[adID]
+	if !ok {
+		return ""
+	}
+	return d.ads[id].campaign
 }
 
 // shard is one engine instance plus its serializing lock and the trace
@@ -86,13 +183,11 @@ func Open(cfg Config) (*Engine, error) {
 		pipeline:    textproc.NewPipeline(),
 		store:       adstore.NewStore(),
 		graph:       feed.NewGraph(),
-		users:       make(map[string]feed.UserID),
-		adIDs:       make(map[string]adstore.AdID),
-		adNames:     make(map[adstore.AdID]string),
 		nextAd:      1,
 		impressions: newImpressionLog(),
 		trends:      newTrendTracker(),
 	}
+	e.dir.Store(newDirectory())
 	scoring := cfg.scoring()
 	region := geo.Rect(cfg.Region)
 	rows, cols := cfg.GridRows, cfg.GridCols
@@ -165,15 +260,18 @@ func (e *Engine) AddUser(handle string) error {
 	if handle == "" {
 		return fmt.Errorf("%w: empty user handle", ErrBadConfig)
 	}
-	e.mu.Lock()
-	if _, dup := e.users[handle]; dup {
-		e.mu.Unlock()
+	e.dirMu.Lock()
+	d := e.dir.Load()
+	if _, dup := d.users[handle]; dup {
+		e.dirMu.Unlock()
 		return fmt.Errorf("%w: user %q", ErrDuplicate, handle)
 	}
-	id := feed.UserID(len(e.names))
-	e.users[handle] = id
-	e.names = append(e.names, handle)
-	e.mu.Unlock()
+	id := feed.UserID(len(d.names))
+	nd := d.clone()
+	nd.users[handle] = id
+	nd.names = append(nd.names, handle)
+	e.dir.Store(nd)
+	e.dirMu.Unlock()
 
 	e.graph.AddUser(id)
 	sh := e.shardOf(id)
@@ -184,13 +282,7 @@ func (e *Engine) AddUser(handle string) error {
 }
 
 func (e *Engine) lookupUser(handle string) (feed.UserID, error) {
-	e.mu.RLock()
-	id, ok := e.users[handle]
-	e.mu.RUnlock()
-	if !ok {
-		return 0, fmt.Errorf("%w: %q", ErrUnknownUser, handle)
-	}
-	return id, nil
+	return e.dir.Load().lookup(handle)
 }
 
 // Follow makes follower receive followee's posts.
@@ -270,16 +362,10 @@ func (e *Engine) AddAd(ad Ad) error {
 		}
 	}
 
-	e.mu.Lock()
-	if _, dup := e.adIDs[ad.ID]; dup {
-		e.mu.Unlock()
-		return fmt.Errorf("%w: ad %q", ErrDuplicate, ad.ID)
+	var err error
+	if internal.ID, err = e.mapAd(ad.ID, ad.Campaign); err != nil {
+		return err
 	}
-	internal.ID = e.nextAd
-	e.nextAd++
-	e.adIDs[ad.ID] = internal.ID
-	e.adNames[internal.ID] = ad.ID
-	e.mu.Unlock()
 
 	if err := internal.Validate(); err != nil {
 		e.unmapAd(ad.ID, internal.ID)
@@ -300,22 +386,52 @@ func (e *Engine) AddAd(ad Ad) error {
 	return nil
 }
 
-func (e *Engine) unmapAd(name string, id adstore.AdID) {
-	e.mu.Lock()
-	delete(e.adIDs, name)
-	delete(e.adNames, id)
-	e.mu.Unlock()
+// mapAd reserves the next internal ID for an external ad name and publishes
+// the mapping in a new directory snapshot. The name must be free.
+func (e *Engine) mapAd(name, campaign string) (adstore.AdID, error) {
+	e.dirMu.Lock()
+	defer e.dirMu.Unlock()
+	d := e.dir.Load()
+	if _, dup := d.adIDs[name]; dup {
+		return 0, fmt.Errorf("%w: ad %q", ErrDuplicate, name)
+	}
+	id := e.nextAd
+	e.nextAd++
+	e.dir.Store(d.withAd(name, id, campaign))
+	return id, nil
 }
 
-// RemoveAd withdraws an advertisement.
+func (e *Engine) unmapAd(name string, id adstore.AdID) {
+	e.dirMu.Lock()
+	e.dir.Store(e.dir.Load().withoutAd(name, id))
+	e.dirMu.Unlock()
+}
+
+// RemoveAd withdraws an advertisement. The directory snapshot without the
+// ad is published *before* the store and shard indexes are torn down: the
+// moment RemoveAd commits, no in-flight recommend can resolve the name in
+// toRecommendations, so a withdrawn ad is never served even while its
+// index entries are still being cleaned up. (The reverse order — the seed
+// behavior — let a concurrent recommend serve an ad that RemoveAd had
+// already deleted from the store.)
 func (e *Engine) RemoveAd(id string) error {
-	e.mu.RLock()
-	internalID, ok := e.adIDs[id]
-	e.mu.RUnlock()
+	e.dirMu.Lock()
+	d := e.dir.Load()
+	internalID, ok := d.adIDs[id]
 	if !ok {
+		e.dirMu.Unlock()
 		return fmt.Errorf("%w: %q", ErrUnknownAd, id)
 	}
+	campaign := d.ads[internalID].campaign
+	e.dir.Store(d.withoutAd(id, internalID))
+	e.dirMu.Unlock()
+
 	if err := e.store.Remove(internalID); err != nil {
+		// Roll the unmap back so the directory and the store stay
+		// consistent: the ad is still live.
+		e.dirMu.Lock()
+		e.dir.Store(e.dir.Load().withAd(id, internalID, campaign))
+		e.dirMu.Unlock()
 		return err
 	}
 	for _, sh := range e.shards {
@@ -323,7 +439,6 @@ func (e *Engine) RemoveAd(id string) error {
 		sh.eng.UnregisterAd(internalID)
 		sh.mu.Unlock()
 	}
-	e.unmapAd(id, internalID)
 	return nil
 }
 
@@ -366,6 +481,9 @@ func (e *Engine) Post(author, text string, at time.Time) error {
 }
 
 func (e *Engine) deliver(msg feed.Message, all []feed.UserID, at time.Time) error {
+	// One directory snapshot serves the whole fan-out: every continuous
+	// recommendation emitted below resolves names against the same view.
+	d := e.dir.Load()
 	// Group followers by shard.
 	groups := make([][]feed.UserID, len(e.shards))
 	for _, u := range all {
@@ -398,9 +516,10 @@ func (e *Engine) deliver(msg feed.Message, all []feed.UserID, at time.Time) erro
 				for _, u := range group {
 					recs, err := sh.eng.TopAds(u, e.cfg.ContinuousK, at)
 					if err != nil {
+						e.obsm.continuousErrors.Inc()
 						continue
 					}
-					e.cfg.OnRecommend(e.userName(u), e.toRecommendations(recs))
+					e.cfg.OnRecommend(d.userName(u), e.toRecommendations(d, recs))
 				}
 			}
 		}
@@ -441,7 +560,10 @@ func (e *Engine) Recommend(user string, k int, at time.Time) ([]Recommendation, 
 func (e *Engine) recommend(user string, k int, at time.Time, policy ServingPolicy, treq TraceRequest) ([]Recommendation, *trace.Trace, error) {
 	start := time.Now()
 	tr := e.beginTrace(treq, user, k, at, start)
-	uid, err := e.lookupUser(user)
+	// One atomic load pins the name-resolution view for the whole request;
+	// no stage below takes a global lock.
+	d := e.dir.Load()
+	uid, err := d.lookup(user)
 	if err != nil {
 		e.obsm.recommendErrors.Inc()
 		return nil, e.finishTrace(tr, time.Since(start), err), err
@@ -480,12 +602,12 @@ func (e *Engine) recommend(user string, k int, at time.Time, policy ServingPolic
 	}
 
 	span = time.Now()
-	recs := e.toRecommendations(scored)
+	recs := e.toRecommendations(d, scored)
 	mapped := e.obsm.stage(e.obsm.stageMap, span)
 	if tr != nil {
 		tr.AddSpan("map", mapped.Sub(span), len(scored), len(recs))
 	}
-	out := e.applyPolicy(user, k, at, policy, recs, tr)
+	out := e.applyPolicy(d, user, k, at, policy, recs, tr)
 	done := e.obsm.stage(e.obsm.stagePolicy, mapped)
 	if tr != nil {
 		tr.AddSpan("policy", done.Sub(mapped), len(recs), len(out))
@@ -504,9 +626,7 @@ func (e *Engine) recommend(user string, k int, at time.Time, policy ServingPolic
 // paced budget. It reports whether the impression may be shown; false means
 // the campaign is out of (released) budget.
 func (e *Engine) ServeImpression(adID string, at time.Time) (bool, error) {
-	e.mu.RLock()
-	internalID, ok := e.adIDs[adID]
-	e.mu.RUnlock()
+	internalID, ok := e.dir.Load().adIDs[adID]
 	if !ok {
 		e.obsm.impressions.With("error").Inc()
 		return false, fmt.Errorf("%w: %q", ErrUnknownAd, adID)
@@ -523,26 +643,17 @@ func (e *Engine) ServeImpression(adID string, at time.Time) (bool, error) {
 	return served, err
 }
 
-func (e *Engine) userName(u feed.UserID) string {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	if int(u) < len(e.names) {
-		return e.names[u]
-	}
-	return fmt.Sprintf("user-%d", u)
-}
-
-func (e *Engine) toRecommendations(scored []core.Scored) []Recommendation {
+// toRecommendations maps core results to the public type using the
+// caller's directory snapshot — no locks, no lookups beyond the map reads.
+func (e *Engine) toRecommendations(d *directory, scored []core.Scored) []Recommendation {
 	out := make([]Recommendation, 0, len(scored))
-	e.mu.RLock()
-	defer e.mu.RUnlock()
 	for _, s := range scored {
-		name, ok := e.adNames[s.Ad]
+		ref, ok := d.ads[s.Ad]
 		if !ok {
 			continue // withdrawn concurrently
 		}
 		out = append(out, Recommendation{
-			AdID:  name,
+			AdID:  ref.name,
 			Score: s.Score,
 			Text:  s.Text,
 			Geo:   s.Geo,
@@ -561,9 +672,7 @@ func (e *Engine) Stats() Stats {
 		CheckIns:       e.checkIns.Load(),
 		Shards:         len(e.shards),
 	}
-	e.mu.RLock()
-	st.Users = len(e.users)
-	e.mu.RUnlock()
+	st.Users = len(e.dir.Load().users)
 	for _, sh := range e.shards {
 		sh.mu.Lock()
 		if c, ok := sh.eng.(*core.CAP); ok {

@@ -43,6 +43,7 @@ type engineMetrics struct {
 	recommendSeconds *obs.Histogram
 	recommends       *obs.Counter
 	recommendErrors  *obs.Counter
+	continuousErrors *obs.Counter
 	lockWaitSeconds  *obs.Histogram
 	vectorizeSeconds *obs.Histogram
 	impressions      *obs.CounterVec
@@ -72,6 +73,8 @@ func newEngineMetrics(reg *obs.Registry, e *Engine) *engineMetrics {
 			"Completed recommend queries."),
 		recommendErrors: reg.Counter("caar_engine_recommend_errors_total",
 			"Recommend queries rejected with an error."),
+		continuousErrors: reg.Counter("caar_engine_continuous_errors_total",
+			"Per-user TopAds failures swallowed on the continuous delivery path."),
 		lockWaitSeconds: reg.Histogram("caar_engine_shard_lock_wait_seconds",
 			"Time a recommend query waited for its shard's serializing lock.", stageBuckets),
 		vectorizeSeconds: reg.Histogram("caar_engine_vectorize_seconds",
@@ -94,9 +97,7 @@ func newEngineMetrics(reg *obs.Registry, e *Engine) *engineMetrics {
 	m.lastSnapshotErr.Store("")
 
 	reg.GaugeFunc("caar_engine_users", "Registered users.", func() float64 {
-		e.mu.RLock()
-		defer e.mu.RUnlock()
-		return float64(len(e.users))
+		return float64(len(e.dir.Load().users))
 	})
 	reg.GaugeFunc("caar_engine_ads", "Live advertisements.", func() float64 {
 		return float64(e.store.Len())

@@ -5,8 +5,12 @@ import (
 	"fmt"
 	"reflect"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
+
+	"caar/internal/core"
+	"caar/internal/feed"
 )
 
 var morning = time.Date(2026, 7, 6, 9, 0, 0, 0, time.UTC)
@@ -384,6 +388,198 @@ func TestStats(t *testing.T) {
 	}
 	if e.Algorithm() != AlgorithmCAP {
 		t.Fatalf("Algorithm = %v", e.Algorithm())
+	}
+}
+
+// TestConcurrentAddRemoveRecommendStress drives Recommend/Post/CheckIn
+// readers against a churn of AddAd/RemoveAd writers across shards. Beyond
+// `-race` cleanliness it pins the RemoveAd ordering fix: every writer
+// records an ad name only *after* its RemoveAd returned, and no Recommend
+// that started after that point may serve the name (ad names are never
+// reused here). With the seed ordering — store and shard indexes torn down
+// before the name unmap — a recommend overlapping the removal could still
+// resolve and serve the withdrawn ad.
+func TestConcurrentAddRemoveRecommendStress(t *testing.T) {
+	cfg := testConfig()
+	cfg.Shards = 4
+	e := openEngine(t, cfg)
+	users := make([]string, 32)
+	for i := range users {
+		users[i] = fmt.Sprintf("u%02d", i)
+		e.AddUser(users[i])
+	}
+	for i := 1; i < len(users); i++ {
+		e.Follow(users[i], users[0])
+	}
+	if err := e.AddAd(Ad{ID: "base", Text: "sneaker sale downtown", Bid: 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	e.Post(users[0], "sneaker sale running downtown", morning)
+
+	// removed is an append-only log of fully-withdrawn ad names; removedN
+	// publishes how much of it is safe to read without a lock.
+	var (
+		removedMu sync.Mutex
+		removed   []string
+		removedN  atomic.Int64
+		stop      atomic.Bool
+		fail      atomic.Pointer[string]
+	)
+	const writers, readers, posters = 2, 4, 2
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 150; i++ {
+				name := fmt.Sprintf("churn-%d-%d", w, i)
+				if err := e.AddAd(Ad{ID: name, Text: "sneaker flash sale", Bid: 0.3}); err != nil {
+					msg := fmt.Sprintf("AddAd(%s): %v", name, err)
+					fail.Store(&msg)
+					return
+				}
+				if err := e.RemoveAd(name); err != nil {
+					msg := fmt.Sprintf("RemoveAd(%s): %v", name, err)
+					fail.Store(&msg)
+					return
+				}
+				removedMu.Lock()
+				removed = append(removed, name)
+				removedN.Store(int64(len(removed)))
+				removedMu.Unlock()
+			}
+		}(w)
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; !stop.Load(); i++ {
+				// Names withdrawn before this query started must not serve.
+				// The header copy under the mutex is race-free: the log is
+				// append-only, so its first len(gone) entries never change.
+				removedMu.Lock()
+				gone := removed
+				removedMu.Unlock()
+				recs, err := e.Recommend(users[(r*7+i)%len(users)], 4, morning.Add(time.Minute))
+				if err != nil {
+					msg := fmt.Sprintf("Recommend: %v", err)
+					fail.Store(&msg)
+					return
+				}
+				for _, rec := range recs {
+					for _, name := range gone {
+						if rec.AdID == name {
+							msg := fmt.Sprintf("served ad %q after its RemoveAd returned", name)
+							fail.Store(&msg)
+							return
+						}
+					}
+				}
+			}
+		}(r)
+	}
+	for p := 0; p < posters; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				at := morning.Add(time.Duration(p*100+i) * time.Second)
+				if i%5 == 0 {
+					e.CheckIn(users[(p+i)%len(users)], 1.5, 1.5, at)
+				} else if err := e.Post(users[p], "sneaker sale running", at); err != nil {
+					msg := fmt.Sprintf("Post: %v", err)
+					fail.Store(&msg)
+					return
+				}
+			}
+		}(p)
+	}
+
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	// Writers and posters are bounded; once they finish, release the readers.
+	for {
+		select {
+		case <-done:
+			if msg := fail.Load(); msg != nil {
+				t.Fatal(*msg)
+			}
+			if got := removedN.Load(); got != writers*150 {
+				t.Fatalf("writers completed %d removals, want %d", got, writers*150)
+			}
+			return
+		case <-time.After(10 * time.Millisecond):
+			if removedN.Load() == writers*150 || fail.Load() != nil {
+				stop.Store(true)
+			}
+		}
+	}
+}
+
+// TestRemoveAdRollbackOnStoreError pins the rollback half of the new
+// RemoveAd ordering: the name unmap is published first, and when the store
+// removal then fails the mapping is restored, leaving the ad resolvable.
+func TestRemoveAdRollbackOnStoreError(t *testing.T) {
+	e := openEngine(t, testConfig())
+	if err := e.AddAd(Ad{ID: "x", Text: "sneaker sale", Bid: 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	internalID, ok := e.dir.Load().adIDs["x"]
+	if !ok {
+		t.Fatal("ad not mapped")
+	}
+	// Sabotage: pull the ad out of the store behind the facade's back so
+	// RemoveAd's store step fails after the unmap was published.
+	if err := e.store.Remove(internalID); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.RemoveAd("x"); err == nil {
+		t.Fatal("RemoveAd should surface the store error")
+	}
+	if _, ok := e.dir.Load().adIDs["x"]; !ok {
+		t.Fatal("mapping not rolled back after store error")
+	}
+	if e.dir.Load().ads[internalID].name != "x" {
+		t.Fatal("reverse mapping not rolled back after store error")
+	}
+}
+
+// failingTopAds wraps a shard engine and fails every TopAds call, to reach
+// the continuous delivery path's per-user error branch.
+type failingTopAds struct {
+	core.Shardable
+}
+
+func (failingTopAds) TopAds(feed.UserID, int, time.Time) ([]core.Scored, error) {
+	return nil, errors.New("stub: topads unavailable")
+}
+
+// TestContinuousTopAdsErrorsCounted pins that per-user TopAds failures on
+// the continuous delivery path are counted instead of silently swallowed.
+func TestContinuousTopAdsErrorsCounted(t *testing.T) {
+	var calls atomic.Int64
+	cfg := testConfig()
+	cfg.ContinuousK = 2
+	cfg.OnRecommend = func(string, []Recommendation) { calls.Add(1) }
+	e := openEngine(t, cfg)
+	e.AddUser("alice")
+	e.AddUser("bob")
+	e.Follow("alice", "bob")
+	if err := e.AddAd(Ad{ID: "shoes", Text: "running shoes", Bid: 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	e.shards[0].eng = failingTopAds{e.shards[0].eng}
+
+	if err := e.Post("bob", "running today", morning); err != nil {
+		t.Fatal(err)
+	}
+	// bob (own feed) + alice both hit the failing TopAds.
+	if got := e.obsm.continuousErrors.Value(); got != 2 {
+		t.Fatalf("continuous error counter = %d, want 2", got)
+	}
+	if calls.Load() != 0 {
+		t.Fatalf("OnRecommend fired despite TopAds errors")
 	}
 }
 

@@ -60,16 +60,26 @@ func (b *dynBuf) add(ad adstore.AdID, refCoeff float64) {
 	b.u[ad] = nv
 }
 
-// age multiplies every buffered coefficient by factor (≤ 1) in O(1), and
-// renormalizes the stored values when the scalar risks underflow.
+// age multiplies every buffered coefficient by factor (usually ≤ 1) in
+// O(1), and renormalizes the stored values when the scalar risks underflow.
+// A long idle gap can make factor — and therefore scale — underflow to
+// exactly 0 (exp(-x) flushes to zero near x ≈ 745); leaving a zero scale
+// in place would poison the buffer on the next add (refCoeff/0 → ±Inf),
+// so that case drops every entry instead: contributions a zero factor has
+// aged are exactly zero.
 func (b *dynBuf) age(factor float64) {
 	b.scale *= factor
-	if b.scale < 1e-150 && b.scale > 0 {
+	if b.scale >= 1e-150 {
+		return
+	}
+	if b.scale > 0 {
 		for ad, v := range b.u {
 			b.u[ad] = v * b.scale
 		}
-		b.scale = 1
+	} else {
+		clear(b.u)
 	}
+	b.scale = 1
 }
 
 // msgCache is the shared per-message state of fan-out sharing: the delta

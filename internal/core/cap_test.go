@@ -1,6 +1,7 @@
 package core
 
 import (
+	"math"
 	"testing"
 	"time"
 
@@ -225,6 +226,79 @@ func TestCAPDecayReordersOverTime(t *testing.T) {
 	top, _ = e.TopAds(1, 2, later)
 	if top[0].Ad != 2 {
 		t.Fatalf("after decay: bid ad should lead: %+v", top)
+	}
+}
+
+// TestCAPDecayUnderflowDoesNotPoisonBuffer is the regression test for the
+// scale-underflow bug: after an idle gap long enough that the decay factor
+// between window references flushes to exactly 0 (exp(-x) underflows past
+// x ≈ 745; with the 30-minute test half-life that is a few weeks), the
+// buffer scale became 0, the renormalization guard (`scale < 1e-150 &&
+// scale > 0`) never fired, and the next add divided by zero — permanently
+// poisoning the user's candidate buffer with ±Inf/NaN.
+func TestCAPDecayUnderflowDoesNotPoisonBuffer(t *testing.T) {
+	e := newTestCAP(t, DefaultCAPOptions())
+	e.AddUser(1)
+	e.AddAd(simpleAd(100, 7, 0.5))
+
+	if err := e.Deliver(post(1, base0, 7, 1), []feed.UserID{1}); err != nil {
+		t.Fatal(err)
+	}
+	// Idle far past the underflow horizon, then post again: the age factor
+	// between the old and new window reference is exactly 0.
+	later := base0.Add(60 * 24 * time.Hour)
+	if err := e.Deliver(post(2, later, 7, 1), []feed.UserID{1}); err != nil {
+		t.Fatal(err)
+	}
+	top, err := e.TopAds(1, 2, later)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top) != 1 || top[0].Ad != 100 {
+		t.Fatalf("top after idle gap = %+v, want ad 100", top)
+	}
+	for _, s := range top {
+		if math.IsNaN(s.Score) || math.IsInf(s.Score, 0) || math.IsNaN(s.Text) || math.IsInf(s.Text, 0) {
+			t.Fatalf("buffer poisoned by decay underflow: %+v", s)
+		}
+	}
+	if top[0].Text <= 0 {
+		t.Fatalf("fresh post should contribute text relevance, got %+v", top[0])
+	}
+	// Every later event must stay finite too.
+	if err := e.Deliver(post(3, later.Add(time.Minute), 7, 1), []feed.UserID{1}); err != nil {
+		t.Fatal(err)
+	}
+	top, _ = e.TopAds(1, 2, later.Add(time.Minute))
+	if math.IsNaN(top[0].Score) || math.IsInf(top[0].Score, 0) {
+		t.Fatalf("score still poisoned after recovery post: %+v", top[0])
+	}
+}
+
+// TestDynBufAgeUnderflow pins the dynBuf repair paths directly: a factor of
+// exactly 0 clears the buffer and resets the scale; a subnormal product
+// renormalizes into the stored values. Both leave the next add finite.
+func TestDynBufAgeUnderflow(t *testing.T) {
+	b := newDynBuf()
+	b.add(1, 0.5)
+	b.age(0)
+	if b.scale != 1 || len(b.u) != 0 {
+		t.Fatalf("zero factor: scale=%v entries=%d, want scale 1 and empty buffer", b.scale, len(b.u))
+	}
+	b.add(1, 0.7)
+	if v := b.u[1]; math.IsNaN(v) || math.IsInf(v, 0) || v != 0.7 {
+		t.Fatalf("add after zero-age = %v, want 0.7", v)
+	}
+
+	b = newDynBuf()
+	b.add(2, 1.0)
+	b.age(5e-324) // subnormal, > 0: renormalization path
+	if b.scale != 1 {
+		t.Fatalf("subnormal factor: scale=%v, want renormalized to 1", b.scale)
+	}
+	b.add(2, 0.25)
+	if v := b.u[2]; math.IsNaN(v) || math.IsInf(v, 0) {
+		t.Fatalf("add after subnormal age = %v, want finite", v)
 	}
 }
 

@@ -130,10 +130,13 @@ func (e *Engine) RecommendWithPolicy(user string, k int, at time.Time, policy Se
 // applyPolicy greedily selects up to k recommendations from the over-fetched
 // candidate list under the policy's constraints. With no active constraint
 // the candidates pass through unchanged (the pipeline fetched exactly k).
-// When the request carries a trace, every drop decision is recorded as a
-// policy action, so an explained slate shows why a higher-scored candidate
-// is missing from the response.
-func (e *Engine) applyPolicy(user string, k int, at time.Time, policy ServingPolicy, candidates []Recommendation, tr *trace.Trace) []Recommendation {
+// Campaigns resolve against the request's directory snapshot d — one
+// atomic load made by the caller covers every candidate, where the seed
+// code took the global read lock once per candidate. When the request
+// carries a trace, every drop decision is recorded as a policy action, so
+// an explained slate shows why a higher-scored candidate is missing from
+// the response.
+func (e *Engine) applyPolicy(d *directory, user string, k int, at time.Time, policy ServingPolicy, candidates []Recommendation, tr *trace.Trace) []Recommendation {
 	if !policy.enabled() {
 		return candidates
 	}
@@ -153,7 +156,7 @@ func (e *Engine) applyPolicy(user string, k int, at time.Time, policy ServingPol
 			}
 		}
 		if policy.MaxPerCampaign > 0 {
-			if camp := e.campaignOf(cand.AdID); camp != "" {
+			if camp := d.campaignOf(cand.AdID); camp != "" {
 				if perCampaign[camp] >= policy.MaxPerCampaign {
 					if tr != nil {
 						tr.AddPolicyAction(cand.AdID, "dropped_campaign_diversity")
@@ -166,20 +169,4 @@ func (e *Engine) applyPolicy(user string, k int, at time.Time, policy ServingPol
 		out = append(out, cand)
 	}
 	return out
-}
-
-// campaignOf resolves an external ad ID to its campaign name ("" when
-// campaign-less or withdrawn).
-func (e *Engine) campaignOf(adID string) string {
-	e.mu.RLock()
-	internalID, ok := e.adIDs[adID]
-	e.mu.RUnlock()
-	if !ok {
-		return ""
-	}
-	a := e.store.Get(internalID)
-	if a == nil {
-		return ""
-	}
-	return a.Campaign
 }

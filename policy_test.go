@@ -66,7 +66,7 @@ func TestCampaignDiversity(t *testing.T) {
 	}
 	mega := 0
 	for _, r := range recs {
-		if e.campaignOf(r.AdID) == "mega" {
+		if e.dir.Load().campaignOf(r.AdID) == "mega" {
 			mega++
 		}
 	}

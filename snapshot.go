@@ -70,20 +70,23 @@ type snapshotAd struct {
 // Snapshot writes the engine's durable state to w. Concurrent mutations are
 // excluded for the duration of the write.
 func (e *Engine) Snapshot(w io.Writer) error {
-	// Quiesce: take every shard lock plus the facade lock so the state is a
-	// consistent cut.
+	// Quiesce: take the directory writer mutex (freezing the published
+	// snapshot — lock order: dirMu before shard locks) plus every shard
+	// lock so the state is a consistent cut. Readers keep serving off the
+	// frozen directory throughout.
+	e.dirMu.Lock()
+	defer e.dirMu.Unlock()
 	for _, sh := range e.shards {
 		sh.mu.Lock()
 		defer sh.mu.Unlock()
 	}
-	e.mu.RLock()
-	defer e.mu.RUnlock()
+	d := e.dir.Load()
 
 	sf := snapshotFile{Version: snapshotVersion, Algorithm: e.Algorithm()}
 	sf.Vocab.Terms, sf.Vocab.DF, sf.Vocab.Docs = e.pipeline.Vocab.Snapshot()
-	sf.Users = append([]string(nil), e.names...)
+	sf.Users = append([]string(nil), d.names...)
 
-	for id := range e.names {
+	for id := range d.names {
 		poster := feed.UserID(id)
 		for _, follower := range e.graph.Followers(poster) {
 			sf.Edges = append(sf.Edges, [2]uint32{uint32(follower), uint32(poster)})
@@ -98,10 +101,11 @@ func (e *Engine) Snapshot(w io.Writer) error {
 
 	var adErr error
 	e.store.ForEach(func(a *adstore.Ad) {
-		name, ok := e.adNames[a.ID]
+		ref, ok := d.ads[a.ID]
 		if !ok {
 			return
 		}
+		name := ref.name
 		sa := snapshotAd{
 			ID:       name,
 			Campaign: a.Campaign,
@@ -345,16 +349,12 @@ func (e *Engine) restoreAd(sa snapshotAd) error {
 		internal.Slots = timeslot.AllSlots
 	}
 
-	e.mu.Lock()
-	if _, dup := e.adIDs[sa.ID]; dup {
-		e.mu.Unlock()
-		return fmt.Errorf("%w: duplicate in snapshot", ErrDuplicate)
+	// The same publish-then-populate path as AddAd: one directory swap per
+	// ad keeps every intermediate view a restore could serve consistent.
+	var err error
+	if internal.ID, err = e.mapAd(sa.ID, sa.Campaign); err != nil {
+		return fmt.Errorf("duplicate in snapshot: %w", err)
 	}
-	internal.ID = e.nextAd
-	e.nextAd++
-	e.adIDs[sa.ID] = internal.ID
-	e.adNames[internal.ID] = sa.ID
-	e.mu.Unlock()
 
 	if err := internal.Validate(); err != nil {
 		e.unmapAd(sa.ID, internal.ID)

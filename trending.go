@@ -55,15 +55,13 @@ func (t *trendTracker) observe(sl timeslot.Slot, vec textproc.SparseVector) {
 	}
 }
 
-// top returns the top-k term IDs of a slot.
-func (t *trendTracker) top(sl timeslot.Slot, k int) []sketch.Counted {
+// top returns all tracked term IDs of a slot, most frequent first. Callers
+// filter before truncating to k: truncating here would discard resolvable
+// candidates whenever a higher-counted key fails its vocab lookup.
+func (t *trendTracker) top(sl timeslot.Slot) []sketch.Counted {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	out := t.slots[sl].TopK()
-	if k < len(out) {
-		out = out[:k]
-	}
-	return out
+	return t.slots[sl].TopK()
 }
 
 // Trending returns up to k terms most frequent in posts made during the
@@ -77,12 +75,15 @@ func (e *Engine) Trending(slot Slot, k int) ([]TrendingTerm, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("%w: k=%d", ErrBadConfig, k)
 	}
-	counted := e.trends.top(sl, k)
-	out := make([]TrendingTerm, 0, len(counted))
+	counted := e.trends.top(sl)
+	out := make([]TrendingTerm, 0, min(k, len(counted)))
 	for _, c := range counted {
+		if len(out) == k {
+			break
+		}
 		term := e.pipeline.Vocab.Term(textproc.TermID(c.Key))
 		if term == "" {
-			continue
+			continue // unresolvable sketch key; keep scanning for real terms
 		}
 		out = append(out, TrendingTerm{Term: term, Count: c.Count})
 	}

@@ -70,6 +70,39 @@ func TestTrendingValidation(t *testing.T) {
 	}
 }
 
+// TestTrendingUnresolvableKeyDoesNotUnderfill pins the filter-then-truncate
+// order: a sketch key with no vocabulary entry (e.g. a term dropped across
+// a vocab restore) must not consume one of the k result slots. The seed
+// code truncated to k first and filtered second, so callers received k-1
+// terms while resolvable candidates were discarded.
+func TestTrendingUnresolvableKeyDoesNotUnderfill(t *testing.T) {
+	e := openEngine(t, testConfig())
+	e.AddUser("alice")
+	at := time.Date(2026, 7, 6, 9, 0, 0, 0, time.UTC)
+	for i := 0; i < 10; i++ {
+		e.Post("alice", "coffee espresso breakfast", at.Add(time.Duration(i)*time.Minute))
+	}
+	// Inject a heavy hitter whose key resolves to no vocabulary term,
+	// outranking every real term in the slot.
+	sl, _ := Morning.internal()
+	e.trends.mu.Lock()
+	e.trends.slots[sl].Offer(1<<40, 100)
+	e.trends.mu.Unlock()
+
+	terms, err := e.Trending(Morning, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(terms) != 3 {
+		t.Fatalf("trending under-filled: got %d terms (%+v), want 3", len(terms), terms)
+	}
+	for _, tt := range terms {
+		if tt.Term == "" {
+			t.Fatalf("unresolvable key leaked into results: %+v", terms)
+		}
+	}
+}
+
 func TestTrendingKClampedToCapacity(t *testing.T) {
 	e := openEngine(t, testConfig())
 	e.AddUser("alice")
