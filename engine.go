@@ -502,10 +502,10 @@ func (e *Engine) deliver(msg feed.Message, all []feed.UserID, at time.Time) erro
 		}
 		run := func(si int, group []feed.UserID) {
 			sh := e.shards[si]
-			sh.mu.Lock()
+			sh.mu.Lock() //caarlint:allow readpathlock per-shard core lock is the designed serialization point
 			defer sh.mu.Unlock()
 			if err := sh.eng.Deliver(msg, group); err != nil {
-				errMu.Lock()
+				errMu.Lock() //caarlint:allow readpathlock first-error collection off the per-request fast path
 				if firstErr == nil {
 					firstErr = err
 				}
@@ -583,7 +583,7 @@ func (e *Engine) recommend(user string, k int, at time.Time, policy ServingPolic
 		fetch = k * policy.overfetch()
 	}
 	sh := e.shardOf(uid)
-	sh.mu.Lock()
+	sh.mu.Lock() //caarlint:allow readpathlock per-shard core lock is the designed serialization point
 	locked := time.Now()
 	e.obsm.lockWaitSeconds.ObserveDuration(locked.Sub(span))
 	if tr != nil {

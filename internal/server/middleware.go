@@ -104,6 +104,7 @@ func (s *Server) withRecovery(next http.Handler) http.Handler {
 				}
 				s.panics.Add(1)
 				s.logf("server: panic serving %s %s: %v\n%s", r.Method, r.URL.Path, p, debug.Stack())
+				//caarlint:allow errstatus the recovery middleware is the one owner of 500
 				httpError(w, http.StatusInternalServerError, "internal server error")
 			}
 		}()

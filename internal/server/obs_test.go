@@ -69,10 +69,10 @@ func TestRequestIDMintedAndEchoed(t *testing.T) {
 // stripped or capped before the server echoes and logs them.
 func TestSanitizeRequestID(t *testing.T) {
 	cases := []struct{ raw, want string }{
-		{"ok-id-123", "ok-id-123"},                      // clean IDs pass verbatim
-		{"evil\x00id\x7fwith\tjunk", "evilidwithjunk"},  // NUL/DEL/tab stripped
+		{"ok-id-123", "ok-id-123"},                        // clean IDs pass verbatim
+		{"evil\x00id\x7fwith\tjunk", "evilidwithjunk"},    // NUL/DEL/tab stripped
 		{"inject\r\nSet-Cookie: x", "injectSet-Cookie:x"}, // CRLF and spaces gone
-		{"\x01\x02\x03", ""},                            // all junk → discard, mint
+		{"\x01\x02\x03", ""},                              // all junk → discard, mint
 		{"", ""},
 		{strings.Repeat("x", 4096), strings.Repeat("x", 128)}, // capped
 	}

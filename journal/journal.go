@@ -228,7 +228,7 @@ func (w *Writer) Append(e Entry) error {
 	}
 	crc := crc32.Checksum(buf, castagnoli)
 
-	w.mu.Lock()
+	w.mu.Lock() //caarlint:allow readpathlock journal append order is the durability contract; this lock defines it
 	defer w.mu.Unlock()
 	lenStr := strconv.Itoa(len(buf))
 	w.out.WriteString(framePrefix)

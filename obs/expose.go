@@ -49,7 +49,7 @@ func (r *Registry) Handler() http.Handler {
 func (f *family) expose(w io.Writer) error {
 	f.mu.RLock()
 	keys := append([]string(nil), f.order...)
-	gaugeFn, counterFn := f.gaugeFn, f.counterFn
+	gaugeFn, counterFn, counterFloatFn := f.gaugeFn, f.counterFn, f.counterFloatFn
 	f.mu.RUnlock()
 	sort.Strings(keys)
 
@@ -74,6 +74,12 @@ func (f *family) expose(w io.Writer) error {
 			return nil
 		}
 		_, err := fmt.Fprintf(w, "%s %d\n", f.name, counterFn())
+		return err
+	case kindCounterFloatFunc:
+		if counterFloatFn == nil {
+			return nil
+		}
+		_, err := fmt.Fprintf(w, "%s %s\n", f.name, formatFloat(counterFloatFn()))
 		return err
 	}
 

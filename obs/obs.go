@@ -41,12 +41,13 @@ const (
 	kindGauge
 	kindGaugeFunc
 	kindCounterFunc
+	kindCounterFloatFunc
 	kindHistogram
 )
 
 func (k metricKind) String() string {
 	switch k {
-	case kindCounter, kindCounterFunc:
+	case kindCounter, kindCounterFunc, kindCounterFloatFunc:
 		return "counter"
 	case kindGauge, kindGaugeFunc:
 		return "gauge"
@@ -71,8 +72,9 @@ type family struct {
 	order  []string       // insertion-ordered keys (sorted at exposition)
 
 	// sampled collectors (scalar only).
-	gaugeFn   func() float64
-	counterFn func() uint64
+	gaugeFn        func() float64
+	counterFn      func() uint64
+	counterFloatFn func() float64
 }
 
 // Registry holds named metric families. The zero value is not usable; use
@@ -197,6 +199,17 @@ func (r *Registry) CounterFunc(name, help string, fn func() uint64) {
 	f := r.lookup(name, help, kindCounterFunc, nil, nil)
 	f.mu.Lock()
 	f.counterFn = fn
+	f.mu.Unlock()
+}
+
+// CounterFloatFunc is CounterFunc for cumulative quantities that are
+// naturally fractional (seconds of GC pause, ratios of budgets): the value
+// must still be monotone non-decreasing, it is just exposed as a float.
+// Re-registering the same name replaces the function (last wins).
+func (r *Registry) CounterFloatFunc(name, help string, fn func() float64) {
+	f := r.lookup(name, help, kindCounterFloatFunc, nil, nil)
+	f.mu.Lock()
+	f.counterFloatFn = fn
 	f.mu.Unlock()
 }
 

@@ -83,7 +83,7 @@ func TestGaugeAndCounterFuncs(t *testing.T) {
 // TestRuntimeGauges: RegisterRuntime exposes the four Go-runtime health
 // gauges with sane (non-negative, mostly positive) values, sampled at
 // scrape time.
-func TestRuntimeGauges(t *testing.T) {
+func TestRuntimeMetrics(t *testing.T) {
 	r := NewRegistry()
 	RegisterRuntime(r)
 
@@ -92,11 +92,14 @@ func TestRuntimeGauges(t *testing.T) {
 		t.Fatal(err)
 	}
 	out := b.String()
-	for _, fam := range []string{
-		"caar_go_goroutines", "caar_go_gomaxprocs",
-		"caar_go_heap_inuse_bytes", "caar_go_gc_pause_seconds_total",
-	} {
-		if !strings.Contains(out, "# TYPE "+fam+" gauge") {
+	kinds := map[string]string{
+		"caar_go_goroutines":             "gauge",
+		"caar_go_gomaxprocs":             "gauge",
+		"caar_go_heap_inuse_bytes":       "gauge",
+		"caar_go_gc_pause_seconds_total": "counter", // cumulative pause: a float counter, not a gauge
+	}
+	for fam, kind := range kinds {
+		if !strings.Contains(out, "# TYPE "+fam+" "+kind) {
 			t.Errorf("runtime family %q missing from exposition:\n%s", fam, out)
 			continue
 		}

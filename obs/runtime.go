@@ -6,10 +6,11 @@ import (
 	"time"
 )
 
-// RegisterRuntime installs scrape-time gauges over the Go runtime's own
-// health signals: goroutine count, heap in use, cumulative GC pause and
-// GOMAXPROCS. All four are GaugeFuncs — nothing is recorded between
-// scrapes, so the instrumentation is free on the serving path.
+// RegisterRuntime installs scrape-time collectors over the Go runtime's
+// own health signals: goroutine count, heap in use, cumulative GC pause
+// and GOMAXPROCS. All four read their value at scrape time (the pause
+// total is a float counter, the rest are gauges) — nothing is recorded
+// between scrapes, so the instrumentation is free on the serving path.
 //
 // ReadMemStats stops the world, so the memory-backed gauges share one
 // sample cached for a short interval; a scrape reading both heap and GC
@@ -42,7 +43,7 @@ func RegisterRuntime(r *Registry) {
 		"Bytes in in-use heap spans.", func() float64 {
 			return float64(memstats().HeapInuse)
 		})
-	r.GaugeFunc("caar_go_gc_pause_seconds_total",
+	r.CounterFloatFunc("caar_go_gc_pause_seconds_total",
 		"Cumulative stop-the-world GC pause since process start.", func() float64 {
 			return float64(memstats().PauseTotalNs) / 1e9
 		})

@@ -68,7 +68,7 @@ func (l *impressionLog) record(user, ad string, t time.Time) {
 // countSince returns the impressions of ad seen by user within [t−window, t],
 // pruning entries that have aged out.
 func (l *impressionLog) countSince(user, ad string, t time.Time, window time.Duration) int {
-	l.mu.Lock()
+	l.mu.Lock() //caarlint:allow readpathlock impression log is mutable frequency-cap state; serialization here is the design
 	defer l.mu.Unlock()
 	ads := l.byUA[user]
 	if ads == nil {

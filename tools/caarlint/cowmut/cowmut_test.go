@@ -1,0 +1,13 @@
+package cowmut_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"caar/tools/caarlint/cowmut"
+	"caar/tools/caarlint/internal/atest"
+)
+
+func TestAnalyzer(t *testing.T) {
+	atest.Run(t, filepath.Join("..", "testdata"), cowmut.Analyzer, "cowmut")
+}

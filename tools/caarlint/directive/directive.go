@@ -1,0 +1,121 @@
+// Package directive implements caarlint's suppression comments.
+//
+// A finding may be silenced with a narrowly-scoped marker in the style of
+// staticcheck's //lint:ignore:
+//
+//	//caarlint:allow <analyzer> <reason>
+//
+// placed either at the end of the offending line or on its own line
+// immediately above. The analyzer name must match exactly and the reason is
+// mandatory — an unexplained suppression is itself reported, so every
+// exception in the tree documents why the invariant does not apply.
+package directive
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+const prefix = "//caarlint:allow"
+
+// entry is one parsed allow directive.
+type entry struct {
+	analyzer string
+	reason   string
+	pos      token.Pos
+	used     bool
+}
+
+// Suppressor answers "is this finding suppressed?" for one pass. Build it
+// once per run with New; it scans every comment in the package up front.
+type Suppressor struct {
+	pass *analysis.Pass
+	// byLine maps file name + line to the directives scoped to that line
+	// (a directive covers its own line and the line below).
+	byLine map[lineKey][]*entry
+	all    []*entry
+}
+
+type lineKey struct {
+	file string
+	line int
+}
+
+// New scans the pass's files for //caarlint:allow comments.
+func New(pass *analysis.Pass) *Suppressor {
+	s := &Suppressor{pass: pass, byLine: make(map[lineKey][]*entry)}
+	for _, f := range pass.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, prefix) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(c.Text, prefix))
+				name, reason, _ := strings.Cut(rest, " ")
+				// A nested line comment (an analysistest-style want
+				// assertion in fixtures) is not part of the reason.
+				if i := strings.Index(reason, "//"); i >= 0 {
+					reason = reason[:i]
+				}
+				e := &entry{analyzer: name, reason: strings.TrimSpace(reason), pos: c.Pos()}
+				s.all = append(s.all, e)
+				p := pass.Fset.Position(c.Pos())
+				// The directive covers its own line (trailing comment) and
+				// the next line (comment above the statement).
+				s.byLine[lineKey{p.Filename, p.Line}] = append(s.byLine[lineKey{p.Filename, p.Line}], e)
+				s.byLine[lineKey{p.Filename, p.Line + 1}] = append(s.byLine[lineKey{p.Filename, p.Line + 1}], e)
+			}
+		}
+	}
+	return s
+}
+
+// Allowed reports whether a finding from the named analyzer at pos is
+// suppressed, and marks the matching directive as used.
+func (s *Suppressor) Allowed(analyzer string, pos token.Pos) bool {
+	p := s.pass.Fset.Position(pos)
+	for _, e := range s.byLine[lineKey{p.Filename, p.Line}] {
+		if e.analyzer == analyzer {
+			e.used = true
+			return true
+		}
+	}
+	return false
+}
+
+// Finish reports malformed directives for the named analyzer: a directive
+// with no reason, or one that matched no finding this run (stale). Call it
+// at the end of the analyzer's Run so suppressions cannot rot silently.
+func (s *Suppressor) Finish(analyzer string) {
+	for _, e := range s.all {
+		if e.analyzer != analyzer {
+			continue
+		}
+		if e.reason == "" {
+			s.pass.Reportf(e.pos, "%s: caarlint:allow without a reason; document why the invariant does not apply", analyzer)
+			continue
+		}
+		if !e.used {
+			s.pass.Reportf(e.pos, "%s: stale caarlint:allow directive: no finding on the next line", analyzer)
+		}
+	}
+}
+
+// InTestFile reports whether pos is inside a _test.go file; analyzers whose
+// invariants only bind production code use it to skip test fixtures.
+func InTestFile(pass *analysis.Pass, pos token.Pos) bool {
+	return strings.HasSuffix(pass.Fset.Position(pos).Filename, "_test.go")
+}
+
+// File returns the *ast.File containing pos.
+func File(pass *analysis.Pass, pos token.Pos) *ast.File {
+	for _, f := range pass.Files {
+		if f.FileStart <= pos && pos < f.FileEnd {
+			return f
+		}
+	}
+	return nil
+}

@@ -1,0 +1,13 @@
+package errstatus_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"caar/tools/caarlint/errstatus"
+	"caar/tools/caarlint/internal/atest"
+)
+
+func TestAnalyzer(t *testing.T) {
+	atest.Run(t, filepath.Join("..", "testdata"), errstatus.Analyzer, "errstatus")
+}

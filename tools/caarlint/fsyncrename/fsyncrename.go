@@ -1,0 +1,120 @@
+// Package fsyncrename enforces the write-fsync-rename durability protocol.
+//
+// Atomically replacing a file (the snapshot, a rotated journal) only
+// guarantees the *new* contents survive a crash if the data is fsynced
+// before the rename: rename is a metadata operation, and most filesystems
+// will happily commit the rename while the file's blocks are still dirty in
+// the page cache, leaving a zero-length or torn file behind after power
+// loss. PR 1's SaveSnapshot got this right; this analyzer keeps it right by
+// reporting any os.Rename in a function with no preceding (*os.File).Sync
+// call.
+//
+// The check is intra-function and position-based — a Sync anywhere earlier
+// in the same function (including one guarding an early return) satisfies
+// it. That is deliberately conservative in the safe direction for this
+// codebase's style, where the temp-file write, sync, and rename live in one
+// function; code that splits the protocol across helpers documents itself
+// with //caarlint:allow fsyncrename <reason>.
+package fsyncrename
+
+import (
+	"go/ast"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+	"golang.org/x/tools/go/types/typeutil"
+
+	"caar/tools/caarlint/directive"
+)
+
+const Doc = `report os.Rename calls not preceded by an (*os.File).Sync in the same function
+
+A rename that publishes un-fsynced data is only crash-atomic for the name,
+not the bytes. Every os.Rename must be dominated by a File.Sync of the data
+being published.`
+
+const name = "fsyncrename"
+
+var Analyzer = &analysis.Analyzer{
+	Name:     name,
+	Doc:      Doc,
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	sup := directive.New(pass)
+
+	ins.Preorder([]ast.Node{(*ast.FuncDecl)(nil)}, func(n ast.Node) {
+		fd := n.(*ast.FuncDecl)
+		if fd.Body == nil || directive.InTestFile(pass, fd.Pos()) {
+			return
+		}
+		type renameCall struct{ call *ast.CallExpr }
+		var renames []renameCall
+		var syncPositions []int // offsets of File.Sync calls, in token order
+
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := typeutil.Callee(pass.TypesInfo, call).(*types.Func)
+			if !ok || fn == nil {
+				return true
+			}
+			switch {
+			case isOSRename(fn):
+				renames = append(renames, renameCall{call})
+			case isFileSync(fn):
+				syncPositions = append(syncPositions, int(call.Pos()))
+			}
+			return true
+		})
+
+		for _, rc := range renames {
+			synced := false
+			for _, sp := range syncPositions {
+				if sp < int(rc.call.Pos()) {
+					synced = true
+					break
+				}
+			}
+			if synced || sup.Allowed(name, rc.call.Pos()) {
+				continue
+			}
+			pass.Reportf(rc.call.Pos(),
+				"fsyncrename: os.Rename with no preceding (*os.File).Sync in %s; a rename only publishes durable bytes after the data is fsynced — sync the written file first",
+				fd.Name.Name)
+		}
+	})
+
+	sup.Finish(name)
+	return nil, nil
+}
+
+// isOSRename matches the os.Rename function.
+func isOSRename(fn *types.Func) bool {
+	return fn.Name() == "Rename" && fn.Pkg() != nil && fn.Pkg().Path() == "os" &&
+		fn.Type().(*types.Signature).Recv() == nil
+}
+
+// isFileSync matches the (*os.File).Sync method.
+func isFileSync(fn *types.Func) bool {
+	if fn.Name() != "Sync" || fn.Pkg() == nil || fn.Pkg().Path() != "os" {
+		return false
+	}
+	sig := fn.Type().(*types.Signature)
+	if sig.Recv() == nil {
+		return false
+	}
+	recv := sig.Recv().Type()
+	if ptr, ok := recv.(*types.Pointer); ok {
+		recv = ptr.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	return ok && named.Obj().Name() == "File"
+}

@@ -1,0 +1,13 @@
+package fsyncrename_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"caar/tools/caarlint/fsyncrename"
+	"caar/tools/caarlint/internal/atest"
+)
+
+func TestAnalyzer(t *testing.T) {
+	atest.Run(t, filepath.Join("..", "testdata"), fsyncrename.Analyzer, "fsyncrename")
+}

@@ -1,0 +1,246 @@
+// Package atest is a miniature analysistest: it loads fixture packages from
+// a testdata/src tree with go/parser + go/types, runs an analyzer (and its
+// transitive Requires) over them, and checks the produced diagnostics
+// against `// want "regexp"` comments in the fixtures.
+//
+// It exists because the full golang.org/x/tools/go/analysis/analysistest
+// depends on go/packages, which shells out to the go command per fixture
+// package; this harness resolves fixture-local imports itself and reads the
+// standard library through the source importer, so `go test ./...` in the
+// tools module stays hermetic and offline.
+//
+// Conventions (a strict subset of analysistest's):
+//
+//   - fixtures live in <testdata>/src/<importpath>/*.go; an import of a path
+//     that exists under testdata/src resolves to that fixture package, and
+//     anything else falls through to GOROOT source;
+//   - a comment `// want "rx"` (one or more quoted Go strings) on a line
+//     asserts that exactly those diagnostics are reported on that line, each
+//     matching its regexp; diagnostics on lines with no want comment, and
+//     want comments matching no diagnostic, fail the test.
+package atest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// loader caches type-checked fixture packages for one Run invocation.
+type loader struct {
+	testdata string
+	fset     *token.FileSet
+	std      types.Importer
+	pkgs     map[string]*pkgInfo
+}
+
+// pkgInfo is one loaded fixture package with everything a Pass needs.
+type pkgInfo struct {
+	pkg   *types.Package
+	files []*ast.File
+	info  *types.Info
+}
+
+// Import lets loader serve as the types.Importer for fixture packages,
+// shadowing GOROOT for any path that exists under testdata/src.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if _, err := os.Stat(filepath.Join(l.testdata, "src", path)); err == nil {
+		pi, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pi.pkg, nil
+	}
+	return l.std.Import(path)
+}
+
+func (l *loader) load(path string) (*pkgInfo, error) {
+	if pi, ok := l.pkgs[path]; ok {
+		return pi, nil
+	}
+	dir := filepath.Join(l.testdata, "src", path)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("atest: no Go files in %s", dir)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Instances:  make(map[*ast.Ident]types.Instance),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: l}
+	pkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("atest: type-checking %s: %w", path, err)
+	}
+	pi := &pkgInfo{pkg: pkg, files: files, info: info}
+	l.pkgs[path] = pi
+	return pi, nil
+}
+
+// runAnalyzer executes a (running its Requires first, with memoized results)
+// and returns the diagnostics it reported.
+func runAnalyzer(t *testing.T, a *analysis.Analyzer, pi *pkgInfo, fset *token.FileSet) []analysis.Diagnostic {
+	t.Helper()
+	var diags []analysis.Diagnostic
+	results := make(map[*analysis.Analyzer]any)
+	var exec func(a *analysis.Analyzer, report func(analysis.Diagnostic)) any
+	exec = func(a *analysis.Analyzer, report func(analysis.Diagnostic)) any {
+		if r, ok := results[a]; ok {
+			return r
+		}
+		deps := make(map[*analysis.Analyzer]any)
+		for _, req := range a.Requires {
+			// Diagnostics from prerequisite analyzers are dropped, as in
+			// real drivers.
+			deps[req] = exec(req, func(analysis.Diagnostic) {})
+		}
+		pass := &analysis.Pass{
+			Analyzer:   a,
+			Fset:       fset,
+			Files:      pi.files,
+			Pkg:        pi.pkg,
+			TypesInfo:  pi.info,
+			TypesSizes: types.SizesFor("gc", "amd64"),
+			ResultOf:   deps,
+			Report:     report,
+			ReadFile:   os.ReadFile,
+		}
+		r, err := a.Run(pass)
+		if err != nil {
+			t.Fatalf("atest: analyzer %s: %v", a.Name, err)
+		}
+		results[a] = r
+		return r
+	}
+	exec(a, func(d analysis.Diagnostic) { diags = append(diags, d) })
+	return diags
+}
+
+// wantRE extracts the quoted expectation strings from a want comment.
+var wantRE = regexp.MustCompile(`(?:\x60[^\x60]*\x60|"(?:[^"\\]|\\.)*")`)
+
+// expectations parses `// want ...` comments from the fixture files,
+// returning regexps keyed by file:line.
+func expectations(t *testing.T, fset *token.FileSet, files []*ast.File) map[string][]*regexp.Regexp {
+	t.Helper()
+	wants := make(map[string][]*regexp.Regexp)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				idx := strings.Index(c.Text, "// want ")
+				if idx < 0 {
+					continue
+				}
+				rest := c.Text[idx+len("// want "):]
+				p := fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", p.Filename, p.Line)
+				for _, q := range wantRE.FindAllString(rest, -1) {
+					var pat string
+					if q[0] == '`' {
+						pat = q[1 : len(q)-1]
+					} else {
+						var err error
+						pat, err = strconv.Unquote(q)
+						if err != nil {
+							t.Fatalf("atest: bad want string %s at %s: %v", q, key, err)
+						}
+					}
+					rx, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("atest: bad want regexp %q at %s: %v", pat, key, err)
+					}
+					wants[key] = append(wants[key], rx)
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// Run loads each fixture package under testdata/src, applies the analyzer,
+// and reports mismatches between diagnostics and want comments as test
+// errors.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgpaths ...string) {
+	t.Helper()
+	fset := token.NewFileSet()
+	l := &loader{
+		testdata: testdata,
+		fset:     fset,
+		std:      importer.ForCompiler(fset, "source", nil),
+		pkgs:     make(map[string]*pkgInfo),
+	}
+	for _, path := range pkgpaths {
+		t.Run(path, func(t *testing.T) {
+			pi, err := l.load(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			diags := runAnalyzer(t, a, pi, fset)
+			wants := expectations(t, fset, pi.files)
+
+			// Match each diagnostic against the want set for its line.
+			matched := make(map[string][]bool)
+			for key, rxs := range wants {
+				matched[key] = make([]bool, len(rxs))
+			}
+			for _, d := range diags {
+				p := fset.Position(d.Pos)
+				key := fmt.Sprintf("%s:%d", p.Filename, p.Line)
+				ok := false
+				for i, rx := range wants[key] {
+					if !matched[key][i] && rx.MatchString(d.Message) {
+						matched[key][i] = true
+						ok = true
+						break
+					}
+				}
+				if !ok {
+					t.Errorf("%s: unexpected diagnostic: %s", key, d.Message)
+				}
+			}
+			var keys []string
+			for key := range wants {
+				keys = append(keys, key)
+			}
+			sort.Strings(keys)
+			for _, key := range keys {
+				for i, rx := range wants[key] {
+					if !matched[key][i] {
+						t.Errorf("%s: expected diagnostic matching %q, got none", key, rx)
+					}
+				}
+			}
+		})
+	}
+}

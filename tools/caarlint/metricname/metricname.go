@@ -1,0 +1,219 @@
+// Package metricname enforces the observability registry's naming contract
+// at every obs call site.
+//
+// The Prometheus exposition is the system's operational API: dashboards,
+// alerts, and run-books key on metric names, so a misnamed metric is an
+// interface break that no Go test notices. The rules mechanized here are
+// the ones PR 2 adopted:
+//
+//   - every metric name is a compile-time constant with the caar_ prefix,
+//     spelled snake_case;
+//   - counters (Counter, CounterVec, CounterFunc, CounterFloatFunc) end in
+//     _total; gauges and histograms never do;
+//   - histograms carry an explicit base unit (_seconds, _bytes or _ratio);
+//   - no name ends in the exposition-reserved _bucket/_sum/_count suffixes;
+//   - label names are compile-time constant snake_case and never the
+//     reserved "le"/"quantile";
+//   - every metric registered outside a test carries non-empty help text.
+//
+// Test files are exempt: fixtures register deliberately hostile names.
+package metricname
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+	"golang.org/x/tools/go/types/typeutil"
+
+	"caar/tools/caarlint/directive"
+)
+
+const Doc = `enforce caar_ metric naming rules at obs registry call sites
+
+Checks every call to the obs.Registry registration methods: constant
+caar_-prefixed snake_case names, _total on counters (and only counters),
+explicit base units on histograms, no reserved suffixes or label names, and
+non-empty help text.`
+
+const name = "metricname"
+
+var Analyzer = &analysis.Analyzer{
+	Name:     name,
+	Doc:      Doc,
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+var prefix = "caar_"
+
+func init() {
+	Analyzer.Flags.StringVar(&prefix, "prefix", prefix, "required metric name prefix")
+}
+
+// registration describes one Registry method's argument layout.
+type registration struct {
+	kind      string // "counter", "gauge", "histogram"
+	labelsMin int    // index of the first label argument; -1 when unlabeled
+}
+
+var methods = map[string]registration{
+	"Counter":          {"counter", -1},
+	"CounterVec":       {"counter", 2},
+	"CounterFunc":      {"counter", -1},
+	"CounterFloatFunc": {"counter", -1},
+	"Gauge":            {"gauge", -1},
+	"GaugeVec":         {"gauge", 2},
+	"GaugeFunc":        {"gauge", -1},
+	"Histogram":        {"histogram", -1},
+	"HistogramVec":     {"histogram", 3},
+}
+
+var (
+	nameRE  = regexp.MustCompile(`^[a-z][a-z0-9_]*$`)
+	labelRE = regexp.MustCompile(`^[a-z_][a-z0-9_]*$`)
+)
+
+// reservedSuffixes collide with series the histogram exposition synthesizes.
+var reservedSuffixes = []string{"_bucket", "_sum", "_count"}
+
+// unitSuffixes are the base units a histogram must declare.
+var unitSuffixes = []string{"_seconds", "_bytes", "_ratio"}
+
+func run(pass *analysis.Pass) (any, error) {
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	sup := directive.New(pass)
+
+	ins.Preorder([]ast.Node{(*ast.CallExpr)(nil)}, func(n ast.Node) {
+		call := n.(*ast.CallExpr)
+		fn, ok := typeutil.Callee(pass.TypesInfo, call).(*types.Func)
+		if fn == nil || !ok {
+			return
+		}
+		reg, ok := methods[fn.Name()]
+		if !ok || !isRegistryMethod(fn) {
+			return
+		}
+		if directive.InTestFile(pass, call.Pos()) {
+			return
+		}
+		if len(call.Args) < 2 {
+			return // does not type-check anyway
+		}
+		report := func(pos token.Pos, format string, args ...any) {
+			if sup.Allowed(name, pos) {
+				return
+			}
+			pass.Reportf(pos, "metricname: "+format, args...)
+		}
+
+		nameArg := call.Args[0]
+		name, isConst := constString(pass.TypesInfo, nameArg)
+		if !isConst {
+			report(nameArg.Pos(), "metric name must be a compile-time constant so dashboards can grep for it")
+		} else {
+			checkName(report, nameArg.Pos(), name, reg, fn.Name())
+		}
+
+		if help, ok := constString(pass.TypesInfo, call.Args[1]); ok && strings.TrimSpace(help) == "" {
+			report(call.Args[1].Pos(), "metric %q registered without help text", name)
+		}
+
+		if reg.labelsMin >= 0 {
+			for _, arg := range call.Args[reg.labelsMin:] {
+				label, ok := constString(pass.TypesInfo, arg)
+				if !ok {
+					report(arg.Pos(), "label names must be compile-time constants (constant label sets keep cardinality auditable)")
+					continue
+				}
+				if !labelRE.MatchString(label) {
+					report(arg.Pos(), "label name %q is not snake_case", label)
+				}
+				if label == "le" || label == "quantile" {
+					report(arg.Pos(), "label name %q is reserved by the exposition format", label)
+				}
+			}
+		}
+	})
+
+	sup.Finish(name)
+	return nil, nil
+}
+
+func checkName(report func(pos token.Pos, format string, args ...any), arg token.Pos, name string, reg registration, method string) {
+	if !strings.HasPrefix(name, prefix) {
+		report(arg, "metric %q lacks the %q prefix", name, prefix)
+		return
+	}
+	if !nameRE.MatchString(name) {
+		report(arg, "metric %q is not snake_case", name)
+		return
+	}
+	for _, suf := range reservedSuffixes {
+		if strings.HasSuffix(name, suf) {
+			report(arg, "metric %q ends in exposition-reserved suffix %q", name, suf)
+			return
+		}
+	}
+	switch reg.kind {
+	case "counter":
+		if !strings.HasSuffix(name, "_total") {
+			report(arg, "counter %q must end in _total (%s registers a counter)", name, method)
+		}
+	case "gauge":
+		if strings.HasSuffix(name, "_total") {
+			report(arg, "gauge %q must not end in _total; _total promises a monotone counter — register it as a counter or rename it", name)
+		}
+	case "histogram":
+		if strings.HasSuffix(name, "_total") {
+			report(arg, "histogram %q must not end in _total", name)
+			return
+		}
+		hasUnit := false
+		for _, suf := range unitSuffixes {
+			if strings.HasSuffix(name, suf) {
+				hasUnit = true
+				break
+			}
+		}
+		if !hasUnit {
+			report(arg, "histogram %q must declare a base unit suffix (%s)", name, strings.Join(unitSuffixes, ", "))
+		}
+	}
+}
+
+// isRegistryMethod reports whether fn is a method on obs.Registry (or one of
+// its Vec types, whose With/label args are not checked here). Matching is by
+// receiver type name + package name so the analyzer works against the
+// fixtures' local obs package as well as caar/obs.
+func isRegistryMethod(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	recv := sig.Recv().Type()
+	if ptr, ok := recv.(*types.Pointer); ok {
+		recv = ptr.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Registry" && obj.Pkg() != nil && obj.Pkg().Name() == "obs"
+}
+
+// constString evaluates e as a compile-time string constant.
+func constString(info *types.Info, e ast.Expr) (string, bool) {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}

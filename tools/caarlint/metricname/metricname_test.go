@@ -1,0 +1,13 @@
+package metricname_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"caar/tools/caarlint/internal/atest"
+	"caar/tools/caarlint/metricname"
+)
+
+func TestAnalyzer(t *testing.T) {
+	atest.Run(t, filepath.Join("..", "testdata"), metricname.Analyzer, "metricname")
+}

@@ -1,0 +1,13 @@
+package readpathlock_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"caar/tools/caarlint/internal/atest"
+	"caar/tools/caarlint/readpathlock"
+)
+
+func TestAnalyzer(t *testing.T) {
+	atest.Run(t, filepath.Join("..", "testdata"), readpathlock.Analyzer, "readpathlock")
+}

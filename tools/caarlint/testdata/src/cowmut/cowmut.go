@@ -1,0 +1,80 @@
+// Package fixture exercises the cowmut analyzer: mutations of snapshots
+// loaded from atomic.Pointer must be reported; the clone-mutate-publish
+// path must not.
+package fixture
+
+import "sync/atomic"
+
+type stat struct{ n int }
+
+type directory struct {
+	ads   map[string]int
+	stats map[string]*stat
+	slots []int
+	count int
+}
+
+var ptr atomic.Pointer[directory]
+
+func violating() {
+	d := ptr.Load()
+	d.ads["x"] = 1     // want `write to copy-on-write snapshot`
+	d.count++          // want `increment of copy-on-write snapshot`
+	d.slots[0] = 7     // want `write to copy-on-write snapshot`
+	delete(d.ads, "x") // want `delete on map owned by a copy-on-write snapshot`
+	clear(d.ads)       // want `clear on map owned by a copy-on-write snapshot`
+	*d = directory{}   // want `write to copy-on-write snapshot`
+
+	// Aliases formed by selecting into the snapshot stay tainted.
+	ads := d.ads
+	ads["y"] = 2 // want `write to copy-on-write snapshot`
+
+	// Pointer values ranged out of a tainted map still point into the
+	// shared snapshot.
+	for _, st := range d.stats {
+		st.n++ // want `increment of copy-on-write snapshot`
+	}
+}
+
+func inlineLoad() {
+	ptr.Load().ads["x"] = 1 // want `write to copy-on-write snapshot`
+}
+
+func conforming() *directory {
+	d := ptr.Load()
+	_ = d.count // reads are fine
+	_ = d.ads["x"]
+
+	// The blessed path: a value that passed through a call is a private
+	// copy, free to mutate before being published.
+	cp := clone(d)
+	cp.ads["x"] = 1
+	cp.count++
+	ptr.Store(cp)
+
+	// Untainted locals are untouched by the analyzer.
+	local := &directory{ads: map[string]int{}}
+	local.ads["y"] = 2
+	local.count = 9
+	return local
+}
+
+func annotated() {
+	d := ptr.Load()
+	d.count = 0 //caarlint:allow cowmut fixture demonstrates an explained exception
+}
+
+func directiveHygiene() {
+	d := ptr.Load()
+	_ = d
+	//caarlint:allow cowmut // want `caarlint:allow without a reason`
+	//caarlint:allow cowmut nothing to suppress here // want `stale caarlint:allow directive`
+}
+
+func clone(d *directory) *directory {
+	cp := &directory{ads: make(map[string]int, len(d.ads)), count: d.count}
+	for k, v := range d.ads {
+		cp.ads[k] = v
+	}
+	return cp
+}

@@ -1,0 +1,46 @@
+// Package fixture exercises the fsyncrename analyzer: an os.Rename with no
+// (*os.File).Sync earlier in the same function is reported.
+package fixture
+
+import "os"
+
+func violating(tmp, dst string) error {
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write([]byte("payload")); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil { // Close does not imply fsync
+		return err
+	}
+	return os.Rename(tmp, dst) // want `os\.Rename with no preceding \(\*os\.File\)\.Sync in violating`
+}
+
+func bareRename(tmp, dst string) error {
+	return os.Rename(tmp, dst) // want `os\.Rename with no preceding`
+}
+
+func conforming(tmp, dst string) error {
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write([]byte("payload")); err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, dst)
+}
+
+// annotated documents a rename whose data was synced by the caller.
+func annotated(tmp, dst string) error {
+	//caarlint:allow fsyncrename caller synced the payload before handing over the temp path
+	return os.Rename(tmp, dst)
+}

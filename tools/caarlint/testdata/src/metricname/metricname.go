@@ -1,0 +1,31 @@
+// Package fixture exercises the metricname analyzer against the stub obs
+// registry: naming, kind-suffix, unit, label, and help rules.
+package fixture
+
+import "obs"
+
+func violating(r *obs.Registry, dyn string) {
+	r.Counter("caar_requests", "Requests served.")         // want `counter "caar_requests" must end in _total`
+	r.Counter("requests_total", "Requests served.")        // want `lacks the "caar_" prefix`
+	r.Counter("caar_Bad_Name_total", "Bad.")               // want `not snake_case`
+	r.Counter(dyn, "Dynamic.")                             // want `must be a compile-time constant`
+	r.Counter("caar_things_total", "")                     // want `registered without help text`
+	r.Gauge("caar_queue_depth_total", "Depth.")            // want `gauge "caar_queue_depth_total" must not end in _total`
+	r.GaugeFunc("caar_pauses_total", "P.", nil)            // want `gauge "caar_pauses_total" must not end in _total`
+	r.Histogram("caar_latency", "Latency.", nil)           // want `must declare a base unit suffix`
+	r.Histogram("caar_latency_sum", "Latency.", nil)       // want `exposition-reserved suffix "_sum"`
+	r.Histogram("caar_size_count", "Size.", nil)           // want `exposition-reserved suffix "_count"`
+	r.CounterVec("caar_hits_total", "Hits.", "le")         // want `label name "le" is reserved`
+	r.CounterVec("caar_errs_total", "Errors.", dyn)        // want `label names must be compile-time constants`
+	r.HistogramVec("caar_rt_seconds", "RT.", nil, "Route") // want `label name "Route" is not snake_case`
+}
+
+func conforming(r *obs.Registry) {
+	r.Counter("caar_requests_total", "Requests served.")
+	r.CounterFunc("caar_appends_total", "Journal appends.", nil)
+	r.CounterFloatFunc("caar_gc_pause_seconds_total", "GC pause.", nil)
+	r.Gauge("caar_queue_depth", "Queue depth.")
+	r.GaugeVec("caar_shard_fill_ratio", "Shard fill.", "shard")
+	r.Histogram("caar_latency_seconds", "Latency.", nil)
+	r.HistogramVec("caar_payload_bytes", "Payload.", nil, "route", "method")
+}

@@ -1,0 +1,48 @@
+// Package fixture exercises the readpathlock analyzer: mutex acquisitions
+// reachable from the serving roots (Recommend/deliver/ServeImpression, by
+// default) are reported; locks off the path and annotated serialization
+// points are not.
+package fixture
+
+import "sync"
+
+type shard struct{ mu sync.Mutex }
+
+type engine struct {
+	sh shard
+	rw sync.RWMutex
+}
+
+func (e *engine) Recommend() {
+	e.helper()
+	e.rw.RLock() // want `sync\.RWMutex\.RLock acquired on the serving read path \(via Recommend\)`
+	e.rw.RUnlock()
+}
+
+// helper is one hop from the root; the chain in the diagnostic names it.
+func (e *engine) helper() {
+	e.sh.mu.Lock() // want `sync\.Mutex\.Lock acquired on the serving read path \(via Recommend → helper\)`
+	e.sh.mu.Unlock()
+}
+
+// deliver locks inside a fan-out goroutine: still the serving path.
+func (e *engine) deliver() {
+	run := func() {
+		e.sh.mu.Lock() // want `sync\.Mutex\.Lock acquired on the serving read path \(via deliver\)`
+		e.sh.mu.Unlock()
+	}
+	go run()
+}
+
+// ServeImpression holds the designed per-shard serialization point,
+// annotated in place.
+func (e *engine) ServeImpression() {
+	e.sh.mu.Lock() //caarlint:allow readpathlock per-shard lock is the designed serialization point
+	e.sh.mu.Unlock()
+}
+
+// adminRebuild is not reachable from any root: its lock is fine.
+func (e *engine) adminRebuild() {
+	e.rw.Lock()
+	defer e.rw.Unlock()
+}

@@ -1,0 +1,34 @@
+// Command caarlint is the project's static-analysis suite: five analyzers
+// that mechanically enforce the serving engine's concurrency, observability
+// and durability invariants (see the individual package docs).
+//
+// It speaks the go vet unitchecker protocol, so it runs over the main
+// module as:
+//
+//	cd tools && go build -o ../bin/caarlint ./cmd/caarlint
+//	go vet -vettool=bin/caarlint ./...
+//
+// or simply `make lint` / `make caarlint` from the repository root. The
+// x/tools dependency lives in this nested module (vendored), keeping the
+// main caar module dependency-free.
+package main
+
+import (
+	"golang.org/x/tools/go/analysis/unitchecker"
+
+	"caar/tools/caarlint/cowmut"
+	"caar/tools/caarlint/errstatus"
+	"caar/tools/caarlint/fsyncrename"
+	"caar/tools/caarlint/metricname"
+	"caar/tools/caarlint/readpathlock"
+)
+
+func main() {
+	unitchecker.Main(
+		cowmut.Analyzer,
+		readpathlock.Analyzer,
+		metricname.Analyzer,
+		fsyncrename.Analyzer,
+		errstatus.Analyzer,
+	)
+}
