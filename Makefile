@@ -6,7 +6,7 @@ STATICCHECK_VERSION ?= 2025.1
 
 CAARLINT := bin/caarlint
 
-.PHONY: all check lint vet staticcheck caarlint tools-test build test race fuzz-smoke bench bench-smoke bench-contention clean
+.PHONY: all check lint vet staticcheck caarlint tools-test build test race fuzz-smoke bench bench-smoke bench-contention soak-smoke clean
 
 all: check
 
@@ -78,6 +78,19 @@ bench:
 # recommend p99 by more than 10%.
 bench-smoke:
 	$(GO) run ./cmd/adbench -serve-bench 5s -bench-out BENCH_PR3.json
+
+# soak-smoke is the crash-recovery soak in its CI-sized configuration: both
+# binaries built with the race detector, 3 random SIGKILL cycles plus the 3
+# named crash points (journal pre-fsync, snapshot post-fsync-pre-rename,
+# journal mid-replay), every restart machine-checked against the client-side
+# ack ledger, and the double-replay self-test at the end. Exits non-zero if
+# any invariant fails; writes BENCH_SOAK.json. Runs in well under a minute.
+soak-smoke:
+	$(GO) build -race -o bin/adserver ./cmd/adserver
+	$(GO) build -race -o bin/adsoak ./cmd/adsoak
+	./bin/adsoak -server-bin bin/adserver -addr 127.0.0.1:9784 \
+		-users 80 -ads 200 -messages 2500 -events-per-cycle 150 \
+		-kills 3 -out BENCH_SOAK.json
 
 # bench-contention drives parallel Recommend workers against a live engine
 # while a writer churns AddAd/RemoveAd, at 1/4/8 workers, and writes the

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+
+	caar "caar"
 )
 
 // Health is the server's self-reported health document (GET /v1/healthz).
@@ -32,24 +34,73 @@ func (c *Client) Health(ctx context.Context) (Health, error) {
 // 503. The error is non-nil only for transport failures or unexpected
 // statuses.
 func (c *Client) Ready(ctx context.Context) (bool, []string, error) {
+	r, err := c.Readiness(ctx)
+	return r.Ready, r.Reasons, err
+}
+
+// ReplaySummary mirrors the journal-replay accounting a recovered server
+// embeds in its ready response.
+type ReplaySummary struct {
+	Records       int64   `json:"records"`
+	Applied       int     `json:"applied"`
+	Skipped       int     `json:"skipped"`
+	Bytes         int64   `json:"bytes"`
+	Seconds       float64 `json:"seconds"`
+	RecordsPerSec float64 `json:"records_per_sec"`
+	Torn          bool    `json:"torn,omitempty"`
+}
+
+// Readiness is the full readiness document: while the server recovers, the
+// Reasons include live journal-replay progress; once ready, Replay (when
+// present) carries the final replay accounting.
+type Readiness struct {
+	Ready   bool
+	Reasons []string
+	Replay  *ReplaySummary
+}
+
+// Readiness fetches the readiness document with replay detail. The error is
+// non-nil only for transport failures or unexpected statuses.
+func (c *Client) Readiness(ctx context.Context) (Readiness, error) {
 	resp, err := c.rawGet(ctx, "/v1/readyz")
 	if err != nil {
-		return false, nil, err
+		return Readiness{}, err
 	}
 	defer resp.Body.Close()
 	var body struct {
-		Status  string   `json:"status"`
-		Reasons []string `json:"reasons"`
+		Status  string         `json:"status"`
+		Reasons []string       `json:"reasons"`
+		Replay  *ReplaySummary `json:"replay"`
 	}
 	_ = json.NewDecoder(resp.Body).Decode(&body)
 	switch resp.StatusCode {
 	case http.StatusOK:
-		return true, nil, nil
+		return Readiness{Ready: true, Replay: body.Replay}, nil
 	case http.StatusServiceUnavailable:
-		return false, body.Reasons, nil
+		return Readiness{Reasons: body.Reasons}, nil
 	default:
-		return false, nil, fmt.Errorf("client: readyz: unexpected status %d", resp.StatusCode)
+		return Readiness{}, fmt.Errorf("client: readyz: unexpected status %d", resp.StatusCode)
 	}
+}
+
+// Invariants fetches the machine-checkable state export
+// (GET /v1/invariants) the crash-recovery soak harness verifies its
+// acknowledged-write ledger against.
+func (c *Client) Invariants(ctx context.Context) (caar.InvariantReport, error) {
+	resp, err := c.rawGet(ctx, "/v1/invariants")
+	if err != nil {
+		return caar.InvariantReport{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		return caar.InvariantReport{}, fmt.Errorf("client: invariants: status %d: %s", resp.StatusCode, body)
+	}
+	var rep caar.InvariantReport
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		return caar.InvariantReport{}, fmt.Errorf("client: invariants: decode: %w", err)
+	}
+	return rep, nil
 }
 
 // MetricsText fetches the raw Prometheus exposition (GET /v1/metrics).

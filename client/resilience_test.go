@@ -199,6 +199,44 @@ func TestCircuitBreakerRecovers(t *testing.T) {
 	}
 }
 
+// TestRetryAfterCappedOn503: a flapping server that answers an idempotent
+// GET with repeated 503s and an absurd Retry-After hint must not stall the
+// client for hours — every waited delay is capped at retryAfterCap.
+func TestRetryAfterCappedOn503(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 3 {
+			w.Header().Set("Retry-After", "86400") // "come back tomorrow"
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{}`))
+	}))
+	defer srv.Close()
+
+	c, err := New(srv.URL, WithRetry(RetryPolicy{MaxAttempts: 5, BaseDelay: time.Millisecond}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var slept []time.Duration
+	c.sleep = func(ctx context.Context, d time.Duration) error {
+		slept = append(slept, d)
+		return nil
+	}
+	if _, err := c.Stats(context.Background()); err != nil {
+		t.Fatalf("GET through 503s failed: %v", err)
+	}
+	if len(slept) != 3 {
+		t.Fatalf("slept %d times, want 3", len(slept))
+	}
+	for i, d := range slept {
+		if d != retryAfterCap {
+			t.Fatalf("sleep %d = %v, want Retry-After capped at %v", i, d, retryAfterCap)
+		}
+	}
+}
+
 // TestBackoffJitterBounded: computed delays stay within [0, MaxDelay] and
 // never exceed the Retry-After cap.
 func TestBackoffJitterBounded(t *testing.T) {

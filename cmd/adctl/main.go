@@ -23,6 +23,7 @@
 //	stats
 //	health
 //	ready
+//	invariants
 //	statusz
 //	metrics
 package main
@@ -310,6 +311,25 @@ func run(ctx context.Context, c *client.Client, cmd string, args []string, now t
 			fmt.Printf("reason  %s\n", r)
 		}
 		os.Exit(1)
+		return nil
+	case "invariants":
+		rep, err := c.Invariants(ctx)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("users             %d\n", rep.Users)
+		fmt.Printf("follow edges      %d\n", rep.FollowEdges)
+		fmt.Printf("ads               %d\n", len(rep.Ads))
+		fmt.Printf("posts delivered   %d\n", rep.PostsDelivered)
+		fmt.Printf("check-ins         %d\n", rep.CheckIns)
+		fmt.Printf("vocab terms/docs  %d/%d\n", rep.VocabTerms, rep.VocabDocs)
+		fmt.Printf("cached messages   %d (window capacity %d)\n", rep.CachedMessages, rep.WindowCapacity)
+		fmt.Printf("candidate entries %d\n", rep.CandidateEntries)
+		fmt.Printf("trace ring        %d/%d\n", rep.TraceCount, rep.TraceCapacity)
+		fmt.Printf("heap alloc        %.1f MiB (%d goroutines)\n", float64(rep.HeapAllocBytes)/(1<<20), rep.Goroutines)
+		for _, cs := range rep.Campaigns {
+			fmt.Printf("campaign %-16s spent %.4f / budget %.4f\n", cs.Name, cs.Spent, cs.Budget)
+		}
 		return nil
 	case "statusz":
 		text, err := c.Statusz(ctx)

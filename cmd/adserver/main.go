@@ -33,11 +33,13 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
 
 	caar "caar"
+	"caar/internal/faultinject"
 	"caar/internal/server"
 	"caar/journal"
 	"caar/obs"
@@ -126,54 +128,55 @@ func run() error {
 		}
 	}
 
+	// Fault injection: the soak harness arms named crash points through the
+	// environment; production runs leave the variable unset and every hook
+	// stays a single atomic load.
+	if spec, err := faultinject.ArmCrashPointsFromEnv(); err != nil {
+		return err
+	} else if spec != "" {
+		log.Printf("faultinject: crash points armed: %s", spec)
+	}
+
+	// The journal is recovered AFTER the listener opens (below), behind the
+	// server's recovery gate: API traffic gets 503 + Retry-After and
+	// /v1/readyz reports live replay progress, so a supervisor can tell a
+	// long replay from a wedged process. Here we only open the file and
+	// build the write path.
 	var api server.API = eng
 	var jw *journal.Writer
 	var jf *os.File
+	var jm *journal.Metrics
+	var recovery *journal.RecoveryProgress
 	if *journalPath != "" {
 		jf, err = os.OpenFile(*journalPath, os.O_CREATE|os.O_RDWR, 0o644)
 		if err != nil {
 			return fmt.Errorf("journal: %w", err)
 		}
 		defer jf.Close()
-		jm := journal.NewMetrics(reg)
-		stats, err := journal.Recover(jf, eng)
-		if err != nil {
-			return fmt.Errorf("journal recovery: %w", err)
+		// O_CREATE may have minted the directory entry; make it durable
+		// before acknowledging anything written through it.
+		if err := journal.FsyncDir(filepath.Dir(*journalPath)); err != nil {
+			return err
 		}
-		jm.ObserveReplay(stats)
-		log.Printf("journal recovered: %d applied, %d skipped (%d duplicate, %d unknown ref, %d invalid)",
-			stats.Applied, stats.Skipped, stats.SkippedDuplicate, stats.SkippedUnknownRef, stats.SkippedInvalid)
-		if stats.Torn {
-			log.Printf("journal: torn tail truncated, %d bytes discarded", stats.DiscardedBytes)
-		}
-		// After a snapshot restore, duplicate skips are expected (events from
-		// the crash window already in the snapshot); only dump samples when
-		// something other than a duplicate was skipped.
-		if !snapRestored || stats.Skipped > stats.SkippedDuplicate {
-			for _, e := range stats.SkipErrors {
-				log.Printf("journal: skipped entry: %s", e)
-			}
-		}
+		jm = journal.NewMetrics(reg)
 		jw = journal.NewFileWriter(jf, policy, *fsyncInterval)
 		jw.SetMetrics(jm)
 		api = journal.NewLogged(eng, jw)
+		recovery = journal.NewRecoveryProgress()
 	}
 
-	if *demo {
-		if err := loadDemo(api); err != nil {
-			return fmt.Errorf("demo data: %w", err)
-		}
-		log.Print("demo dataset loaded (users alice/bob/carol, ads shoes/cafe/vpn)")
-	}
-
-	srv := server.New(api,
+	srvOpts := []server.Option{
 		server.WithMaxInFlight(*maxInFlight),
 		server.WithRequestTimeout(*requestTimeout),
 		server.WithMaxBodyBytes(*maxBody),
 		server.WithMetrics(reg),
 		server.WithAccessLog(logger),
 		server.WithSlowRequestThreshold(*slowReq),
-	)
+	}
+	if recovery != nil {
+		srvOpts = append(srvOpts, server.WithRecoveryProgress(recovery))
+	}
+	srv := server.New(api, srvOpts...)
 	handler := srv.Handler()
 	if *pprofOn {
 		// Profiling is opt-in: the pprof mux wraps the API handler so
@@ -209,6 +212,38 @@ func run() error {
 			errc <- err
 		}
 	}()
+
+	// Replay the journal behind the recovery gate: the listener is already
+	// up, operator endpoints answer, API traffic is parked with 503 until
+	// the gate drops. No mutation can interleave with replay because every
+	// mutating path goes through the gated handler.
+	if jf != nil {
+		stats, err := journal.RecoverWithProgress(jf, eng, recovery)
+		if err != nil {
+			return fmt.Errorf("journal recovery: %w", err)
+		}
+		jm.ObserveReplay(stats)
+		log.Printf("journal recovered: %d applied, %d skipped (%d duplicate, %d unknown ref, %d invalid)",
+			stats.Applied, stats.Skipped, stats.SkippedDuplicate, stats.SkippedUnknownRef, stats.SkippedInvalid)
+		if stats.Torn {
+			log.Printf("journal: torn tail truncated, %d bytes discarded", stats.DiscardedBytes)
+		}
+		// After a snapshot restore, duplicate skips are expected (events from
+		// the crash window already in the snapshot); only dump samples when
+		// something other than a duplicate was skipped.
+		if !snapRestored || stats.Skipped > stats.SkippedDuplicate {
+			for _, e := range stats.SkipErrors {
+				log.Printf("journal: skipped entry: %s", e)
+			}
+		}
+	}
+
+	if *demo {
+		if err := loadDemo(api); err != nil {
+			return fmt.Errorf("demo data: %w", err)
+		}
+		log.Print("demo dataset loaded (users alice/bob/carol, ads shoes/cafe/vpn)")
+	}
 
 	select {
 	case err := <-errc:

@@ -1,0 +1,223 @@
+package main
+
+import (
+	"errors"
+	"strings"
+	"sync"
+
+	"caar/client"
+)
+
+// outcome classifies one mutation attempt from the harness's point of view.
+type outcome int
+
+const (
+	// outcomeAcked: the server returned 2xx — the write is durable (the
+	// journal runs fsync=always and acknowledgment follows the append).
+	outcomeAcked outcome = iota
+	// outcomeRejected: the server returned 4xx — the write was refused and
+	// is certainly not in the state.
+	outcomeRejected
+	// outcomeUncertain: transport error or a 5xx that is not the recovery
+	// gate — the write may or may not have been applied (e.g. applied and
+	// journaled, but the process was killed before the response left).
+	outcomeUncertain
+	// outcomeNotSent: the request certainly never reached the engine — the
+	// client breaker was open, or the recovery gate 503'd it before any
+	// work. Safe to resend.
+	outcomeNotSent
+)
+
+// classify maps a client error to an outcome. A nil error is outcomeAcked.
+func classify(err error) outcome {
+	if err == nil {
+		return outcomeAcked
+	}
+	if errors.Is(err, client.ErrCircuitOpen) {
+		return outcomeNotSent
+	}
+	var ae *client.APIError
+	if errors.As(err, &ae) {
+		switch {
+		case ae.StatusCode >= 400 && ae.StatusCode < 500:
+			return outcomeRejected
+		case ae.StatusCode == 503 && strings.Contains(ae.Message, "recovering"):
+			// The recovery gate rejects before any handler work happens.
+			return outcomeNotSent
+		default:
+			return outcomeUncertain
+		}
+	}
+	return outcomeUncertain
+}
+
+// adState tracks the ledger's view of one ad's lifecycle.
+type adState struct {
+	addAcked        bool
+	addUncertain    bool
+	removeAcked     bool
+	removeUncertain bool
+}
+
+// ledger is the client-side acknowledged-write record the invariant checks
+// compare server state against. Every count is from the harness's own
+// perspective: "acked" happened for sure, "uncertain" may have happened.
+type ledger struct {
+	mu sync.Mutex
+
+	ackedUsers, uncertainUsers   int
+	ackedPosts, uncertainPosts   int
+	rejectedPosts, rejectedOther int
+
+	ads map[string]*adState
+
+	// Per-campaign spend sums: acked is the total bid of impressions the
+	// server acknowledged with served=true; uncertain is the total bid of
+	// impression requests with unknown fate (an upper bound on spend the
+	// server may have applied without us seeing the ack).
+	ackedSpend     map[string]float64
+	uncertainSpend map[string]float64
+}
+
+func newLedger() *ledger {
+	return &ledger{
+		ads:            make(map[string]*adState),
+		ackedSpend:     make(map[string]float64),
+		uncertainSpend: make(map[string]float64),
+	}
+}
+
+func (l *ledger) ad(id string) *adState {
+	s, ok := l.ads[id]
+	if !ok {
+		s = &adState{}
+		l.ads[id] = s
+	}
+	return s
+}
+
+func (l *ledger) recordUser(o outcome) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	switch o {
+	case outcomeAcked:
+		l.ackedUsers++
+	case outcomeUncertain:
+		l.uncertainUsers++
+	case outcomeRejected:
+		l.rejectedOther++
+	}
+}
+
+func (l *ledger) recordPost(o outcome) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	switch o {
+	case outcomeAcked:
+		l.ackedPosts++
+	case outcomeUncertain:
+		l.uncertainPosts++
+	case outcomeRejected:
+		l.rejectedPosts++
+	}
+}
+
+func (l *ledger) recordAddAd(id string, o outcome) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	switch o {
+	case outcomeAcked:
+		l.ad(id).addAcked = true
+	case outcomeUncertain:
+		l.ad(id).addUncertain = true
+	}
+}
+
+func (l *ledger) recordRemoveAd(id string, o outcome) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	switch o {
+	case outcomeAcked:
+		l.ad(id).removeAcked = true
+	case outcomeUncertain:
+		l.ad(id).removeUncertain = true
+	case outcomeRejected:
+		// A 404 on a remove proves the ad is not live server-side: either an
+		// earlier attempt of this remove applied before the ack was lost (the
+		// idempotent DELETE retries through crashes and open breakers), or the
+		// add itself never applied. Both clear the ad's must-exist obligation;
+		// neither proves it was OUR remove that was acked, so it does not join
+		// the must-not-exist set.
+		l.ad(id).removeUncertain = true
+	}
+}
+
+// recordImpression books bid dollars for an impression attempt on the given
+// campaign. served is meaningful only when o == outcomeAcked.
+func (l *ledger) recordImpression(campaign string, bid float64, served bool, o outcome) {
+	if campaign == "" {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	switch o {
+	case outcomeAcked:
+		if served {
+			l.ackedSpend[campaign] += bid
+		}
+	case outcomeUncertain:
+		l.uncertainSpend[campaign] += bid
+	}
+}
+
+// removedAcked returns the set of ads whose RemoveAd the server acknowledged
+// — from the moment of the ack, none of them may ever be served again.
+func (l *ledger) removedAcked() map[string]bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make(map[string]bool)
+	for id, s := range l.ads {
+		if s.removeAcked {
+			out[id] = true
+		}
+	}
+	return out
+}
+
+// snapshot is an immutable copy of the ledger for the invariant checkers.
+type ledgerSnapshot struct {
+	AckedUsers, UncertainUsers int
+	AckedPosts, UncertainPosts int
+
+	// MustExist are acked-added ads with no acked or in-doubt removal; they
+	// must be live. MustNotExist are acked-removed ads; they must be gone.
+	MustExist, MustNotExist []string
+
+	AckedSpend, UncertainSpend map[string]float64
+}
+
+func (l *ledger) snapshot() ledgerSnapshot {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	snap := ledgerSnapshot{
+		AckedUsers: l.ackedUsers, UncertainUsers: l.uncertainUsers,
+		AckedPosts: l.ackedPosts, UncertainPosts: l.uncertainPosts,
+		AckedSpend:     make(map[string]float64, len(l.ackedSpend)),
+		UncertainSpend: make(map[string]float64, len(l.uncertainSpend)),
+	}
+	for id, s := range l.ads {
+		switch {
+		case s.removeAcked:
+			snap.MustNotExist = append(snap.MustNotExist, id)
+		case s.addAcked && !s.removeUncertain:
+			snap.MustExist = append(snap.MustExist, id)
+		}
+	}
+	for k, v := range l.ackedSpend {
+		snap.AckedSpend[k] = v
+	}
+	for k, v := range l.uncertainSpend {
+		snap.UncertainSpend[k] = v
+	}
+	return snap
+}

@@ -1,0 +1,93 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	caar "caar"
+	"caar/journal"
+)
+
+// selftestReport documents the deliberate-fault self-test: the journal is
+// replayed TWICE into a fresh engine — exactly the double-application bug
+// the graceful-shutdown snapshot+reset dance prevents — and the same
+// budget-conservation checker used live must flag the resulting over-spend.
+// If it doesn't, the checker is too weak to trust and the whole run fails.
+type selftestReport struct {
+	Ran     bool    `json:"ran"`
+	Caught  bool    `json:"caught"`
+	Detail  string  `json:"detail,omitempty"`
+	Records int64   `json:"journal_records"`
+	Spent   float64 `json:"double_replay_total_spent"`
+	Acked   float64 `json:"ledger_acked_spend"`
+}
+
+// runSelfTest copies the soak journal aside (Recover truncates torn tails in
+// place), replays it twice into a fresh engine, and runs the spend checker.
+func runSelfTest(journalPath, dir string, window int, led ledgerSnapshot) (selftestReport, error) {
+	rep := selftestReport{Ran: true}
+	cp := filepath.Join(dir, "selftest.journal")
+	if err := copyFile(journalPath, cp); err != nil {
+		return rep, err
+	}
+	f, err := os.OpenFile(cp, os.O_RDWR, 0o644)
+	if err != nil {
+		return rep, err
+	}
+	defer f.Close()
+
+	cfg := caar.DefaultConfig()
+	cfg.WindowSize = window
+	eng, err := caar.Open(cfg)
+	if err != nil {
+		return rep, err
+	}
+	first, err := journal.Recover(f, eng)
+	if err != nil {
+		return rep, fmt.Errorf("selftest: first replay: %w", err)
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return rep, err
+	}
+	second, err := journal.Replay(f, eng)
+	if err != nil {
+		return rep, fmt.Errorf("selftest: second replay: %w", err)
+	}
+	rep.Records = int64(first.Applied + second.Applied)
+
+	state := eng.Invariants()
+	for _, c := range state.Campaigns {
+		rep.Spent += c.Spent
+	}
+	for _, v := range led.AckedSpend {
+		rep.Acked += v
+	}
+	v := checkSpendConservation(state, led)
+	rep.Caught = !v.Pass
+	rep.Detail = v.Detail
+	if !rep.Caught {
+		rep.Detail = fmt.Sprintf(
+			"double replay went undetected: spent %.4f vs acked %.4f — budget checker too weak",
+			rep.Spent, rep.Acked)
+	}
+	return rep, nil
+}
+
+func copyFile(src, dst string) error {
+	in, err := os.Open(src)
+	if err != nil {
+		return err
+	}
+	defer in.Close()
+	out, err := os.Create(dst)
+	if err != nil {
+		return err
+	}
+	defer out.Close()
+	if _, err := io.Copy(out, in); err != nil {
+		return err
+	}
+	return out.Close()
+}

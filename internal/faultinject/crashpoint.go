@@ -1,0 +1,143 @@
+package faultinject
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"syscall"
+)
+
+// Crash-point registry: named process-death sites on the durability paths.
+//
+// A soak harness (cmd/adsoak) arms points by name before starting the
+// server; when armed code reaches CrashPoint(name) it kills its own process
+// with SIGKILL — no deferred cleanup, no flushes, exactly the failure an
+// OOM-kill or power loss produces at that instruction. The instrumented
+// sites live on the journal append path (pre-fsync), the snapshot publish
+// path (pre-fsync and post-fsync-pre-rename) and the replay loop
+// (mid-batch), the places where crash-recovery bugs hide.
+//
+// Disarmed cost is one atomic load, so production binaries keep the hooks
+// compiled in; arming is opt-in via the CAAR_CRASHPOINTS environment
+// variable, which adserver reads at startup.
+
+// CrashPointsEnv names the environment variable adserver consults to arm
+// crash points: a comma-separated list of "name" or "name:n" specs, where n
+// is the 1-based hit count that triggers the crash (default 1).
+const CrashPointsEnv = "CAAR_CRASHPOINTS"
+
+// crashArm is one armed point: the process dies on the hitAt-th hit.
+type crashArm struct {
+	hitAt int64
+	hits  atomic.Int64
+}
+
+var (
+	// crashArmed is the fast path: false means CrashPoint is a no-op.
+	crashArmed atomic.Bool
+	// crashPoints maps name → arm; replaced wholesale by ArmCrashPoints.
+	crashPoints atomic.Value // map[string]*crashArm
+	// crashAction is what firing does; overridable for tests.
+	crashAction atomic.Value // func(name string)
+)
+
+// defaultCrashAction kills the process the hard way: SIGKILL to self, so no
+// defer, no atexit, no buffered write gets a chance to run — the same state
+// the kernel leaves after an OOM kill.
+func defaultCrashAction(name string) {
+	fmt.Fprintf(os.Stderr, "faultinject: crash point %q fired, dying\n", name)
+	_ = syscall.Kill(os.Getpid(), syscall.SIGKILL)
+	// SIGKILL cannot be caught; if it somehow returned, exit with the
+	// conventional killed-by-9 status.
+	os.Exit(137)
+}
+
+// SetCrashAction replaces the process-killing action (tests substitute a
+// recorder). Passing nil restores the default SIGKILL-self behavior.
+func SetCrashAction(f func(name string)) {
+	if f == nil {
+		f = defaultCrashAction
+	}
+	crashAction.Store(f)
+}
+
+func init() {
+	crashAction.Store(defaultCrashAction)
+	crashPoints.Store(map[string]*crashArm{})
+}
+
+// ArmCrashPoints arms the points in spec, a comma-separated list of "name"
+// or "name:n" (crash on the n-th hit, 1-based). An empty spec disarms
+// everything. Arming replaces the previous arm set wholesale.
+func ArmCrashPoints(spec string) error {
+	pts := make(map[string]*crashArm)
+	for _, field := range strings.Split(spec, ",") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		name, countStr, hasCount := strings.Cut(field, ":")
+		hitAt := int64(1)
+		if hasCount {
+			n, err := strconv.ParseInt(countStr, 10, 64)
+			if err != nil || n < 1 {
+				return fmt.Errorf("faultinject: bad crash point spec %q (want name or name:n with n >= 1)", field)
+			}
+			hitAt = n
+		}
+		if name == "" {
+			return fmt.Errorf("faultinject: bad crash point spec %q (empty name)", field)
+		}
+		pts[name] = &crashArm{hitAt: hitAt}
+	}
+	crashPoints.Store(pts)
+	crashArmed.Store(len(pts) > 0)
+	return nil
+}
+
+// ArmCrashPointsFromEnv arms crash points from the CAAR_CRASHPOINTS
+// environment variable and returns the spec it read ("" when unset).
+func ArmCrashPointsFromEnv() (string, error) {
+	spec := os.Getenv(CrashPointsEnv)
+	if spec == "" {
+		return "", nil
+	}
+	return spec, ArmCrashPoints(spec)
+}
+
+// DisarmCrashPoints removes every armed point.
+func DisarmCrashPoints() {
+	crashPoints.Store(map[string]*crashArm{})
+	crashArmed.Store(false)
+}
+
+// ArmedCrashPoints returns the names of currently armed points, sorted.
+func ArmedCrashPoints() []string {
+	pts := crashPoints.Load().(map[string]*crashArm)
+	names := make([]string, 0, len(pts))
+	for name := range pts {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// CrashPoint is the hook durability-critical code calls at a named site.
+// Disarmed (the default) it is one atomic load. Armed, the hitAt-th call
+// with a matching name fires the crash action — by default SIGKILL to the
+// current process, which does not return.
+func CrashPoint(name string) {
+	if !crashArmed.Load() {
+		return
+	}
+	arm, ok := crashPoints.Load().(map[string]*crashArm)[name]
+	if !ok {
+		return
+	}
+	if arm.hits.Add(1) == arm.hitAt {
+		crashAction.Load().(func(string))(name)
+	}
+}

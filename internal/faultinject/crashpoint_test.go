@@ -1,0 +1,108 @@
+package faultinject
+
+import (
+	"os"
+	"reflect"
+	"testing"
+)
+
+// withRecorder swaps the crash action for a recorder and restores defaults
+// (action and arm set) when the test finishes.
+func withRecorder(t *testing.T) *[]string {
+	t.Helper()
+	var fired []string
+	SetCrashAction(func(name string) { fired = append(fired, name) })
+	t.Cleanup(func() {
+		SetCrashAction(nil)
+		DisarmCrashPoints()
+	})
+	return &fired
+}
+
+func TestCrashPointDisarmedIsNoop(t *testing.T) {
+	fired := withRecorder(t)
+	DisarmCrashPoints()
+	CrashPoint("journal.pre-fsync")
+	if len(*fired) != 0 {
+		t.Fatalf("disarmed crash point fired: %v", *fired)
+	}
+}
+
+func TestCrashPointFiresOnFirstHit(t *testing.T) {
+	fired := withRecorder(t)
+	if err := ArmCrashPoints("snapshot.pre-fsync"); err != nil {
+		t.Fatal(err)
+	}
+	CrashPoint("journal.pre-fsync") // different name: must not fire
+	CrashPoint("snapshot.pre-fsync")
+	if want := []string{"snapshot.pre-fsync"}; !reflect.DeepEqual(*fired, want) {
+		t.Fatalf("fired = %v, want %v", *fired, want)
+	}
+	// The real action never returns; the recorder does, and a point must
+	// fire exactly once even if execution continues past it.
+	CrashPoint("snapshot.pre-fsync")
+	if len(*fired) != 1 {
+		t.Fatalf("crash point fired %d times, want 1", len(*fired))
+	}
+}
+
+func TestCrashPointCountedArm(t *testing.T) {
+	fired := withRecorder(t)
+	if err := ArmCrashPoints("journal.mid-replay:3"); err != nil {
+		t.Fatal(err)
+	}
+	CrashPoint("journal.mid-replay")
+	CrashPoint("journal.mid-replay")
+	if len(*fired) != 0 {
+		t.Fatalf("counted arm fired early: %v", *fired)
+	}
+	CrashPoint("journal.mid-replay")
+	if want := []string{"journal.mid-replay"}; !reflect.DeepEqual(*fired, want) {
+		t.Fatalf("fired = %v, want %v", *fired, want)
+	}
+}
+
+func TestArmCrashPointsSpecErrors(t *testing.T) {
+	defer DisarmCrashPoints()
+	for _, spec := range []string{"a:0", "a:-1", "a:x", ":2"} {
+		if err := ArmCrashPoints(spec); err == nil {
+			t.Errorf("ArmCrashPoints(%q) accepted a bad spec", spec)
+		}
+	}
+	// A bad spec must not leave a partial arm set active.
+	if got := ArmedCrashPoints(); len(got) != 0 {
+		// ArmCrashPoints builds the set before storing, so a parse error
+		// leaves the previous (empty) set in place.
+		t.Errorf("bad spec left points armed: %v", got)
+	}
+}
+
+func TestArmCrashPointsFromEnv(t *testing.T) {
+	fired := withRecorder(t)
+	t.Setenv(CrashPointsEnv, "a, b:2")
+	spec, err := ArmCrashPointsFromEnv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec != "a, b:2" {
+		t.Fatalf("spec = %q", spec)
+	}
+	if want := []string{"a", "b"}; !reflect.DeepEqual(ArmedCrashPoints(), want) {
+		t.Fatalf("armed = %v, want %v", ArmedCrashPoints(), want)
+	}
+	CrashPoint("b")
+	CrashPoint("a")
+	CrashPoint("b")
+	if want := []string{"a", "b"}; !reflect.DeepEqual(*fired, want) {
+		t.Fatalf("fired = %v, want %v", *fired, want)
+	}
+
+	os.Unsetenv(CrashPointsEnv)
+	DisarmCrashPoints()
+	if spec, err := ArmCrashPointsFromEnv(); err != nil || spec != "" {
+		t.Fatalf("unset env: spec=%q err=%v", spec, err)
+	}
+	if got := ArmedCrashPoints(); len(got) != 0 {
+		t.Fatalf("unset env armed points: %v", got)
+	}
+}

@@ -112,6 +112,31 @@ func (s *Server) withRecovery(next http.Handler) http.Handler {
 	})
 }
 
+// withRecoveryGate answers 503 + Retry-After on API paths while journal
+// replay is still running, so a freshly restarted server can open its
+// listener immediately (letting probes watch recovery progress on
+// /v1/readyz) without serving or mutating state that is mid-replay.
+// Operator paths stay reachable throughout. The gate evaporates to the
+// inner handler once recovery completes; servers without a recovery
+// progress tracker skip it entirely.
+func (s *Server) withRecoveryGate(next http.Handler) http.Handler {
+	if s.recovery == nil {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !s.recovery.Done() && !isOperatorPath(r.URL.Path) {
+			w.Header().Set("Retry-After", "1")
+			msg := "server recovering"
+			if probs := s.recovery.Problems(); len(probs) > 0 {
+				msg = "server recovering: " + probs[0]
+			}
+			httpError(w, http.StatusServiceUnavailable, msg)
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
 // withAdmission sheds load with 429 + Retry-After once maxInFlight requests
 // are being served, keeping latency of admitted requests bounded under
 // overload. Health and observability endpoints are exempt so operators can

@@ -14,6 +14,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"caar/journal"
 	"caar/obs"
 )
 
@@ -37,6 +38,16 @@ func WithAccessLog(l *slog.Logger) Option { return func(s *Server) { s.accessLog
 // WithSlowRequestThreshold logs requests slower than d at warn level
 // (requires WithAccessLog). 0 disables slow-request logging.
 func WithSlowRequestThreshold(d time.Duration) Option { return func(s *Server) { s.slowReq = d } }
+
+// WithRecoveryProgress attaches a journal-replay progress tracker: while
+// recovery runs, API paths are gated with 503 + Retry-After and /v1/readyz
+// reports the replay position ("N records applied, M/T bytes") instead of a
+// bare not-ready; once done, the ready response embeds the final replay
+// summary. This lets adserver start listening before replay finishes, so
+// supervisors can distinguish "recovering" from "wedged".
+func WithRecoveryProgress(p *journal.RecoveryProgress) Option {
+	return func(s *Server) { s.recovery = p }
+}
 
 // HealthReporter is implemented by engines that can report degraded-but-
 // alive conditions (*caar.Engine reports snapshot-write failures,
@@ -193,6 +204,7 @@ var endpoints = []string{
 	"/v1/users", "/v1/follow", "/v1/checkins", "/v1/posts", "/v1/campaigns",
 	"/v1/recommendations", "/v1/impressions", "/v1/trending", "/v1/stats",
 	"/v1/healthz", "/v1/readyz", "/v1/metrics", "/v1/statusz", "/v1/traces",
+	"/v1/invariants",
 }
 
 func endpointLabel(path string) string {
@@ -216,7 +228,8 @@ func endpointLabel(path string) string {
 // read exactly when the server is misbehaving.
 func isOperatorPath(path string) bool {
 	switch path {
-	case "/v1/healthz", "/v1/readyz", "/v1/metrics", "/v1/statusz", "/v1/traces":
+	case "/v1/healthz", "/v1/readyz", "/v1/metrics", "/v1/statusz", "/v1/traces",
+		"/v1/invariants":
 		return true
 	}
 	return strings.HasPrefix(path, "/v1/traces/")
@@ -289,13 +302,17 @@ func (s *Server) withObservability(next http.Handler) http.Handler {
 // Metrics returns the server's observability registry.
 func (s *Server) Metrics() *obs.Registry { return s.metrics }
 
-// healthProblems collects degraded-state reasons from the engine, when it
-// reports any.
+// healthProblems collects degraded-state reasons: journal-replay progress
+// while recovery is running, then whatever the engine reports.
 func (s *Server) healthProblems() []string {
-	if hr, ok := s.eng.(HealthReporter); ok {
-		return hr.HealthProblems()
+	var probs []string
+	if s.recovery != nil {
+		probs = append(probs, s.recovery.Problems()...)
 	}
-	return nil
+	if hr, ok := s.eng.(HealthReporter); ok {
+		probs = append(probs, hr.HealthProblems()...)
+	}
+	return probs
 }
 
 // handleReady is the readiness probe: 200 while the deployment can do its
@@ -309,7 +326,13 @@ func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
 	}
 	problems := s.healthProblems()
 	if len(problems) == 0 {
-		ok(w, map[string]any{"status": "ready"})
+		body := map[string]any{"status": "ready"}
+		if s.recovery != nil {
+			if sum, done := s.recovery.Summary(); done {
+				body["replay"] = sum
+			}
+		}
+		ok(w, body)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")

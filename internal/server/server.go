@@ -98,6 +98,10 @@ type Server struct {
 	slowReq     time.Duration
 	start       time.Time
 	obsInFlight atomic.Int64
+
+	// recovery, when set, gates API traffic until journal replay finishes
+	// and feeds replay progress into the readiness probe (see obs.go).
+	recovery *journal.RecoveryProgress
 }
 
 // New creates a server over an engine (or any API implementation). With no
@@ -118,12 +122,14 @@ func New(eng API, opts ...Option) *Server {
 
 // Handler returns the HTTP handler wrapped in the middleware chain,
 // outermost first: observability (request ID, metrics, access log), panic
-// recovery, admission control, per-request deadline, body limit.
+// recovery, recovery gate (503 while journal replay runs), admission
+// control, per-request deadline, body limit.
 func (s *Server) Handler() http.Handler {
 	var h http.Handler = s.mux
 	h = s.withBodyLimit(h)
 	h = s.withDeadline(h)
 	h = s.withAdmission(h)
+	h = s.withRecoveryGate(h)
 	h = s.withRecovery(h)
 	h = s.withObservability(h)
 	return h
@@ -140,6 +146,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("/v1/recommendations", s.handleRecommend)
 	s.mux.HandleFunc("/v1/impressions", s.post(s.handleImpression))
 	s.mux.HandleFunc("/v1/stats", s.handleStats)
+	s.mux.HandleFunc("/v1/invariants", s.handleInvariants)
 	s.mux.HandleFunc("/v1/trending", s.handleTrending)
 	s.mux.HandleFunc("/v1/healthz", s.handleHealth)
 	s.mux.HandleFunc("/v1/readyz", s.handleReady)
@@ -578,4 +585,24 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	ok(w, s.eng.Stats())
+}
+
+// InvariantAPI is implemented by engines that export the machine-checkable
+// invariant report (*caar.Engine does; *journal.Logged promotes it through
+// its embedded engine). The soak harness reads it after every crash cycle.
+type InvariantAPI interface {
+	Invariants() caar.InvariantReport
+}
+
+func (s *Server) handleInvariants(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	ia, okCast := s.eng.(InvariantAPI)
+	if !okCast {
+		httpError(w, http.StatusNotFound, "invariant export not supported by this deployment")
+		return
+	}
+	ok(w, ia.Invariants())
 }

@@ -29,12 +29,29 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"path/filepath"
 	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	caar "caar"
+	"caar/internal/faultinject"
+)
+
+// Crash points consulted on the journal's durability paths. Disarmed (the
+// default) each is one atomic load; the soak harness arms them via
+// faultinject.ArmCrashPoints to kill the process at exactly these
+// instructions and prove recovery holds.
+const (
+	// CrashPreFsync fires after an appended record is flushed to the OS but
+	// before it is fsynced — the record may or may not survive, and the
+	// client never got an acknowledgment.
+	CrashPreFsync = "journal.pre-fsync"
+	// CrashMidReplay fires mid-batch during replay (arm with a count, e.g.
+	// "journal.mid-replay:100", to die after the 100th record) — recovery
+	// must be restartable from an interrupted recovery.
+	CrashMidReplay = "journal.mid-replay"
 )
 
 // Op is the type tag of a journal entry.
@@ -242,6 +259,7 @@ func (w *Writer) Append(e Entry) error {
 	if err := w.out.Flush(); err != nil {
 		return w.noteAppendError(fmt.Errorf("%w: flush: %w", ErrDurability, err))
 	}
+	faultinject.CrashPoint(CrashPreFsync)
 	if w.Sync != nil {
 		if err := w.Sync(); err != nil {
 			return w.noteAppendError(fmt.Errorf("%w: sync: %w", ErrDurability, err))
@@ -358,7 +376,7 @@ func (s *ReplayStats) classify(err error) {
 // a corrupt record followed by more data aborts with an error (use Recover
 // for a file that should be truncated and resumed instead).
 func Replay(r io.Reader, eng *caar.Engine) (ReplayStats, error) {
-	return replay(r, eng, false)
+	return replay(r, eng, false, nil)
 }
 
 // decodeLine validates one log line and returns its JSON payload.
@@ -392,9 +410,12 @@ func decodeLine(line []byte) ([]byte, error) {
 
 // replay reads records, applying each to eng. In recover mode it stops at
 // the first structurally invalid record (truncation point); in strict mode
-// an invalid non-final record is an error.
-func replay(r io.Reader, eng *caar.Engine, recoverMode bool) (ReplayStats, error) {
+// an invalid non-final record is an error. progress, when non-nil, is
+// called after every processed record with the cumulative record count and
+// byte offset (it feeds the readiness probe during recovery).
+func replay(r io.Reader, eng *caar.Engine, recoverMode bool, progress func(records, bytes int64)) (ReplayStats, error) {
 	var stats ReplayStats
+	var records int64
 	br := bufio.NewReaderSize(r, 1<<16)
 	var offset int64
 	var pending []byte // a structurally invalid line, fate decided by what follows
@@ -447,12 +468,17 @@ func replay(r io.Reader, eng *caar.Engine, recoverMode bool) (ReplayStats, error
 			continue
 		}
 
+		faultinject.CrashPoint(CrashMidReplay)
 		if applyErr := apply(eng, e); applyErr != nil {
 			stats.classify(applyErr)
 		} else {
 			stats.Applied++
 		}
 		stats.ValidBytes = lineEnd
+		records++
+		if progress != nil {
+			progress(records, lineEnd)
+		}
 		if readErr != nil {
 			break
 		}
@@ -470,10 +496,26 @@ func replay(r io.Reader, eng *caar.Engine, recoverMode bool) (ReplayStats, error
 // a crash mid-append) are discarded with the tail; DiscardedBytes reports
 // how much was cut.
 func Recover(f *os.File, eng *caar.Engine) (ReplayStats, error) {
+	return RecoverWithProgress(f, eng, nil)
+}
+
+// RecoverWithProgress is Recover with live progress reporting: p (when
+// non-nil) is updated after every replayed record and marked finished once
+// the file is truncated and repositioned, so a readiness probe can report
+// "recovering, N records / M bytes replayed" instead of a bare 503.
+func RecoverWithProgress(f *os.File, eng *caar.Engine, p *RecoveryProgress) (ReplayStats, error) {
+	var progress func(records, bytes int64)
+	if p != nil {
+		p.start()
+		if fi, err := f.Stat(); err == nil {
+			p.setTotal(fi.Size())
+		}
+		progress = p.observe
+	}
 	if _, err := f.Seek(0, io.SeekStart); err != nil {
 		return ReplayStats{}, fmt.Errorf("journal: recover seek: %w", err)
 	}
-	stats, err := replay(f, eng, true)
+	stats, err := replay(f, eng, true, progress)
 	if err != nil {
 		return stats, err
 	}
@@ -493,6 +535,9 @@ func Recover(f *os.File, eng *caar.Engine) (ReplayStats, error) {
 	if _, err := f.Seek(0, io.SeekEnd); err != nil {
 		return stats, fmt.Errorf("journal: recover seek end: %w", err)
 	}
+	if p != nil {
+		p.finish(stats)
+	}
 	return stats, nil
 }
 
@@ -509,8 +554,32 @@ func Reset(f *os.File) error {
 	if err := f.Sync(); err != nil {
 		return fmt.Errorf("journal: reset sync: %w", err)
 	}
+	// The reset only matters when the snapshot that subsumes the log was
+	// just renamed into place in the same directory. Syncing the parent
+	// pins both directory operations; without it an OS crash can surface
+	// the old directory state — a pre-reset journal next to (or without)
+	// the new snapshot — and the next startup would double-apply spend.
+	if err := FsyncDir(filepath.Dir(f.Name())); err != nil {
+		return fmt.Errorf("journal: reset: %w", err)
+	}
 	if _, err := f.Seek(0, io.SeekStart); err != nil {
 		return fmt.Errorf("journal: reset seek: %w", err)
+	}
+	return nil
+}
+
+// FsyncDir fsyncs a directory, making directory-entry operations within it
+// (file creation, rename, truncate-to-empty) durable. File fsync alone
+// persists the bytes and the inode; the *name* pointing at them lives in
+// the directory, which crashes can otherwise roll back.
+func FsyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("journal: open dir for fsync: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("journal: fsync dir %s: %w", dir, err)
 	}
 	return nil
 }

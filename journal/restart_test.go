@@ -202,7 +202,7 @@ func TestReplaySurfacesReadErrors(t *testing.T) {
 		t.Fatalf("strict replay swallowed read error: %v", err)
 	}
 
-	stats, err := replay(&faultinject.FailingReader{R: bytes.NewReader(raw), Budget: budget}, newEngine(t), true)
+	stats, err := replay(&faultinject.FailingReader{R: bytes.NewReader(raw), Budget: budget}, newEngine(t), true, nil)
 	if !errors.Is(err, faultinject.ErrInjected) {
 		t.Fatalf("recover-mode replay swallowed read error: %v", err)
 	}

@@ -184,6 +184,11 @@ func (s *Store) Len() int {
 	return total
 }
 
+// Capacity returns the ring-buffer size — the hard ceiling on retained
+// traces, which the soak harness checks stays respected across crash
+// cycles.
+func (s *Store) Capacity() int { return s.capacity }
+
 // RegisterMetrics exposes the store's capture accounting on reg.
 func (s *Store) RegisterMetrics(reg *obs.Registry) {
 	reg.CounterFunc("caar_trace_requests_total",

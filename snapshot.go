@@ -12,10 +12,24 @@ import (
 	"time"
 
 	"caar/internal/adstore"
+	"caar/internal/faultinject"
 	"caar/internal/feed"
 	"caar/internal/geo"
 	"caar/internal/textproc"
 	"caar/internal/timeslot"
+)
+
+// Crash points on the snapshot publish path, consulted through the
+// faultinject registry (one atomic load each when disarmed). The soak
+// harness arms them to kill the process at the two moments a buggy
+// save protocol would lose or corrupt a snapshot.
+const (
+	// CrashSnapshotPreFsync fires after the temp file is written but before
+	// its fsync: the bytes may still be only in the page cache.
+	CrashSnapshotPreFsync = "snapshot.pre-fsync"
+	// CrashSnapshotPreRename fires after the temp file is durable but
+	// before any rename: the snapshot exists under its temp name only.
+	CrashSnapshotPreRename = "snapshot.post-fsync-pre-rename"
 )
 
 // Snapshot persistence serializes the engine's durable state — users, the
@@ -184,6 +198,7 @@ func (e *Engine) saveSnapshot(path string) (int64, error) {
 		cleanup()
 		return 0, fmt.Errorf("caar: snapshot write: %w", err)
 	}
+	faultinject.CrashPoint(CrashSnapshotPreFsync)
 	if err := tmp.Sync(); err != nil {
 		cleanup()
 		return 0, fmt.Errorf("caar: snapshot fsync: %w", err)
@@ -196,6 +211,7 @@ func (e *Engine) saveSnapshot(path string) (int64, error) {
 		os.Remove(tmpName)
 		return 0, fmt.Errorf("caar: snapshot close: %w", err)
 	}
+	faultinject.CrashPoint(CrashSnapshotPreRename)
 	if _, err := os.Stat(path); err == nil {
 		if err := os.Rename(path, path+PrevSnapshotSuffix); err != nil {
 			os.Remove(tmpName)
@@ -206,13 +222,30 @@ func (e *Engine) saveSnapshot(path string) (int64, error) {
 		os.Remove(tmpName)
 		return 0, fmt.Errorf("caar: snapshot rename: %w", err)
 	}
-	// Persist the renames themselves (best effort; not all platforms
-	// support fsync on directories).
-	if d, err := os.Open(dir); err == nil {
-		_ = d.Sync()
-		_ = d.Close()
+	// Persist the renames themselves: the file's bytes are fsynced, but the
+	// name pointing at them lives in the directory. An OS crash before the
+	// directory hits disk can resurrect the old snapshot (or no snapshot)
+	// next to a journal that was reset on the strength of this one — so a
+	// failure here is a durability error, not best-effort noise.
+	if err := fsyncDir(dir); err != nil {
+		return 0, fmt.Errorf("caar: snapshot publish: %w", err)
 	}
 	return size, nil
+}
+
+// fsyncDir makes directory-entry operations (the snapshot renames) durable.
+// Kept local rather than shared with journal.FsyncDir because journal
+// imports caar, not the other way around.
+func fsyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("open dir for fsync: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("fsync dir %s: %w", dir, err)
+	}
+	return nil
 }
 
 // LoadSnapshot reads a snapshot written by SaveSnapshot, verifying its

@@ -15,6 +15,14 @@
 // codebase's style, where the temp-file write, sync, and rename live in one
 // function; code that splits the protocol across helpers documents itself
 // with //caarlint:allow fsyncrename <reason>.
+//
+// The analyzer also enforces the second half of the protocol: the rename
+// itself is a directory-entry operation, durable only once the parent
+// directory is fsynced. A function's last os.Rename must therefore be
+// followed (position-wise, same function) by either another (*os.File).Sync
+// — the opened-directory sync — or a call to a helper named FsyncDir /
+// fsyncDir, the codebase's canonical directory-fsync wrappers
+// (journal.FsyncDir and the snapshot-local fsyncDir).
 package fsyncrename
 
 import (
@@ -33,7 +41,10 @@ const Doc = `report os.Rename calls not preceded by an (*os.File).Sync in the sa
 
 A rename that publishes un-fsynced data is only crash-atomic for the name,
 not the bytes. Every os.Rename must be dominated by a File.Sync of the data
-being published.`
+being published, and the last rename in a function must be followed by a
+directory fsync (a File.Sync of the opened directory, or a FsyncDir call) —
+the rename is a directory-entry operation an OS crash can otherwise roll
+back.`
 
 const name = "fsyncrename"
 
@@ -55,7 +66,8 @@ func run(pass *analysis.Pass) (any, error) {
 		}
 		type renameCall struct{ call *ast.CallExpr }
 		var renames []renameCall
-		var syncPositions []int // offsets of File.Sync calls, in token order
+		var syncPositions []int    // offsets of File.Sync calls, in token order
+		var dirSyncPositions []int // File.Sync or FsyncDir/fsyncDir helper calls
 
 		ast.Inspect(fd.Body, func(n ast.Node) bool {
 			call, ok := n.(*ast.CallExpr)
@@ -71,6 +83,9 @@ func run(pass *analysis.Pass) (any, error) {
 				renames = append(renames, renameCall{call})
 			case isFileSync(fn):
 				syncPositions = append(syncPositions, int(call.Pos()))
+				dirSyncPositions = append(dirSyncPositions, int(call.Pos()))
+			case isFsyncDirHelper(fn):
+				dirSyncPositions = append(dirSyncPositions, int(call.Pos()))
 			}
 			return true
 		})
@@ -90,10 +105,39 @@ func run(pass *analysis.Pass) (any, error) {
 				"fsyncrename: os.Rename with no preceding (*os.File).Sync in %s; a rename only publishes durable bytes after the data is fsynced — sync the written file first",
 				fd.Name.Name)
 		}
+
+		// Directory-fsync half of the protocol: the rename is a
+		// directory-entry operation, durable only once the parent directory
+		// is fsynced after it. Checking only the function's last rename keeps
+		// rotate-then-publish sequences (rename old aside, rename new in,
+		// one dir sync) to a single required sync.
+		if len(renames) > 0 {
+			last := renames[len(renames)-1].call
+			dirSynced := false
+			for _, sp := range dirSyncPositions {
+				if sp > int(last.Pos()) {
+					dirSynced = true
+					break
+				}
+			}
+			if !dirSynced && !sup.Allowed(name, last.Pos()) {
+				pass.Reportf(last.Pos(),
+					"fsyncrename: os.Rename not followed by a directory fsync in %s; the rename is a directory-entry operation — sync the parent directory (File.Sync on the opened dir, or FsyncDir) after the last rename",
+					fd.Name.Name)
+			}
+		}
 	})
 
 	sup.Finish(name)
 	return nil, nil
+}
+
+// isFsyncDirHelper matches the codebase's directory-fsync wrappers by name:
+// journal.FsyncDir and package-local fsyncDir helpers. Name-based on
+// purpose — the helpers live in different packages and the analyzer must
+// not import them.
+func isFsyncDirHelper(fn *types.Func) bool {
+	return fn.Name() == "FsyncDir" || fn.Name() == "fsyncDir"
 }
 
 // isOSRename matches the os.Rename function.

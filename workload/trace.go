@@ -22,12 +22,13 @@ import (
 // TraceRecord is the JSONL envelope: exactly one payload field is set,
 // discriminated by Type.
 type TraceRecord struct {
-	Type  string            `json:"type"` // "meta", "user", "edge", "ad", "event"
-	Meta  *TraceMeta        `json:"meta,omitempty"`
-	User  *TraceUser        `json:"user,omitempty"`
-	Edge  *TraceEdge        `json:"edge,omitempty"`
-	Ad    *TraceAd          `json:"ad,omitempty"`
-	Event *TraceEventRecord `json:"event,omitempty"`
+	Type     string            `json:"type"` // "meta", "user", "edge", "campaign", "ad", "event"
+	Meta     *TraceMeta        `json:"meta,omitempty"`
+	User     *TraceUser        `json:"user,omitempty"`
+	Edge     *TraceEdge        `json:"edge,omitempty"`
+	Campaign *TraceCampaign    `json:"campaign,omitempty"`
+	Ad       *TraceAd          `json:"ad,omitempty"`
+	Event    *TraceEventRecord `json:"event,omitempty"`
 }
 
 // TraceMeta carries the workload-level parameters a replayer needs.
@@ -55,6 +56,14 @@ type TraceEdge struct {
 	Followee uint32 `json:"followee"`
 }
 
+// TraceCampaign is one advertiser budget row.
+type TraceCampaign struct {
+	Name   string    `json:"name"`
+	Budget float64   `json:"budget"`
+	Start  time.Time `json:"start"`
+	End    time.Time `json:"end"`
+}
+
 // TraceAd is one advertisement row.
 type TraceAd struct {
 	ID       int64              `json:"id"`
@@ -66,18 +75,23 @@ type TraceAd struct {
 	RadiusKm float64            `json:"radius_km,omitempty"`
 	Slots    []string           `json:"slots,omitempty"`
 	Terms    map[uint32]float64 `json:"terms"`
+	Campaign string             `json:"campaign,omitempty"`
+	Text     string             `json:"text,omitempty"`
+	Late     bool               `json:"late,omitempty"` // arrives mid-stream via add_ad
 }
 
 // TraceEventRecord is one stream event row.
 type TraceEventRecord struct {
-	Kind  string             `json:"kind"` // "post" or "checkin"
+	Kind  string             `json:"kind"` // "post", "checkin", "add_ad", "remove_ad", "impression"
 	At    time.Time          `json:"at"`
-	User  uint32             `json:"user"`
+	User  uint32             `json:"user,omitempty"`
 	MsgID int64              `json:"msg_id,omitempty"`
 	Topic int                `json:"topic,omitempty"`
 	Terms map[uint32]float64 `json:"terms,omitempty"`
 	Lat   float64            `json:"lat,omitempty"`
 	Lng   float64            `json:"lng,omitempty"`
+	AdID  int64              `json:"ad_id,omitempty"`
+	Text  string             `json:"text,omitempty"`
 }
 
 // ExportTrace writes the workload as JSON lines: one meta row, then users,
@@ -119,10 +133,18 @@ func (w *Workload) ExportTrace(out io.Writer) error {
 			}
 		}
 	}
+	for _, c := range w.Campaigns {
+		if err := emit(TraceRecord{Type: "campaign", Campaign: &TraceCampaign{
+			Name: c.Name, Budget: c.Budget, Start: c.Start, End: c.End,
+		}}); err != nil {
+			return err
+		}
+	}
 	for _, a := range w.Ads {
 		rec := TraceAd{
 			ID: int64(a.ID), Topic: w.AdTopic[a.ID], Bid: a.Bid, Global: a.Global,
-			Terms: vecToMap(a.Vec),
+			Terms: vecToMap(a.Vec), Campaign: a.Campaign,
+			Text: w.AdText[a.ID], Late: w.LateAds[a.ID],
 		}
 		if !a.Global {
 			rec.Lat, rec.Lng, rec.RadiusKm = a.Target.Center.Lat, a.Target.Center.Lng, a.Target.RadiusKm
@@ -141,12 +163,19 @@ func (w *Workload) ExportTrace(out io.Writer) error {
 			rec = TraceEventRecord{
 				Kind: "post", At: ev.Time, User: uint32(ev.User),
 				MsgID: int64(ev.Msg.ID), Topic: ev.Topic, Terms: vecToMap(ev.Msg.Vec),
+				Text: ev.Text,
 			}
 		case EventCheckIn:
 			rec = TraceEventRecord{
 				Kind: "checkin", At: ev.Time, User: uint32(ev.User),
 				Lat: ev.Loc.Lat, Lng: ev.Loc.Lng,
 			}
+		case EventAddAd:
+			rec = TraceEventRecord{Kind: "add_ad", At: ev.Time, AdID: int64(ev.Ad)}
+		case EventRemoveAd:
+			rec = TraceEventRecord{Kind: "remove_ad", At: ev.Time, AdID: int64(ev.Ad)}
+		case EventImpression:
+			rec = TraceEventRecord{Kind: "impression", At: ev.Time, AdID: int64(ev.Ad)}
 		}
 		if err := emit(TraceRecord{Type: "event", Event: &rec}); err != nil {
 			return err
@@ -178,6 +207,8 @@ func LoadTrace(in io.Reader) (*Workload, error) {
 	w := &Workload{
 		Graph:   feed.NewGraph(),
 		AdTopic: make(map[adstore.AdID]int),
+		LateAds: make(map[adstore.AdID]bool),
+		adIndex: make(map[adstore.AdID]int),
 	}
 	sc := bufio.NewScanner(in)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
@@ -234,16 +265,25 @@ func LoadTrace(in io.Reader) (*Workload, error) {
 			if err := w.Graph.Follow(feed.UserID(e.Follower), feed.UserID(e.Followee)); err != nil {
 				return nil, fmt.Errorf("workload: trace line %d: %w", line, err)
 			}
+		case "campaign":
+			c := rec.Campaign
+			if c == nil {
+				return nil, fmt.Errorf("workload: trace line %d: campaign without payload", line)
+			}
+			w.Campaigns = append(w.Campaigns, CampaignSpec{
+				Name: c.Name, Budget: c.Budget, Start: c.Start, End: c.End,
+			})
 		case "ad":
 			a := rec.Ad
 			if a == nil {
 				return nil, fmt.Errorf("workload: trace line %d: ad without payload", line)
 			}
 			ad := &adstore.Ad{
-				ID:     adstore.AdID(a.ID),
-				Vec:    mapToVec(a.Terms),
-				Bid:    a.Bid,
-				Global: a.Global,
+				ID:       adstore.AdID(a.ID),
+				Vec:      mapToVec(a.Terms),
+				Bid:      a.Bid,
+				Global:   a.Global,
+				Campaign: a.Campaign,
 			}
 			if !a.Global {
 				ad.Target = geo.Circle{Center: geo.Point{Lat: a.Lat, Lng: a.Lng}, RadiusKm: a.RadiusKm}
@@ -262,8 +302,18 @@ func LoadTrace(in io.Reader) (*Workload, error) {
 			if err := ad.Validate(); err != nil {
 				return nil, fmt.Errorf("workload: trace line %d: %w", line, err)
 			}
+			w.adIndex[ad.ID] = len(w.Ads)
 			w.Ads = append(w.Ads, ad)
 			w.AdTopic[ad.ID] = a.Topic
+			if a.Late {
+				w.LateAds[ad.ID] = true
+			}
+			if a.Text != "" {
+				if w.AdText == nil {
+					w.AdText = make(map[adstore.AdID]string)
+				}
+				w.AdText[ad.ID] = a.Text
+			}
 		case "event":
 			ev := rec.Event
 			if ev == nil {
@@ -273,6 +323,7 @@ func LoadTrace(in io.Reader) (*Workload, error) {
 			case "post":
 				w.Events = append(w.Events, Event{
 					Kind: EventPost, Time: ev.At, User: feed.UserID(ev.User), Topic: ev.Topic,
+					Text: ev.Text,
 					Msg: feed.Message{
 						ID:     feed.MessageID(ev.MsgID),
 						Author: feed.UserID(ev.User),
@@ -285,6 +336,12 @@ func LoadTrace(in io.Reader) (*Workload, error) {
 					Kind: EventCheckIn, Time: ev.At, User: feed.UserID(ev.User),
 					Loc: geo.Point{Lat: ev.Lat, Lng: ev.Lng}, Topic: -1,
 				})
+			case "add_ad":
+				w.Events = append(w.Events, Event{Kind: EventAddAd, Time: ev.At, Ad: adstore.AdID(ev.AdID), Topic: -1})
+			case "remove_ad":
+				w.Events = append(w.Events, Event{Kind: EventRemoveAd, Time: ev.At, Ad: adstore.AdID(ev.AdID), Topic: -1})
+			case "impression":
+				w.Events = append(w.Events, Event{Kind: EventImpression, Time: ev.At, Ad: adstore.AdID(ev.AdID), Topic: -1})
 			default:
 				return nil, fmt.Errorf("workload: trace line %d: unknown event kind %q", line, ev.Kind)
 			}

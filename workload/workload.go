@@ -15,6 +15,7 @@ package workload
 import (
 	"fmt"
 	"math/rand"
+	"strings"
 	"time"
 
 	"caar/internal/adstore"
@@ -63,6 +64,27 @@ type Config struct {
 	CheckInEvery int // one check-in event per this many posts
 	Start        time.Time
 	MeanGapMs    int // mean inter-arrival gap at baseline intensity
+
+	// Campaign churn and billing (soak-harness extensions). All zero values
+	// reproduce the pre-churn workload byte-for-byte: no campaigns, no
+	// mid-stream ad arrivals/withdrawals, no impression events.
+	Campaigns       int     // budgeted campaigns the ads are spread across (0 = campaign-less)
+	CampaignBudget  float64 // budget per campaign (required when Campaigns > 0)
+	AdChurnFrac     float64 // ∈ [0,1]: fraction of ads held back at load and added mid-stream
+	AdRemoveFrac    float64 // ∈ [0,1]: fraction of initially-loaded ads withdrawn mid-stream
+	ImpressionEvery int     // one billable impression event per this many posts (0 = none)
+
+	// Celebrity tail: the first Celebrities users become high-activity
+	// accounts followed by a CelebrityFollowFrac share of the whole user
+	// base, producing the extreme fan-out bursts a kill mid-delivery must
+	// survive.
+	Celebrities         int
+	CelebrityFollowFrac float64 // ∈ [0,1]
+
+	// RenderText, when set, attaches deterministic token text to every post
+	// event and generated ad (Event.Text, Workload.AdText) so a harness can
+	// drive the real HTTP text pipeline instead of injecting vectors.
+	RenderText bool
 }
 
 // DefaultConfig returns a laptop-scale workload matching the evaluation's
@@ -122,6 +144,20 @@ func (c Config) Validate() error {
 		return fmt.Errorf("workload: terms per message %d < 1", c.TermsPerMsg)
 	case c.MeanGapMs < 1:
 		return fmt.Errorf("workload: mean gap %d ms < 1", c.MeanGapMs)
+	case c.Campaigns < 0:
+		return fmt.Errorf("workload: negative campaign count")
+	case c.Campaigns > 0 && c.CampaignBudget <= 0:
+		return fmt.Errorf("workload: %d campaigns need a positive budget, got %g", c.Campaigns, c.CampaignBudget)
+	case c.AdChurnFrac < 0 || c.AdChurnFrac > 1:
+		return fmt.Errorf("workload: ad churn fraction %g outside [0,1]", c.AdChurnFrac)
+	case c.AdRemoveFrac < 0 || c.AdRemoveFrac > 1:
+		return fmt.Errorf("workload: ad remove fraction %g outside [0,1]", c.AdRemoveFrac)
+	case c.ImpressionEvery < 0:
+		return fmt.Errorf("workload: negative impression interval")
+	case c.Celebrities < 0 || c.Celebrities > c.Users:
+		return fmt.Errorf("workload: celebrity count %d outside [0, %d]", c.Celebrities, c.Users)
+	case c.CelebrityFollowFrac < 0 || c.CelebrityFollowFrac > 1:
+		return fmt.Errorf("workload: celebrity follow fraction %g outside [0,1]", c.CelebrityFollowFrac)
 	}
 	return nil
 }
@@ -142,6 +178,15 @@ type EventKind uint8
 const (
 	EventPost EventKind = iota
 	EventCheckIn
+	// EventAddAd introduces a held-back ad mid-stream (campaign churn):
+	// Event.Ad names an entry of Workload.Ads that is NOT part of the
+	// initial load (Workload.LateAds).
+	EventAddAd
+	// EventRemoveAd withdraws a live ad mid-stream; Event.Ad names it.
+	EventRemoveAd
+	// EventImpression bills one impression of a live ad (Event.Ad) against
+	// its campaign budget.
+	EventImpression
 )
 
 // Event is one timestamped stream event.
@@ -151,9 +196,25 @@ type Event struct {
 	User feed.UserID
 	Msg  feed.Message // valid when Kind == EventPost
 	Loc  geo.Point    // valid when Kind == EventCheckIn
+	// Ad names the subject of add/remove/impression events.
+	Ad adstore.AdID
+	// Text is the rendered token form of a post, set only when
+	// Config.RenderText — what a harness feeds the HTTP text pipeline.
+	Text string
 	// Topic is the latent topic the post was generated from (oracle
-	// bookkeeping; -1 for check-ins).
+	// bookkeeping; -1 for non-post events).
 	Topic int
+}
+
+// CampaignSpec is one generated advertiser budget. The flight window opens
+// well before the stream starts so pacing has released most of the budget by
+// the time the workload replays — a double-applied journal therefore shows
+// up as real over-spend rather than being masked by the pacing cap.
+type CampaignSpec struct {
+	Name   string
+	Budget float64
+	Start  time.Time
+	End    time.Time
 }
 
 // Workload is a fully generated benchmark input.
@@ -172,7 +233,41 @@ type Workload struct {
 	// from — the oracle's link between ads and user interests.
 	AdTopic map[adstore.AdID]int
 
+	// Campaigns are the generated advertiser budgets (empty unless
+	// Config.Campaigns > 0); Ad.Campaign references them by name.
+	Campaigns []CampaignSpec
+
+	// LateAds marks ads that are NOT part of the initial load: they arrive
+	// mid-stream via EventAddAd (empty unless Config.AdChurnFrac > 0).
+	LateAds map[adstore.AdID]bool
+
+	// AdText is the rendered token text per ad, set only when
+	// Config.RenderText.
+	AdText map[adstore.AdID]string
+
 	topicTerms [][]textproc.TermID
+	adIndex    map[adstore.AdID]int // position in Ads
+}
+
+// InitialAds returns the ads present at load time, i.e. Ads minus LateAds,
+// in generation order.
+func (w *Workload) InitialAds() []*adstore.Ad {
+	out := make([]*adstore.Ad, 0, len(w.Ads)-len(w.LateAds))
+	for _, a := range w.Ads {
+		if !w.LateAds[a.ID] {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// AdByID returns the generated ad with the given ID, or nil.
+func (w *Workload) AdByID(id adstore.AdID) *adstore.Ad {
+	i, ok := w.adIndex[id]
+	if !ok {
+		return nil
+	}
+	return w.Ads[i]
 }
 
 // Generate builds a workload. The same Config (including Seed) always yields
@@ -239,6 +334,12 @@ func (w *Workload) genUsers(rng *rand.Rand) {
 			Activity:  0.2 + rng.ExpFloat64(), // heavy-ish tail
 		}
 	}
+	// Celebrity tail: the first Celebrities users post an order of magnitude
+	// more than the organic heavy tail, so their (huge, see genGraph)
+	// follower sets are fanned out to constantly.
+	for i := 0; i < c.Celebrities && i < len(w.Users); i++ {
+		w.Users[i].Activity *= 25
+	}
 }
 
 // genGraph wires a preferential-attachment follower graph: popular accounts
@@ -296,20 +397,53 @@ func (w *Workload) genGraph(rng *rand.Rand) {
 			endpoints = append(endpoints, target)
 		}
 	}
+	// Celebrity fan-in: each celebrity is followed by a CelebrityFollowFrac
+	// share of the whole user base, regardless of interests — the extreme
+	// fan-out case the delivery path must survive a kill in the middle of.
+	for ci := 0; ci < c.Celebrities && ci < len(w.Users); ci++ {
+		celeb := w.Users[ci].ID
+		for i := 0; i < c.Users; i++ {
+			follower := feed.UserID(i)
+			if follower == celeb || rng.Float64() >= c.CelebrityFollowFrac {
+				continue
+			}
+			_ = g.Follow(follower, celeb) // duplicate edge: already a fan
+		}
+	}
 	w.Graph = g
 }
 
 func (w *Workload) genAds(rng *rand.Rand) {
 	c := w.Cfg
+	// Advertiser budgets: flight opened 30 days before the stream so pacing
+	// has released ~97% of each budget at replay time (see CampaignSpec).
+	if c.Campaigns > 0 {
+		w.Campaigns = make([]CampaignSpec, c.Campaigns)
+		for k := range w.Campaigns {
+			w.Campaigns[k] = CampaignSpec{
+				Name:   fmt.Sprintf("camp-%03d", k),
+				Budget: c.CampaignBudget,
+				Start:  c.Start.Add(-30 * 24 * time.Hour),
+				End:    c.Start.Add(48 * time.Hour),
+			}
+		}
+	}
 	w.Ads = make([]*adstore.Ad, 0, c.Ads)
+	w.adIndex = make(map[adstore.AdID]int, c.Ads)
+	if c.RenderText {
+		w.AdText = make(map[adstore.AdID]string, c.Ads)
+	}
 	for i := 0; i < c.Ads; i++ {
 		topic := rng.Intn(c.Topics)
-		vec := w.sampleTermVec(rng, topic, c.AdTermCount)
+		terms := w.sampleTerms(rng, topic, c.AdTermCount)
 		a := &adstore.Ad{
 			ID:    adstore.AdID(i + 1),
-			Vec:   vec,
+			Vec:   vecFromTerms(terms),
 			Slots: timeslot.AllSlots,
 			Bid:   0.05 + 0.95*rng.Float64(),
+		}
+		if c.Campaigns > 0 {
+			a.Campaign = w.Campaigns[i%c.Campaigns].Name
 		}
 		if rng.Float64() < c.SlotTargetingFrac {
 			a.Slots = timeslot.NewSet(timeslot.Slot(rng.Intn(timeslot.NumSlots)))
@@ -320,22 +454,55 @@ func (w *Workload) genAds(rng *rand.Rand) {
 			home := w.Users[rng.Intn(len(w.Users))].Home
 			a.Target = geo.Circle{Center: home, RadiusKm: c.AdRadiusKm * (0.5 + rng.Float64())}
 		}
+		w.adIndex[a.ID] = len(w.Ads)
 		w.Ads = append(w.Ads, a)
 		w.AdTopic[a.ID] = topic
+		if c.RenderText {
+			w.AdText[a.ID] = textFromTerms(terms)
+		}
+	}
+	// Churn: the last AdChurnFrac of the ads are held back from the initial
+	// load and arrive mid-stream (genEvents schedules the EventAddAd).
+	nLate := int(float64(c.Ads) * c.AdChurnFrac)
+	w.LateAds = make(map[adstore.AdID]bool, nLate)
+	for _, a := range w.Ads[c.Ads-nLate:] {
+		w.LateAds[a.ID] = true
 	}
 }
 
-// sampleTermVec draws n terms from a topic's Zipf distribution and returns
-// the L2-normalized TF vector.
-func (w *Workload) sampleTermVec(rng *rand.Rand, topic, n int) textproc.SparseVector {
+// sampleTerms draws n terms from a topic's Zipf distribution, in draw order.
+func (w *Workload) sampleTerms(rng *rand.Rand, topic, n int) []textproc.TermID {
 	terms := w.topicTerms[topic]
 	z := rand.NewZipf(rng, w.Cfg.TermZipfS, 1, uint64(len(terms)-1))
+	out := make([]textproc.TermID, n)
+	for i := range out {
+		out[i] = terms[z.Uint64()]
+	}
+	return out
+}
+
+// vecFromTerms builds the L2-normalized TF vector over a term draw.
+func vecFromTerms(terms []textproc.TermID) textproc.SparseVector {
 	vec := textproc.SparseVector{}
-	for i := 0; i < n; i++ {
-		vec[terms[z.Uint64()]]++
+	for _, t := range terms {
+		vec[t]++
 	}
 	vec.L2Normalize()
 	return vec
+}
+
+// textFromTerms renders a term draw as deterministic tokens ("t0042 …") that
+// survive the real tokenizer (alphanumeric, ≥ 2 runes, not pure digits), so
+// text-driven replay indexes the same term multiset the vector carries.
+func textFromTerms(terms []textproc.TermID) string {
+	var b strings.Builder
+	for i, t := range terms {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "t%04d", t)
+	}
+	return b.String()
 }
 
 // intensity is the diurnal posting-rate multiplier: afternoons are the
@@ -375,12 +542,52 @@ func (w *Workload) genEvents(rng *rand.Rand) {
 		return lo
 	}
 
+	// Churn schedule: held-back ads arrive evenly across the stream; a
+	// deterministic sample of the initial ads is withdrawn, also evenly
+	// spaced. Keyed by post index so the schedule rides the diurnal clock.
+	addsAt := make(map[int][]adstore.AdID)
+	if n := len(w.LateAds); n > 0 {
+		late := w.Ads[c.Ads-n:]
+		for k, a := range late {
+			at := (k + 1) * c.Messages / (n + 1)
+			addsAt[at] = append(addsAt[at], a.ID)
+		}
+	}
+	removesAt := make(map[int][]adstore.AdID)
+	nInit := c.Ads - len(w.LateAds)
+	if nRemove := int(float64(nInit) * c.AdRemoveFrac); nRemove > 0 {
+		victims := rng.Perm(nInit)[:nRemove]
+		for k, vi := range victims {
+			at := (k + 1) * c.Messages / (nRemove + 1)
+			removesAt[at] = append(removesAt[at], w.Ads[vi].ID)
+		}
+	}
+	// live tracks ads currently addressable by impressions.
+	live := make([]adstore.AdID, 0, c.Ads)
+	for _, a := range w.InitialAds() {
+		live = append(live, a.ID)
+	}
+
 	now := c.Start
 	w.Events = make([]Event, 0, c.Messages+c.Messages/max(1, c.CheckInEvery))
 	var msgID feed.MessageID
 	for i := 0; i < c.Messages; i++ {
 		gap := time.Duration(float64(c.MeanGapMs)*rng.ExpFloat64()/intensity(now)) * time.Millisecond
 		now = now.Add(gap)
+
+		for _, id := range addsAt[i] {
+			w.Events = append(w.Events, Event{Kind: EventAddAd, Time: now, Ad: id, Topic: -1})
+			live = append(live, id)
+		}
+		for _, id := range removesAt[i] {
+			w.Events = append(w.Events, Event{Kind: EventRemoveAd, Time: now, Ad: id, Topic: -1})
+			for li, lid := range live {
+				if lid == id {
+					live = append(live[:li], live[li+1:]...)
+					break
+				}
+			}
+		}
 
 		if c.CheckInEvery > 0 && i%c.CheckInEvery == 0 {
 			ui := rng.Intn(len(w.Users))
@@ -398,15 +605,25 @@ func (w *Workload) genEvents(rng *rand.Rand) {
 		author := w.Users[ai]
 		topic := author.Interests[rng.Intn(len(author.Interests))]
 		msgID++
+		terms := w.sampleTerms(rng, topic, c.TermsPerMsg)
 		msg := feed.Message{
 			ID:     msgID,
 			Author: author.ID,
 			Time:   now,
-			Vec:    w.sampleTermVec(rng, topic, c.TermsPerMsg),
+			Vec:    vecFromTerms(terms),
 		}
-		w.Events = append(w.Events, Event{
+		ev := Event{
 			Kind: EventPost, Time: now, User: author.ID, Msg: msg, Topic: topic,
-		})
+		}
+		if c.RenderText {
+			ev.Text = textFromTerms(terms)
+		}
+		w.Events = append(w.Events, ev)
+
+		if c.ImpressionEvery > 0 && i%c.ImpressionEvery == 0 && len(live) > 0 {
+			id := live[rng.Intn(len(live))]
+			w.Events = append(w.Events, Event{Kind: EventImpression, Time: now, Ad: id, Topic: -1})
+		}
 	}
 }
 
