@@ -6,7 +6,7 @@ STATICCHECK_VERSION ?= 2025.1
 
 CAARLINT := bin/caarlint
 
-.PHONY: all check lint vet staticcheck caarlint tools-test build test race fuzz-smoke bench bench-smoke bench-contention soak-smoke clean
+.PHONY: all check lint vet staticcheck caarlint tools-test build test race fuzz-smoke bench bench-smoke bench-contention soak-smoke capture-smoke bench-diff clean
 
 all: check
 
@@ -98,6 +98,25 @@ soak-smoke:
 # BENCH_PR4.json.
 bench-contention:
 	$(GO) run ./cmd/adbench -contention 6s -contention-out BENCH_PR4.json
+
+# capture-smoke proves the incident pipeline end to end: arms the
+# serving-path delay fault, drives load until the SLO burn-rate watchdog
+# trips, and fails unless the resulting capture bundle holds a CPU profile
+# in which the injected delay site is attributable. Writes
+# BENCH_CAPTURE_SMOKE.json and keeps the bundle under capture-smoke/ so CI
+# can upload it.
+capture-smoke:
+	$(GO) run ./cmd/adbench -capture-smoke -capture-smoke-dir capture-smoke
+
+# bench-diff compares the checked-in benchmark artifacts across PRs and
+# writes BENCH_TRAJECTORY.json. The four files come from different harnesses
+# (and, for checked-in baselines, different hardware), so consecutive pairs
+# are cross-kind and reported informationally; regenerate a same-kind pair
+# (e.g. two -contention runs) to get a gated verdict with the default 10%
+# budget.
+bench-diff:
+	$(GO) run ./cmd/benchdiff -out BENCH_TRAJECTORY.json \
+		BENCH_PR2.json BENCH_PR3.json BENCH_PR4.json BENCH_SOAK.json
 
 clean:
 	$(GO) clean ./...

@@ -1,0 +1,261 @@
+package main
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	caar "caar"
+	"caar/internal/faultinject"
+	"caar/internal/server"
+	"caar/obs"
+	"caar/obs/capture"
+	"caar/obs/slo"
+)
+
+// -capture-smoke: the incident pipeline, end to end, against a live server.
+//
+// The smoke run arms the serving-path delay point (the same hook
+// CAAR_DELAYS drives in a real deployment) so every recommend busy-spins
+// for a few milliseconds, declares a latency objective the spin must
+// violate, and then drives traffic until the burn-rate watchdog trips and
+// the anomaly capture lands. It fails unless the resulting bundle holds a
+// non-empty CPU profile in which the injected delay site
+// (faultinject.spinDelay) is attributable — proving the profile was taken
+// while the anomaly was still happening, which is the entire point of the
+// flight recorder.
+
+// captureSmokeResult is the JSON document written by -capture-smoke.
+type captureSmokeResult struct {
+	GeneratedAt     string  `json:"generated_at"`
+	DelaySpec       string  `json:"delay_spec"`
+	Requests        uint64  `json:"requests"`
+	DelayHits       uint64  `json:"delay_hits"`
+	TrippedAfterMs  float64 `json:"tripped_after_ms"`
+	FastBurn        float64 `json:"fast_burn"`
+	SlowBurn        float64 `json:"slow_burn"`
+	Bundle          string  `json:"bundle"`
+	CPUProfileBytes int     `json:"cpu_profile_bytes"`
+	DelayAttributed bool    `json:"delay_site_attributed"`
+}
+
+const (
+	smokeDelaySpec = "serve.recommend:5ms"
+	smokeTimeout   = 30 * time.Second
+)
+
+func runCaptureSmoke(outPath, bundleDir string) error {
+	if err := faultinject.ArmDelays(smokeDelaySpec); err != nil {
+		return err
+	}
+	defer faultinject.DisarmDelays()
+
+	reg := obs.NewRegistry()
+	cfg := caar.DefaultConfig()
+	cfg.Metrics = reg
+	eng, err := caar.Open(cfg)
+	if err != nil {
+		return err
+	}
+	if err := seedSmoke(eng); err != nil {
+		return err
+	}
+
+	// With no -capture-smoke-dir the bundle lands in a throwaway temp dir;
+	// CI passes a real path so the bundle survives as a build artifact.
+	dir := bundleDir
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "caar-capture-smoke-")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(tmp)
+		dir = tmp
+	} else if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	rec, err := capture.NewRecorder(capture.Config{
+		Dir:                dir,
+		CPUProfileDuration: time.Second,
+		Metrics:            reg,
+	})
+	if err != nil {
+		return err
+	}
+
+	// The objective is tight (1ms; bucket quantization makes it 0.8ms) and
+	// the windows short, so a 5ms spin per request trips within seconds.
+	tripped := make(chan slo.Trip, 1)
+	start := time.Now()
+	sloCfg := slo.Config{
+		FastWindow:    2 * time.Second,
+		SlowWindow:    4 * time.Second,
+		SampleEvery:   100 * time.Millisecond,
+		BurnThreshold: 14.4,
+		MinEvents:     20,
+		OnTrip: func(tp slo.Trip) {
+			select {
+			case tripped <- tp:
+			default:
+			}
+		},
+	}
+	obj := slo.Objective{
+		Name:      "rec-smoke",
+		Endpoint:  "/v1/recommendations",
+		Kind:      slo.KindLatency,
+		Threshold: time.Millisecond,
+		Target:    0.99,
+	}
+	srv := server.New(eng,
+		server.WithMetrics(reg),
+		server.WithSLO(sloCfg, obj),
+		server.WithCapture(rec),
+	)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	done := make(chan struct{})
+	go srv.SLO().Run(done)
+	defer close(done)
+
+	// Closed-loop load: keeps the delay site hot so the CPU profile taken
+	// after the trip has spin frames to attribute.
+	var reqs atomic.Uint64
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			client := &http.Client{Timeout: 5 * time.Second}
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := client.Get(ts.URL + "/v1/recommendations?user=alice&k=3")
+				if err == nil {
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+				}
+				reqs.Add(1)
+			}
+		}()
+	}
+	defer func() { close(stop); wg.Wait() }()
+
+	var trip slo.Trip
+	select {
+	case trip = <-tripped:
+	case <-time.After(smokeTimeout):
+		return fmt.Errorf("capture-smoke: watchdog did not trip within %s (%d requests, %d delay hits)",
+			smokeTimeout, reqs.Load(), faultinject.DelayHits())
+	}
+	trippedAfter := time.Since(start)
+
+	// Capture while the spin load is still running — the real wiring does
+	// exactly this from OnTrip.
+	bundle, err := rec.Capture("anomaly",
+		fmt.Sprintf("smoke: %s fast burn %.1f", trip.Objective, trip.FastBurn), false)
+	if err != nil {
+		return fmt.Errorf("capture-smoke: capture after trip: %w", err)
+	}
+	cpu, err := rec.ReadFile(bundle, "cpu.pprof")
+	if err != nil {
+		return fmt.Errorf("capture-smoke: read cpu.pprof: %w", err)
+	}
+	if len(cpu) == 0 {
+		return fmt.Errorf("capture-smoke: cpu.pprof is empty")
+	}
+	attributed, err := profileMentions(cpu, "faultinject")
+	if err != nil {
+		return fmt.Errorf("capture-smoke: parse cpu.pprof: %w", err)
+	}
+	if !attributed {
+		return fmt.Errorf("capture-smoke: injected delay site not attributable in cpu.pprof (%d bytes)", len(cpu))
+	}
+
+	result := captureSmokeResult{
+		GeneratedAt:     time.Now().UTC().Format(time.RFC3339),
+		DelaySpec:       smokeDelaySpec,
+		Requests:        reqs.Load(),
+		DelayHits:       faultinject.DelayHits(),
+		TrippedAfterMs:  float64(trippedAfter.Milliseconds()),
+		FastBurn:        trip.FastBurn,
+		SlowBurn:        trip.SlowBurn,
+		Bundle:          bundle,
+		CPUProfileBytes: len(cpu),
+		DelayAttributed: attributed,
+	}
+	blob, err := json.MarshalIndent(result, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(blob, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("capture-smoke: tripped after %s (fast burn %.1f), bundle %s, cpu.pprof %d bytes, delay site attributed\n",
+		trippedAfter.Round(time.Millisecond), trip.FastBurn, bundle, len(cpu))
+	fmt.Printf("capture-smoke: wrote %s\n", outPath)
+	return nil
+}
+
+// profileMentions reports whether the gzipped pprof protobuf contains the
+// given symbol substring. The profile's string table stores function names
+// as raw bytes, so a substring scan over the decompressed payload is a
+// robust attribution check without a protobuf decoder.
+func profileMentions(gzipped []byte, symbol string) (bool, error) {
+	zr, err := gzip.NewReader(bytes.NewReader(gzipped))
+	if err != nil {
+		return false, err
+	}
+	defer zr.Close()
+	raw, err := io.ReadAll(zr)
+	if err != nil {
+		return false, err
+	}
+	return bytes.Contains(raw, []byte(symbol)), nil
+}
+
+// seedSmoke loads just enough state for recommends to exercise the full
+// pipeline.
+func seedSmoke(eng *caar.Engine) error {
+	for _, u := range []string{"alice", "bob"} {
+		if err := eng.AddUser(u); err != nil {
+			return err
+		}
+	}
+	if err := eng.Follow("alice", "bob"); err != nil {
+		return err
+	}
+	ads := []caar.Ad{
+		{ID: "shoes", Text: "marathon running shoes spring sale", Bid: 0.4},
+		{ID: "vpn", Text: "secure fast vpn service", Bid: 0.6},
+	}
+	for _, a := range ads {
+		if err := eng.AddAd(a); err != nil {
+			return err
+		}
+	}
+	now := time.Now()
+	posts := []string{
+		"long marathon run this morning, shoes finally broke in",
+		"vpn setup for the home office finally done",
+	}
+	for _, p := range posts {
+		if err := eng.Post("bob", p, now); err != nil {
+			return err
+		}
+	}
+	return nil
+}

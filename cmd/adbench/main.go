@@ -26,6 +26,9 @@ func main() {
 	benchOut := flag.String("bench-out", "BENCH_PR3.json", "output file for -serve-bench results")
 	contention := flag.Duration("contention", 0, "run the parallel-recommend contention bench for this long per worker count and exit (0 = off)")
 	contentionOut := flag.String("contention-out", "BENCH_PR4.json", "output file for -contention results")
+	captureSmoke := flag.Bool("capture-smoke", false, "inject a serving-path latency fault, verify the SLO watchdog trips and captures an attributable CPU profile, and exit")
+	captureSmokeOut := flag.String("capture-smoke-out", "BENCH_CAPTURE_SMOKE.json", "output file for -capture-smoke results")
+	captureSmokeDir := flag.String("capture-smoke-dir", "", "keep the -capture-smoke bundle under this directory (empty = throwaway temp dir)")
 	flag.Parse()
 
 	if *list {
@@ -46,6 +49,14 @@ func main() {
 
 	if *contention > 0 {
 		if err := runContentionBench(*contention, *contentionOut); err != nil {
+			fmt.Fprintln(os.Stderr, "adbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *captureSmoke {
+		if err := runCaptureSmoke(*captureSmokeOut, *captureSmokeDir); err != nil {
 			fmt.Fprintln(os.Stderr, "adbench:", err)
 			os.Exit(1)
 		}

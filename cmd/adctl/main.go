@@ -26,6 +26,10 @@
 //	invariants
 //	statusz
 //	metrics
+//	slo [-refresh]
+//	capture now
+//	capture list
+//	capture get <bundle> [file]
 package main
 
 import (
@@ -345,6 +349,101 @@ func run(ctx context.Context, c *client.Client, cmd string, args []string, now t
 		}
 		fmt.Print(text)
 		return nil
+	case "slo":
+		refresh := len(args) > 0 && args[0] == "-refresh"
+		st, err := c.SLOStatus(ctx, refresh)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("burn threshold  %.1f  (windows %s / %s)\n",
+			st.BurnThreshold, st.FastWindow, st.SlowWindow)
+		for _, o := range st.Objectives {
+			state := "ok"
+			if o.Breaching {
+				state = "BREACHING"
+			}
+			fmt.Printf("\n%-32s %s  target=%.4g  %s", o.Name, o.Kind, o.Target, state)
+			if o.Trips > 0 {
+				fmt.Printf("  trips=%d", o.Trips)
+			}
+			fmt.Println()
+			if o.Kind == "latency" {
+				fmt.Printf("  threshold %.4gs (effective %.4gs after bucket quantization)\n",
+					o.ThresholdSeconds, o.EffectiveThresholdSeconds)
+			}
+			for _, w := range o.Windows {
+				complete := ""
+				if !w.Complete {
+					complete = "  (partial window)"
+				}
+				fmt.Printf("  %-4s  burn=%-8.3g budget=%-8.3g good/total=%d/%d%s\n",
+					w.Window, w.BurnRate, w.BudgetRemaining, w.Good, w.Total, complete)
+			}
+		}
+		return nil
+	case "capture":
+		if err := need(1); err != nil {
+			return err
+		}
+		switch args[0] {
+		case "now":
+			fmt.Println("capturing (blocks for the CPU-profile duration)...")
+			name, err := c.CaptureNow(ctx)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("bundle %s\n", name)
+			return nil
+		case "list":
+			list, err := c.CaptureList(ctx)
+			if err != nil {
+				return err
+			}
+			if len(list) == 0 {
+				fmt.Println("(no capture bundles)")
+				return nil
+			}
+			for _, b := range list {
+				var total int64
+				for _, f := range b.Files {
+					total += f.Bytes
+				}
+				fmt.Printf("%-40s trigger=%-10s files=%-2d %8.1f KiB  %s\n",
+					b.Name, b.Trigger, len(b.Files), float64(total)/1024,
+					b.CapturedAt.Format(time.RFC3339))
+			}
+			return nil
+		case "get":
+			if len(args) < 2 {
+				return fmt.Errorf("usage: capture get <bundle> [file]")
+			}
+			if len(args) == 2 {
+				m, err := c.CaptureMeta(ctx, args[1])
+				if err != nil {
+					return err
+				}
+				fmt.Printf("bundle      %s\n", m.Name)
+				fmt.Printf("trigger     %s\n", m.Trigger)
+				fmt.Printf("reason      %s\n", m.Reason)
+				fmt.Printf("captured    %s  (uptime %.0fs)\n", m.CapturedAt.Format(time.RFC3339), m.UptimeSeconds)
+				fmt.Printf("build       %s %s rev %s\n", m.Build.Module, m.Build.Version, m.Build.ShortRev())
+				fmt.Printf("goroutines  %d (GOMAXPROCS %d)\n", m.Goroutines, m.GOMAXPROCS)
+				for _, e := range m.Errors {
+					fmt.Printf("error       %s\n", e)
+				}
+				return nil
+			}
+			b, err := c.CaptureFile(ctx, args[1], args[2])
+			if err != nil {
+				return err
+			}
+			// Raw bytes to stdout so `adctl capture get <b> cpu.pprof > cpu.pprof`
+			// composes with `go tool pprof`.
+			_, err = os.Stdout.Write(b)
+			return err
+		default:
+			return fmt.Errorf("unknown capture subcommand %q (want now, list or get)", args[0])
+		}
 	default:
 		return fmt.Errorf("unknown command %q", cmd)
 	}

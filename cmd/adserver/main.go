@@ -30,7 +30,6 @@ import (
 	"log"
 	"log/slog"
 	"net/http"
-	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -43,6 +42,8 @@ import (
 	"caar/internal/server"
 	"caar/journal"
 	"caar/obs"
+	"caar/obs/capture"
+	"caar/obs/slo"
 	"caar/obs/trace"
 )
 
@@ -73,6 +74,15 @@ func run() error {
 	traceCapacity := flag.Int("trace-capacity", trace.DefaultCapacity, "captured traces retained in the ring buffer (0 = tracing off)")
 	traceSample := flag.Float64("trace-sample", 0.01, "head-sampling rate of ordinary requests (0 = tail capture only, 1 = every request)")
 	traceSlow := flag.Duration("trace-slow", 250*time.Millisecond, "always capture requests slower than this (0 = no slow tail capture)")
+	sloSpec := flag.String("slo", slo.DefaultObjectivesSpec, "SLO objectives: endpoint:latency:target or endpoint:errors:target, comma-separated (empty = tracking off)")
+	sloFast := flag.Duration("slo-fast-window", 5*time.Minute, "fast burn-rate alerting window")
+	sloSlow := flag.Duration("slo-slow-window", time.Hour, "slow burn-rate alerting window")
+	sloSample := flag.Duration("slo-sample", 10*time.Second, "burn-rate sampling cadence")
+	sloBurn := flag.Float64("slo-burn-threshold", 14.4, "burn rate that trips the watchdog (fast AND slow window)")
+	captureDir := flag.String("capture-dir", "", "write anomaly capture bundles under this directory (empty = capture off)")
+	captureRetain := flag.Int("capture-retain", 8, "capture bundles retained before the oldest are pruned")
+	captureMinInterval := flag.Duration("capture-interval", time.Minute, "min spacing between anomaly-triggered captures")
+	captureCPU := flag.Duration("capture-cpu", 2*time.Second, "CPU-profile duration inside each capture bundle")
 	flag.Parse()
 
 	policy, err := journal.ParseSyncPolicy(*fsync)
@@ -129,12 +139,18 @@ func run() error {
 	}
 
 	// Fault injection: the soak harness arms named crash points through the
-	// environment; production runs leave the variable unset and every hook
+	// environment; the capture smoke test arms serving-path delay points the
+	// same way. Production runs leave both variables unset and every hook
 	// stays a single atomic load.
 	if spec, err := faultinject.ArmCrashPointsFromEnv(); err != nil {
 		return err
 	} else if spec != "" {
 		log.Printf("faultinject: crash points armed: %s", spec)
+	}
+	if spec, err := faultinject.ArmDelaysFromEnv(); err != nil {
+		return err
+	} else if spec != "" {
+		log.Printf("faultinject: delay points armed: %s", spec)
 	}
 
 	// The journal is recovered AFTER the listener opens (below), behind the
@@ -176,22 +192,72 @@ func run() error {
 	if recovery != nil {
 		srvOpts = append(srvOpts, server.WithRecoveryProgress(recovery))
 	}
-	srv := server.New(api, srvOpts...)
-	handler := srv.Handler()
 	if *pprofOn {
-		// Profiling is opt-in: the pprof mux wraps the API handler so
-		// /debug/pprof/ stays outside the admission/deadline middleware and a
-		// long CPU profile is not cut off by the request timeout.
-		outer := http.NewServeMux()
-		outer.HandleFunc("/debug/pprof/", pprof.Index)
-		outer.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-		outer.HandleFunc("/debug/pprof/profile", pprof.Profile)
-		outer.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-		outer.HandleFunc("/debug/pprof/trace", pprof.Trace)
-		outer.Handle("/", handler)
-		handler = outer
+		// Profiling is opt-in. It mounts on the server's own mux: operator
+		// paths (which /debug/pprof/ is) bypass admission control and the
+		// request deadline, so a long CPU profile is not cut off.
+		srvOpts = append(srvOpts, server.WithDebugPprof())
 		logger.Info("pprof enabled", slog.String("path", "/debug/pprof/"))
 	}
+
+	// Anomaly flight recorder: when the SLO watchdog below trips, profiles
+	// are captured while the anomaly is still happening.
+	var recorder *capture.Recorder
+	if *captureDir != "" {
+		recorder, err = capture.NewRecorder(capture.Config{
+			Dir:                       *captureDir,
+			Retain:                    *captureRetain,
+			MinInterval:               *captureMinInterval,
+			CPUProfileDuration:        *captureCPU,
+			Metrics:                   reg,
+			EnableContentionProfiling: true,
+		})
+		if err != nil {
+			return err
+		}
+		srvOpts = append(srvOpts, server.WithCapture(recorder))
+		logger.Info("capture enabled", slog.String("dir", *captureDir))
+	}
+
+	// SLO watchdog: multi-window burn rates over the serving histograms,
+	// wired to the recorder so a trip produces a bundle (rate-limited by
+	// -capture-interval; a trip during an in-flight capture is dropped).
+	if *sloSpec != "" {
+		objectives, err := slo.ParseObjectives(*sloSpec)
+		if err != nil {
+			return err
+		}
+		sloCfg := slo.Config{
+			FastWindow:    *sloFast,
+			SlowWindow:    *sloSlow,
+			SampleEvery:   *sloSample,
+			BurnThreshold: *sloBurn,
+			OnTrip: func(tp slo.Trip) {
+				logger.Warn("slo watchdog tripped",
+					slog.String("objective", tp.Objective),
+					slog.String("endpoint", tp.Endpoint),
+					slog.Float64("fast_burn", tp.FastBurn),
+					slog.Float64("slow_burn", tp.SlowBurn))
+				if recorder == nil {
+					return
+				}
+				go func() {
+					reason := fmt.Sprintf("slo %s on %s: fast burn %.1f, slow burn %.1f (threshold %.1f)",
+						tp.Objective, tp.Endpoint, tp.FastBurn, tp.SlowBurn, tp.Threshold)
+					name, err := recorder.Capture("anomaly", reason, false)
+					if err != nil {
+						logger.Warn("anomaly capture skipped", slog.String("error", err.Error()))
+						return
+					}
+					logger.Info("anomaly capture written", slog.String("bundle", name))
+				}()
+			},
+		}
+		srvOpts = append(srvOpts, server.WithSLO(sloCfg, objectives...))
+	}
+
+	srv := server.New(api, srvOpts...)
+	handler := srv.Handler()
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           handler,
@@ -203,6 +269,10 @@ func run() error {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if t := srv.SLO(); t != nil {
+		go t.Run(ctx.Done())
+	}
 
 	errc := make(chan error, 1)
 	go func() {

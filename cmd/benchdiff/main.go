@@ -1,0 +1,491 @@
+// Command benchdiff compares the repo's benchmark artifacts across PRs and
+// renders a regression verdict, so a perf cliff shows up in review instead of
+// three PRs later.
+//
+// Usage:
+//
+//	benchdiff BENCH_PR2.json BENCH_PR4.json             # pairwise verdicts
+//	benchdiff -budget 0.05 old.json new.json            # tighter gate
+//	benchdiff -out BENCH_TRAJECTORY.json BENCH_*.json   # machine-readable too
+//
+// Each input is one of the four BENCH shapes the repo's harnesses emit:
+// servebench (cmd/adbench -serve-bench), abba (the tracing-overhead A/B/B/A
+// run, same flag's older shape), contention (-contention), and soak
+// (cmd/adsoak). benchdiff auto-detects the kind from the document's keys,
+// normalizes every file into named phases carrying direction-tagged metrics,
+// and compares consecutive files phase by phase.
+//
+// Same-kind comparisons are gated: a metric that moves in the bad direction
+// by more than -budget (default 10%) is a REGRESSION and the exit status is
+// 1. Cross-kind comparisons (different workloads; the checked-in BENCH files
+// span four harnesses) align only on the synthetic "summary" phase and are
+// reported as informational — shown, never gated — so the cross-PR
+// trajectory is visible without pretending a contention run and a soak run
+// measure the same thing.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"strings"
+	"time"
+)
+
+// metricDir records which way "better" points for each gated metric.
+// higherBetter=false means an increase is a regression.
+var metricDir = map[string]bool{
+	"throughput_rps":       true,
+	"records_per_sec":      true,
+	"speedup_vs_1":         true,
+	"p50_ms":               false,
+	"p95_ms":               false,
+	"p99_ms":               false,
+	"recovery_ms":          false,
+	"tracing_overhead_pct": false,
+	"invariant_failures":   false,
+}
+
+// phase is one named slice of a bench document: a worker count, a crash
+// cycle, an endpoint, or the file-level "summary" every kind synthesizes so
+// any two files align on at least one phase.
+type phase struct {
+	Name    string             `json:"name"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+type benchDoc struct {
+	Path        string  `json:"path"`
+	Kind        string  `json:"kind"`
+	GeneratedAt string  `json:"generated_at,omitempty"`
+	Phases      []phase `json:"phases"`
+}
+
+type metricVerdict struct {
+	Phase    string  `json:"phase"`
+	Metric   string  `json:"metric"`
+	From     float64 `json:"from"`
+	To       float64 `json:"to"`
+	DeltaPct float64 `json:"delta_pct"`
+	Verdict  string  `json:"verdict"` // ok | improved | REGRESSION | info
+}
+
+type comparison struct {
+	From     string          `json:"from"`
+	To       string          `json:"to"`
+	FromKind string          `json:"from_kind"`
+	ToKind   string          `json:"to_kind"`
+	Gated    bool            `json:"gated"`
+	Metrics  []metricVerdict `json:"metrics"`
+}
+
+type trajectory struct {
+	GeneratedAt string       `json:"generated_at"`
+	BudgetPct   float64      `json:"budget_pct"`
+	Files       []benchDoc   `json:"files"`
+	Comparisons []comparison `json:"comparisons"`
+	Regressions int          `json:"regressions"`
+}
+
+func main() {
+	budget := flag.Float64("budget", 0.10, "allowed bad-direction move before a same-kind metric is a regression (0.10 = 10%)")
+	out := flag.String("out", "", "write the machine-readable trajectory JSON here (empty = stdout table only)")
+	flag.Parse()
+
+	files := flag.Args()
+	if len(files) < 2 {
+		fmt.Fprintln(os.Stderr, "benchdiff: need at least two BENCH json files (oldest first)")
+		os.Exit(2)
+	}
+
+	docs := make([]benchDoc, 0, len(files))
+	for _, f := range files {
+		d, err := loadDoc(f)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchdiff: %s: %v\n", f, err)
+			os.Exit(2)
+		}
+		docs = append(docs, d)
+	}
+
+	traj := trajectory{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		BudgetPct:   *budget * 100,
+		Files:       docs,
+	}
+	for i := 1; i < len(docs); i++ {
+		traj.Comparisons = append(traj.Comparisons, compare(docs[i-1], docs[i], *budget))
+	}
+	for _, c := range traj.Comparisons {
+		for _, m := range c.Metrics {
+			if m.Verdict == "REGRESSION" {
+				traj.Regressions++
+			}
+		}
+	}
+
+	printTable(traj)
+
+	if *out != "" {
+		blob, err := json.MarshalIndent(traj, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchdiff:", err)
+			os.Exit(2)
+		}
+		if err := os.WriteFile(*out, append(blob, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "benchdiff:", err)
+			os.Exit(2)
+		}
+		fmt.Printf("\nwrote %s\n", *out)
+	}
+
+	if traj.Regressions > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d metric(s) regressed past the %.0f%% budget\n",
+			traj.Regressions, *budget*100)
+		os.Exit(1)
+	}
+}
+
+// loadDoc reads one BENCH json file and normalizes it into phases.
+func loadDoc(path string) (benchDoc, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return benchDoc{}, err
+	}
+	var raw map[string]json.RawMessage
+	if err := json.Unmarshal(blob, &raw); err != nil {
+		return benchDoc{}, fmt.Errorf("parse: %w", err)
+	}
+
+	d := benchDoc{Path: path}
+	if g, ok := raw["generated_at"]; ok {
+		json.Unmarshal(g, &d.GeneratedAt)
+	}
+
+	switch {
+	case has(raw, "baseline") && has(raw, "traced"):
+		d.Kind = "abba"
+		err = normalizeABBA(raw, &d)
+	case has(raw, "endpoints") && has(raw, "throughput_rps"):
+		d.Kind = "servebench"
+		err = normalizeServeBench(blob, &d)
+	case has(raw, "phases"):
+		d.Kind = "contention"
+		err = normalizeContention(raw, &d)
+	case has(raw, "cycles"):
+		d.Kind = "soak"
+		err = normalizeSoak(raw, &d)
+	default:
+		return benchDoc{}, fmt.Errorf("unrecognized BENCH shape (keys: %s)", strings.Join(keys(raw), ", "))
+	}
+	if err != nil {
+		return benchDoc{}, err
+	}
+	sort.Slice(d.Phases, func(i, j int) bool { return d.Phases[i].Name < d.Phases[j].Name })
+	return d, nil
+}
+
+func has(m map[string]json.RawMessage, k string) bool { _, ok := m[k]; return ok }
+
+func keys(m map[string]json.RawMessage) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// endpointStats is the per-endpoint latency block both servebench shapes
+// share.
+type endpointStats struct {
+	Count int     `json:"count"`
+	P50   float64 `json:"p50_ms"`
+	P95   float64 `json:"p95_ms"`
+	P99   float64 `json:"p99_ms"`
+}
+
+func endpointPhases(endpoints map[string]endpointStats, prefix string) []phase {
+	out := make([]phase, 0, len(endpoints))
+	for ep, st := range endpoints {
+		out = append(out, phase{
+			Name: prefix + "endpoint:" + ep,
+			Metrics: map[string]float64{
+				"p50_ms": st.P50,
+				"p95_ms": st.P95,
+				"p99_ms": st.P99,
+			},
+		})
+	}
+	return out
+}
+
+// normalizeServeBench handles the flat PR2 shape: top-level throughput plus
+// an endpoints map.
+func normalizeServeBench(blob []byte, d *benchDoc) error {
+	var doc struct {
+		ThroughputRPS float64                  `json:"throughput_rps"`
+		Endpoints     map[string]endpointStats `json:"endpoints"`
+	}
+	if err := json.Unmarshal(blob, &doc); err != nil {
+		return err
+	}
+	summary := map[string]float64{"throughput_rps": doc.ThroughputRPS}
+	if rec, ok := doc.Endpoints["/v1/recommendations"]; ok {
+		summary["p99_ms"] = rec.P99
+	}
+	d.Phases = append(d.Phases, phase{Name: "summary", Metrics: summary})
+	d.Phases = append(d.Phases, endpointPhases(doc.Endpoints, "")...)
+	return nil
+}
+
+// normalizeABBA handles the tracing-overhead A/B/B/A shape: baseline and
+// traced sections, each a full servebench-style phase, plus the computed
+// overhead percentage.
+func normalizeABBA(raw map[string]json.RawMessage, d *benchDoc) error {
+	type phaseResult struct {
+		ThroughputRPS float64                  `json:"throughput_rps"`
+		Endpoints     map[string]endpointStats `json:"endpoints"`
+		RecP99Gate    float64                  `json:"rec_p99_gate_ms"`
+	}
+	var base, traced phaseResult
+	if err := json.Unmarshal(raw["baseline"], &base); err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+	if err := json.Unmarshal(raw["traced"], &traced); err != nil {
+		return fmt.Errorf("traced: %w", err)
+	}
+	var overhead float64
+	if o, ok := raw["tracing_overhead_pct"]; ok {
+		json.Unmarshal(o, &overhead)
+	}
+
+	summary := map[string]float64{
+		"throughput_rps":       base.ThroughputRPS,
+		"tracing_overhead_pct": overhead,
+	}
+	if rec, ok := base.Endpoints["/v1/recommendations"]; ok {
+		summary["p99_ms"] = rec.P99
+	}
+	d.Phases = append(d.Phases, phase{Name: "summary", Metrics: summary})
+	for name, pr := range map[string]phaseResult{"baseline": base, "traced": traced} {
+		d.Phases = append(d.Phases, phase{
+			Name:    name,
+			Metrics: map[string]float64{"throughput_rps": pr.ThroughputRPS, "p99_ms": pr.RecP99Gate},
+		})
+		d.Phases = append(d.Phases, endpointPhases(pr.Endpoints, name+"/")...)
+	}
+	return nil
+}
+
+// normalizeContention handles the PR4 shape: one phase per worker count.
+// The summary carries the highest-parallelism phase, which is the number the
+// lock-free read path exists to protect.
+func normalizeContention(raw map[string]json.RawMessage, d *benchDoc) error {
+	var phases []struct {
+		Workers       int     `json:"workers"`
+		ThroughputRPS float64 `json:"throughput_rps"`
+		P50           float64 `json:"p50_ms"`
+		P95           float64 `json:"p95_ms"`
+		P99           float64 `json:"p99_ms"`
+		Speedup       float64 `json:"speedup_vs_1"`
+	}
+	if err := json.Unmarshal(raw["phases"], &phases); err != nil {
+		return fmt.Errorf("phases: %w", err)
+	}
+	if len(phases) == 0 {
+		return fmt.Errorf("phases: empty")
+	}
+	maxIdx := 0
+	for i, p := range phases {
+		if p.Workers > phases[maxIdx].Workers {
+			maxIdx = i
+		}
+		d.Phases = append(d.Phases, phase{
+			Name: fmt.Sprintf("workers=%02d", p.Workers),
+			Metrics: map[string]float64{
+				"throughput_rps": p.ThroughputRPS,
+				"p50_ms":         p.P50,
+				"p95_ms":         p.P95,
+				"p99_ms":         p.P99,
+				"speedup_vs_1":   p.Speedup,
+			},
+		})
+	}
+	top := phases[maxIdx]
+	d.Phases = append(d.Phases, phase{Name: "summary", Metrics: map[string]float64{
+		"throughput_rps": top.ThroughputRPS,
+		"p99_ms":         top.P99,
+		"speedup_vs_1":   top.Speedup,
+	}})
+	return nil
+}
+
+// normalizeSoak handles the crash-recovery soak shape: one phase per crash
+// cycle, summary = mean recovery and replay rate plus total invariant
+// failures (which the gate holds at zero).
+func normalizeSoak(raw map[string]json.RawMessage, d *benchDoc) error {
+	var cycles []struct {
+		Crash      string  `json:"crash"`
+		RecoveryMs float64 `json:"recovery_ms"`
+		Replay     struct {
+			RecordsPerSec float64 `json:"records_per_sec"`
+		} `json:"replay"`
+		Invariants []struct {
+			OK bool `json:"ok"`
+		} `json:"invariants"`
+	}
+	if err := json.Unmarshal(raw["cycles"], &cycles); err != nil {
+		return fmt.Errorf("cycles: %w", err)
+	}
+	if len(cycles) == 0 {
+		return fmt.Errorf("cycles: empty")
+	}
+	var sumRec, sumRate, failures float64
+	seen := map[string]int{}
+	for _, c := range cycles {
+		sumRec += c.RecoveryMs
+		sumRate += c.Replay.RecordsPerSec
+		for _, inv := range c.Invariants {
+			if !inv.OK {
+				failures++
+			}
+		}
+		// Crash names repeat across cycles (several random SIGKILLs); suffix
+		// duplicates so every cycle keeps its own phase.
+		name := "crash:" + c.Crash
+		seen[name]++
+		if n := seen[name]; n > 1 {
+			name = fmt.Sprintf("%s#%d", name, n)
+		}
+		d.Phases = append(d.Phases, phase{Name: name, Metrics: map[string]float64{
+			"recovery_ms":     c.RecoveryMs,
+			"records_per_sec": c.Replay.RecordsPerSec,
+		}})
+	}
+	n := float64(len(cycles))
+	d.Phases = append(d.Phases, phase{Name: "summary", Metrics: map[string]float64{
+		"recovery_ms":        sumRec / n,
+		"records_per_sec":    sumRate / n,
+		"invariant_failures": failures,
+	}})
+	return nil
+}
+
+// compare aligns two docs phase by phase. Same-kind pairs align on every
+// shared phase name and gate against the budget; cross-kind pairs align only
+// on "summary" and report informationally.
+func compare(from, to benchDoc, budget float64) comparison {
+	c := comparison{
+		From:     from.Path,
+		To:       to.Path,
+		FromKind: from.Kind,
+		ToKind:   to.Kind,
+		Gated:    from.Kind == to.Kind,
+	}
+	toPhases := map[string]phase{}
+	for _, p := range to.Phases {
+		toPhases[p.Name] = p
+	}
+	for _, fp := range from.Phases {
+		if !c.Gated && fp.Name != "summary" {
+			continue
+		}
+		tp, ok := toPhases[fp.Name]
+		if !ok {
+			continue
+		}
+		names := make([]string, 0, len(fp.Metrics))
+		for m := range fp.Metrics {
+			if _, shared := tp.Metrics[m]; shared {
+				names = append(names, m)
+			}
+		}
+		sort.Strings(names)
+		for _, m := range names {
+			c.Metrics = append(c.Metrics, judge(fp.Name, m, fp.Metrics[m], tp.Metrics[m], c.Gated, budget))
+		}
+	}
+	return c
+}
+
+func judge(phaseName, metric string, from, to float64, gated bool, budget float64) metricVerdict {
+	v := metricVerdict{Phase: phaseName, Metric: metric, From: from, To: to}
+	switch {
+	case from == to:
+		v.DeltaPct = 0
+	case from == 0:
+		v.DeltaPct = math.Inf(sign(to))
+	default:
+		v.DeltaPct = (to - from) / math.Abs(from) * 100
+	}
+
+	if !gated {
+		v.Verdict = "info"
+		return v
+	}
+	higherBetter, known := metricDir[metric]
+	if !known {
+		v.Verdict = "info"
+		return v
+	}
+	bad := v.DeltaPct < 0
+	if !higherBetter {
+		bad = v.DeltaPct > 0
+	}
+	switch {
+	case math.Abs(v.DeltaPct) <= budget*100:
+		v.Verdict = "ok"
+	case bad:
+		v.Verdict = "REGRESSION"
+	default:
+		v.Verdict = "improved"
+	}
+	// Infinities can't round-trip through JSON; clamp for the report.
+	if math.IsInf(v.DeltaPct, 0) {
+		v.DeltaPct = math.Copysign(999, v.DeltaPct)
+	}
+	return v
+}
+
+func sign(x float64) int {
+	if x < 0 {
+		return -1
+	}
+	return 1
+}
+
+func printTable(traj trajectory) {
+	fmt.Printf("benchdiff: %d file(s), budget %.0f%%\n", len(traj.Files), traj.BudgetPct)
+	for _, d := range traj.Files {
+		fmt.Printf("  %-24s kind=%-10s phases=%d", d.Path, d.Kind, len(d.Phases))
+		if d.GeneratedAt != "" {
+			fmt.Printf("  generated %s", d.GeneratedAt)
+		}
+		fmt.Println()
+	}
+	for _, c := range traj.Comparisons {
+		mode := "gated"
+		if !c.Gated {
+			mode = fmt.Sprintf("informational: %s vs %s workloads differ", c.FromKind, c.ToKind)
+		}
+		fmt.Printf("\n%s -> %s  (%s)\n", c.From, c.To, mode)
+		if len(c.Metrics) == 0 {
+			fmt.Println("  no shared phases/metrics")
+			continue
+		}
+		fmt.Printf("  %-28s %-20s %14s %14s %9s  %s\n", "phase", "metric", "from", "to", "delta", "verdict")
+		for _, m := range c.Metrics {
+			fmt.Printf("  %-28s %-20s %14.2f %14.2f %+8.1f%%  %s\n",
+				m.Phase, m.Metric, m.From, m.To, m.DeltaPct, m.Verdict)
+		}
+	}
+	if traj.Regressions == 0 {
+		fmt.Println("\nverdict: no regressions past budget")
+	} else {
+		fmt.Printf("\nverdict: %d REGRESSION(s)\n", traj.Regressions)
+	}
+}

@@ -9,6 +9,7 @@ import (
 
 	"caar/internal/adstore"
 	"caar/internal/core"
+	"caar/internal/faultinject"
 	"caar/internal/feed"
 	"caar/internal/geo"
 	"caar/internal/textproc"
@@ -559,6 +560,11 @@ func (e *Engine) Recommend(user string, k int, at time.Time) ([]Recommendation, 
 // check per stage.
 func (e *Engine) recommend(user string, k int, at time.Time, policy ServingPolicy, treq TraceRequest) ([]Recommendation, *trace.Trace, error) {
 	start := time.Now()
+	// Serving-path latency fault: disarmed this is one atomic load. The soak
+	// and capture-smoke harnesses arm it (CAAR_DELAYS=serve.recommend:5ms) to
+	// verify the SLO watchdog trips and the resulting capture bundle's CPU
+	// profile attributes the stall to the injected site.
+	faultinject.DelayPoint("serve.recommend")
 	tr := e.beginTrace(treq, user, k, at, start)
 	// One atomic load pins the name-resolution view for the whole request;
 	// no stage below takes a global lock.

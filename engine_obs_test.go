@@ -6,6 +6,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"caar/obs/trace"
 )
 
 // TestRecommendTouchesEveryStage: one recommendation request must leave a
@@ -56,6 +58,59 @@ func TestRecommendTouchesEveryStage(t *testing.T) {
 	// Post and AddAd both vectorize text.
 	if !strings.Contains(body, "caar_engine_vectorize_seconds_count 2") {
 		t.Error("vectorization latency not recorded for post + ad")
+	}
+}
+
+// TestExemplarRefreshThrottle: routine head-sampled traces may rewrite the
+// histogram exemplars at most once per exemplarRefresh (they take seven
+// shared histogram mutexes, a pure p99 tax at full tracing rate), while
+// interesting captures — slow, errored, explained — always attach. The gate
+// is the lastExemplarNano CAS in attachExemplars.
+func TestExemplarRefreshThrottle(t *testing.T) {
+	e, err := Open(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := e.obsm
+
+	mkTrace := func(id, reason string) *trace.Trace {
+		return &trace.Trace{ID: id, CaptureReason: reason, DurationSeconds: 0.002}
+	}
+	slowest := func() string {
+		ex, ok := m.recommendSeconds.SlowestExemplar()
+		if !ok {
+			return ""
+		}
+		return ex.TraceID
+	}
+
+	// First sampled trace lands: the gate starts at zero, so now-last is
+	// far past the refresh interval.
+	m.attachExemplars(mkTrace("t-first", trace.ReasonSampled))
+	if got := slowest(); got != "t-first" {
+		t.Fatalf("first sampled trace did not attach: exemplar = %q", got)
+	}
+
+	// A second sampled trace inside the refresh window must be dropped.
+	m.attachExemplars(mkTrace("t-throttled", trace.ReasonSampled))
+	if got := slowest(); got != "t-first" {
+		t.Errorf("sampled trace inside refresh window overwrote exemplar: %q", got)
+	}
+
+	// Interesting captures bypass the throttle entirely.
+	for _, reason := range []string{trace.ReasonSlow, trace.ReasonError, trace.ReasonExplain} {
+		id := "t-" + reason
+		m.attachExemplars(mkTrace(id, reason))
+		if got := slowest(); got != id {
+			t.Errorf("capture reason %q throttled: exemplar = %q, want %q", reason, got, id)
+		}
+	}
+
+	// Once the refresh interval has passed, sampled traces attach again.
+	m.lastExemplarNano.Store(time.Now().Add(-2 * exemplarRefresh).UnixNano())
+	m.attachExemplars(mkTrace("t-after-window", trace.ReasonSampled))
+	if got := slowest(); got != "t-after-window" {
+		t.Errorf("sampled trace after refresh window did not attach: exemplar = %q", got)
 	}
 }
 

@@ -1,0 +1,125 @@
+package faultinject
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// Delay-point registry: named latency faults on the serving path.
+//
+// Where crash points (crashpoint.go) model process death on the durability
+// paths, delay points model the other production failure family — latency.
+// A bench or soak harness arms a point by name with a duration; when armed
+// code reaches DelayPoint(name) it burns CPU for that long before
+// continuing. The delay is a busy spin, not a sleep, deliberately: a
+// sleeping goroutine is invisible to a CPU profile, but the whole purpose
+// of injecting latency is to verify that the SLO watchdog's anomaly-
+// triggered capture bundle contains a CPU profile in which the fault site
+// is attributable. With a spin, the profile shows faultinject.spinDelay on
+// the serving stack — exactly what a real hot-loop regression would look
+// like.
+//
+// Disarmed cost is one atomic load, so production binaries keep the hooks
+// compiled in; arming is opt-in via the CAAR_DELAYS environment variable,
+// which adserver reads at startup, or ArmDelays in-process.
+
+// DelaysEnv names the environment variable adserver consults to arm delay
+// points: a comma-separated list of "name:duration" specs, where duration
+// uses Go syntax ("5ms", "1s").
+const DelaysEnv = "CAAR_DELAYS"
+
+var (
+	// delaysArmed is the fast path: false means DelayPoint is a no-op.
+	delaysArmed atomic.Bool
+	// delayPoints maps name → spin duration; replaced wholesale by ArmDelays.
+	delayPoints atomic.Value // map[string]time.Duration
+	// delayHits counts fired delays for assertions and metrics.
+	delayHits atomic.Uint64
+)
+
+func init() {
+	delayPoints.Store(map[string]time.Duration{})
+}
+
+// ArmDelays arms the points in spec, a comma-separated list of
+// "name:duration" entries. An empty spec disarms everything. Arming
+// replaces the previous set wholesale.
+func ArmDelays(spec string) error {
+	pts := make(map[string]time.Duration)
+	for _, field := range strings.Split(spec, ",") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		name, durStr, hasDur := strings.Cut(field, ":")
+		if !hasDur || name == "" {
+			return fmt.Errorf("faultinject: bad delay spec %q (want name:duration)", field)
+		}
+		d, err := time.ParseDuration(durStr)
+		if err != nil || d <= 0 {
+			return fmt.Errorf("faultinject: bad delay spec %q (want a positive Go duration)", field)
+		}
+		pts[name] = d
+	}
+	delayPoints.Store(pts)
+	delaysArmed.Store(len(pts) > 0)
+	return nil
+}
+
+// ArmDelaysFromEnv arms delay points from the CAAR_DELAYS environment
+// variable and returns the spec it read ("" when unset).
+func ArmDelaysFromEnv() (string, error) {
+	spec := os.Getenv(DelaysEnv)
+	if spec == "" {
+		return "", nil
+	}
+	return spec, ArmDelays(spec)
+}
+
+// DisarmDelays removes every armed delay point.
+func DisarmDelays() {
+	delayPoints.Store(map[string]time.Duration{})
+	delaysArmed.Store(false)
+}
+
+// DelayHits reports how many armed delays have fired since process start.
+func DelayHits() uint64 { return delayHits.Load() }
+
+// DelayPoint is the hook latency-critical code calls at a named site.
+// Disarmed (the default) it is one atomic load. Armed with a duration, it
+// busy-spins for that long so the stall is attributable in a CPU profile.
+func DelayPoint(name string) {
+	if !delaysArmed.Load() {
+		return
+	}
+	d, ok := delayPoints.Load().(map[string]time.Duration)[name]
+	if !ok {
+		return
+	}
+	delayHits.Add(1)
+	spinDelay(d)
+}
+
+// spinSink defeats dead-code elimination of the spin loop body.
+var spinSink atomic.Uint64
+
+// spinDelay burns CPU for d. Kept as a named function (not inlined into
+// DelayPoint's fast path) so profiles collected during an injected-latency
+// incident show faultinject.spinDelay in the hot stack.
+//
+//go:noinline
+func spinDelay(d time.Duration) {
+	deadline := time.Now().Add(d)
+	var acc uint64
+	for time.Now().Before(deadline) {
+		// A little arithmetic per iteration keeps the loop from being a
+		// pure time.Now() benchmark and gives the profiler distinct frames.
+		for i := 0; i < 1024; i++ {
+			acc = acc*1664525 + 1013904223
+		}
+	}
+	spinSink.Add(acc | 1)
+}

@@ -1,0 +1,77 @@
+package faultinject
+
+import (
+	"testing"
+	"time"
+)
+
+func TestDelayPointDisarmedIsNoop(t *testing.T) {
+	DisarmDelays()
+	start := time.Now()
+	DelayPoint("serve.recommend")
+	if elapsed := time.Since(start); elapsed > 10*time.Millisecond {
+		t.Fatalf("disarmed DelayPoint took %v", elapsed)
+	}
+}
+
+func TestDelayPointArmedSpins(t *testing.T) {
+	if err := ArmDelays("serve.recommend:30ms"); err != nil {
+		t.Fatal(err)
+	}
+	defer DisarmDelays()
+
+	before := DelayHits()
+	start := time.Now()
+	DelayPoint("serve.recommend")
+	elapsed := time.Since(start)
+	if elapsed < 30*time.Millisecond {
+		t.Fatalf("armed DelayPoint returned after %v, want >= 30ms", elapsed)
+	}
+	if got := DelayHits(); got != before+1 {
+		t.Fatalf("DelayHits = %d, want %d", got, before+1)
+	}
+
+	// A different name stays fast.
+	start = time.Now()
+	DelayPoint("other.site")
+	if elapsed := time.Since(start); elapsed > 10*time.Millisecond {
+		t.Fatalf("unarmed name took %v", elapsed)
+	}
+}
+
+func TestArmDelaysSpecErrors(t *testing.T) {
+	defer DisarmDelays()
+	for _, spec := range []string{"noduration", "name:", "name:-5ms", "name:0s", ":5ms"} {
+		if err := ArmDelays(spec); err == nil {
+			t.Errorf("ArmDelays(%q) accepted a bad spec", spec)
+		}
+	}
+	// Empty spec disarms.
+	if err := ArmDelays("a:1ms"); err != nil {
+		t.Fatal(err)
+	}
+	if err := ArmDelays(""); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	DelayPoint("a")
+	if elapsed := time.Since(start); elapsed > 10*time.Millisecond {
+		t.Fatalf("DelayPoint after disarm-by-empty-spec took %v", elapsed)
+	}
+}
+
+func TestArmDelaysFromEnv(t *testing.T) {
+	t.Setenv(DelaysEnv, "x:1ms, y:2ms")
+	defer DisarmDelays()
+	spec, err := ArmDelaysFromEnv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec == "" {
+		t.Fatal("expected non-empty spec")
+	}
+	pts := delayPoints.Load().(map[string]time.Duration)
+	if pts["x"] != time.Millisecond || pts["y"] != 2*time.Millisecond {
+		t.Fatalf("parsed points = %v", pts)
+	}
+}

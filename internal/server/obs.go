@@ -97,8 +97,11 @@ func newServerMetrics(s *Server) *serverMetrics {
 		return 1
 	})
 	// Go runtime health (goroutines, heap, GC pause, GOMAXPROCS) rides on
-	// the same registry; registration is idempotent across servers.
+	// the same registry; registration is idempotent across servers. The
+	// build-info gauge lets dashboards join any series against the binary
+	// that produced it.
 	obs.RegisterRuntime(reg)
+	obs.RegisterBuildInfo(reg)
 	return m
 }
 
@@ -204,7 +207,7 @@ var endpoints = []string{
 	"/v1/users", "/v1/follow", "/v1/checkins", "/v1/posts", "/v1/campaigns",
 	"/v1/recommendations", "/v1/impressions", "/v1/trending", "/v1/stats",
 	"/v1/healthz", "/v1/readyz", "/v1/metrics", "/v1/statusz", "/v1/traces",
-	"/v1/invariants",
+	"/v1/invariants", "/v1/slo", "/v1/capturez",
 }
 
 func endpointLabel(path string) string {
@@ -213,6 +216,12 @@ func endpointLabel(path string) string {
 	}
 	if strings.HasPrefix(path, "/v1/traces/") {
 		return "/v1/traces"
+	}
+	if strings.HasPrefix(path, "/v1/capturez/") {
+		return "/v1/capturez"
+	}
+	if strings.HasPrefix(path, "/debug/pprof") {
+		return "/debug/pprof"
 	}
 	for _, ep := range endpoints {
 		if path == ep {
@@ -224,15 +233,18 @@ func endpointLabel(path string) string {
 
 // isOperatorPath reports whether the path is a health/observability endpoint
 // that must stay reachable on a saturated server (exempt from admission
-// control) — the trace endpoints included, because the flight recorder is
-// read exactly when the server is misbehaving.
+// control and the request deadline) — traces, burn rates and capture bundles
+// included, because they are read exactly when the server is misbehaving,
+// and a capture or a pprof collection legitimately runs for seconds.
 func isOperatorPath(path string) bool {
 	switch path {
 	case "/v1/healthz", "/v1/readyz", "/v1/metrics", "/v1/statusz", "/v1/traces",
-		"/v1/invariants":
+		"/v1/invariants", "/v1/slo", "/v1/capturez":
 		return true
 	}
-	return strings.HasPrefix(path, "/v1/traces/")
+	return strings.HasPrefix(path, "/v1/traces/") ||
+		strings.HasPrefix(path, "/v1/capturez/") ||
+		strings.HasPrefix(path, "/debug/pprof")
 }
 
 func statusClass(code int) string {
@@ -350,6 +362,19 @@ func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 
 	fmt.Fprintf(w, "caar adserver status\n====================\n\n")
+	b := obs.Build()
+	ver, rev := b.Version, b.ShortRev()
+	if ver == "" {
+		ver = "unknown"
+	}
+	if rev == "" {
+		rev = "unknown"
+	}
+	dirty := ""
+	if b.VCSDirty {
+		dirty = " (dirty)"
+	}
+	fmt.Fprintf(w, "build:         %s %s  rev %s%s\n", b.Module, ver, rev, dirty)
 	fmt.Fprintf(w, "uptime:        %s\n", time.Since(s.start).Round(time.Second))
 	fmt.Fprintf(w, "go:            %s  (%d goroutines, GOMAXPROCS %d)\n",
 		runtime.Version(), runtime.NumGoroutine(), runtime.GOMAXPROCS(0))

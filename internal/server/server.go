@@ -43,6 +43,8 @@ import (
 	caar "caar"
 	"caar/journal"
 	"caar/obs"
+	"caar/obs/capture"
+	"caar/obs/slo"
 	"caar/obs/trace"
 )
 
@@ -102,6 +104,14 @@ type Server struct {
 	// recovery, when set, gates API traffic until journal replay finishes
 	// and feeds replay progress into the readiness probe (see obs.go).
 	recovery *journal.RecoveryProgress
+
+	// SLO tracking (see slo.go) and the anomaly flight recorder (see
+	// capture.go). debugPprof mounts net/http/pprof on the main mux.
+	sloCfg     slo.Config
+	sloObjs    []slo.Objective
+	sloTracker *slo.Tracker
+	capture    *capture.Recorder
+	debugPprof bool
 }
 
 // New creates a server over an engine (or any API implementation). With no
@@ -116,7 +126,11 @@ func New(eng API, opts ...Option) *Server {
 		s.metrics = obs.NewRegistry()
 	}
 	s.sm = newServerMetrics(s)
+	s.initSLO()
 	s.routes()
+	if s.capture != nil {
+		s.wireCaptureSources()
+	}
 	return s
 }
 
@@ -154,6 +168,12 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("/v1/statusz", s.handleStatusz)
 	s.mux.HandleFunc("/v1/traces", s.handleTraces)
 	s.mux.HandleFunc("/v1/traces/", s.handleTraces)
+	s.mux.HandleFunc("/v1/slo", s.handleSLO)
+	s.mux.HandleFunc("/v1/capturez", s.handleCapturez)
+	s.mux.HandleFunc("/v1/capturez/", s.handleCapturez)
+	if s.debugPprof {
+		s.mountDebugPprof()
+	}
 }
 
 // post wraps a handler with a method check.

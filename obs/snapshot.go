@@ -1,0 +1,49 @@
+package obs
+
+// Scrape-time histogram snapshots. The SLO layer (obs/slo) computes
+// burn rates from periodic point-in-time copies of the serving histograms:
+// a snapshot taken every sampling tick, differenced against the snapshot
+// closest to the far edge of each alerting window. Exposing the copy here —
+// instead of letting the SLO layer parse the Prometheus text exposition —
+// keeps the computation exact and allocation-light.
+
+// HistogramSnapshot is a point-in-time copy of a histogram's counters.
+// Buckets are per-bucket (non-cumulative) counts; Buckets[len(Bounds)] is
+// the +Inf bucket. A snapshot taken concurrently with observations may see
+// a Count that differs from the bucket sum by in-flight samples, the same
+// tolerance the Prometheus exposition has.
+type HistogramSnapshot struct {
+	Bounds  []float64 // ascending upper bounds; +Inf implicit
+	Buckets []uint64  // len(Bounds)+1 per-bucket counts
+	Count   uint64
+	Sum     float64
+}
+
+// Snapshot copies the histogram's current bucket counts.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Bounds:  h.bounds, // immutable after construction
+		Buckets: make([]uint64, len(h.counts)),
+		Count:   h.Count(),
+		Sum:     h.Sum(),
+	}
+	for i := range h.counts {
+		s.Buckets[i] = h.counts[i].Load()
+	}
+	return s
+}
+
+// CountAtOrBelow returns the cumulative number of observations that landed
+// in buckets with upper bound <= le. Because observations are quantized to
+// bucket bounds, le should itself be one of Bounds; an arbitrary le counts
+// every bucket whose bound does not exceed it.
+func (s HistogramSnapshot) CountAtOrBelow(le float64) uint64 {
+	var cum uint64
+	for i, b := range s.Bounds {
+		if b > le {
+			break
+		}
+		cum += s.Buckets[i]
+	}
+	return cum
+}

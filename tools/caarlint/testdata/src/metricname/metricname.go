@@ -29,3 +29,24 @@ func conforming(r *obs.Registry) {
 	r.Histogram("caar_latency_seconds", "Latency.", nil)
 	r.HistogramVec("caar_payload_bytes", "Payload.", nil, "route", "method")
 }
+
+// The SLO watchdog and flight-recorder families must keep passing the same
+// rules as every other metric.
+func conformingSLOCapture(r *obs.Registry) {
+	r.GaugeVec("caar_slo_burn_rate_ratio", "Burn rate.", "objective", "window")
+	r.GaugeVec("caar_slo_budget_remaining_ratio", "Budget left.", "objective", "window")
+	r.GaugeVec("caar_slo_breaching", "Breaching now.", "objective")
+	r.GaugeVec("caar_slo_target_ratio", "Objective target.", "objective")
+	r.CounterVec("caar_slo_trips_total", "Watchdog trips.", "objective")
+	r.Counter("caar_slo_samples_total", "Sampling ticks.")
+	r.CounterVec("caar_capture_bundles_total", "Bundles written.", "trigger")
+	r.Counter("caar_capture_throttled_total", "Rate-limited captures.")
+	r.Counter("caar_capture_errors_total", "Bundle artifact failures.")
+	r.GaugeFunc("caar_capture_last_unix_seconds", "Last capture time.", nil)
+}
+
+func violatingSLOCapture(r *obs.Registry) {
+	r.CounterVec("caar_slo_trips", "Trips.", "objective")        // want `counter "caar_slo_trips" must end in _total`
+	r.GaugeVec("caar_slo_breaching_total", "B.", "objective")    // want `gauge "caar_slo_breaching_total" must not end in _total`
+	r.CounterVec("caar_capture_bundles_total", "Bundles.", "le") // want `label name "le" is reserved`
+}
