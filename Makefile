@@ -6,14 +6,14 @@ STATICCHECK_VERSION ?= 2025.1
 
 CAARLINT := bin/caarlint
 
-.PHONY: all check lint vet staticcheck caarlint tools-test build test race fuzz-smoke bench bench-smoke bench-contention soak-smoke capture-smoke bench-diff clean
+.PHONY: all check lint vet staticcheck caarlint tools-test build test race fuzz-smoke bench bench-smoke bench-contention bench-hot hot-smoke soak-smoke capture-smoke bench-diff clean
 
 all: check
 
 # check is the full pre-merge gate: static analysis (go vet, staticcheck,
-# the project's own caarlint suite), compilation of every package, and the
-# test suite under the race detector.
-check: lint build race
+# the project's own caarlint suite), compilation of every package, the test
+# suite under the race detector, and the hot-key telemetry smoke drill.
+check: lint build race hot-smoke
 
 # lint folds the three static-analysis layers into one gate.
 lint: vet staticcheck caarlint
@@ -68,6 +68,8 @@ fuzz-smoke:
 	$(GO) test ./journal/ -fuzz FuzzRecoverTornTail -fuzztime 10s -run '^$$'
 	$(GO) test ./internal/server/ -fuzz FuzzSanitizeRequestID -fuzztime 10s -run '^$$'
 	$(GO) test ./internal/server/ -fuzz FuzzParsePolicy -fuzztime 10s -run '^$$'
+	$(GO) test ./internal/sketch/ -fuzz FuzzCountMinEstimate -fuzztime 10s -run '^$$'
+	$(GO) test ./internal/sketch/ -fuzz FuzzWindowedDecay -fuzztime 10s -run '^$$'
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...
@@ -99,6 +101,20 @@ soak-smoke:
 bench-contention:
 	$(GO) run ./cmd/adbench -contention 6s -contention-out BENCH_PR4.json
 
+# bench-hot measures what always-on hot-key telemetry costs the serving
+# path: the same ABBA-interleaved workload with tracking disabled vs enabled
+# (live aggregator goroutine), gated at 5% recommend-p99 growth. Also
+# verifies the hot-on phase's /v1/hot names the workload's hot keys. Writes
+# BENCH_PR8.json.
+bench-hot:
+	$(GO) run ./cmd/adbench -hot-bench 6s -hot-out BENCH_PR8.json
+
+# hot-smoke is the end-to-end /v1/hot drill, race-built: a live server with
+# a planted celebrity poster and hot consumer must name both through
+# /v1/hot and export the caar_hot_* metric families.
+hot-smoke:
+	$(GO) run -race ./cmd/adbench -hot-smoke
+
 # capture-smoke proves the incident pipeline end to end: arms the
 # serving-path delay fault, drives load until the SLO burn-rate watchdog
 # trips, and fails unless the resulting capture bundle holds a CPU profile
@@ -116,7 +132,7 @@ capture-smoke:
 # budget.
 bench-diff:
 	$(GO) run ./cmd/benchdiff -out BENCH_TRAJECTORY.json \
-		BENCH_PR2.json BENCH_PR3.json BENCH_PR4.json BENCH_SOAK.json
+		BENCH_PR2.json BENCH_PR3.json BENCH_PR4.json BENCH_SOAK.json BENCH_PR8.json
 
 clean:
 	$(GO) clean ./...

@@ -1,0 +1,183 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+)
+
+// hotBudgetPct is the acceptance ceiling on recommend-p99 growth with
+// hot-key telemetry enabled versus disabled. The tracker is always-on in
+// production, so its record path — one lock-free ring enqueue per request —
+// must stay cheaper than the tracing budget.
+const hotBudgetPct = 5.0
+
+// hotBenchResult is the JSON document written by -hot-bench (see
+// BENCH_PR8.json). It reuses the A/B/B/A shape benchdiff already
+// normalizes: "baseline" is the hot-off phase, "traced" is hot-on, and the
+// overhead lands under the key the abba normalizer reads
+// ("tracing_overhead_pct" — fixed by the consumer, not by what is traced).
+type hotBenchResult struct {
+	GeneratedAt    string      `json:"generated_at"`
+	Bench          string      `json:"bench"`
+	Workers        int         `json:"workers"`
+	Rounds         int         `json:"rounds"`
+	Baseline       phaseResult `json:"baseline"`
+	Traced         phaseResult `json:"traced"`
+	HotOverheadPct float64     `json:"tracing_overhead_pct"`
+	HotBudgetPct   float64     `json:"hot_budget_pct"`
+}
+
+// runHotBench measures what always-on hot-key telemetry costs the serving
+// path: two in-process adservers — tracking disabled and tracking enabled
+// with a live aggregator goroutine, exactly as adserver wires it — driven
+// with the same mixed workload in alternating ABBA slices (same noise
+// strategy as -serve-bench). Fails if the recommend p99 grows beyond
+// hotBudgetPct, if the hot-on phase's /v1/hot comes back empty, or if the
+// hot-off phase serves /v1/hot at all.
+func runHotBench(dur time.Duration, outPath string) error {
+	off, err := newServePhase(nil, true)
+	if err != nil {
+		return err
+	}
+	defer off.close()
+	on, err := newServePhase(nil, false)
+	if err != nil {
+		return err
+	}
+	defer on.close()
+
+	// Production wiring: the aggregator drains the record queues in the
+	// background while traffic flows.
+	stop := make(chan struct{})
+	defer close(stop)
+	if ht := on.eng.HotTracker(); ht != nil {
+		go ht.Run(stop)
+	} else {
+		return fmt.Errorf("hot-bench: hot-on phase has no tracker")
+	}
+
+	if err := off.drive(serveWarmup, false); err != nil {
+		return err
+	}
+	if err := on.drive(serveWarmup, false); err != nil {
+		return err
+	}
+	slice := dur / (2 * serveRounds)
+	if slice < 50*time.Millisecond {
+		slice = 50 * time.Millisecond
+	}
+	var overhead float64
+	for attempt := 1; ; attempt++ {
+		for r := 0; r < serveRounds; r++ {
+			a, b := off, on
+			if r%2 == 1 {
+				a, b = on, off
+			}
+			if err := a.drive(slice, true); err != nil {
+				return err
+			}
+			if err := b.drive(slice, true); err != nil {
+				return err
+			}
+			off.endRound()
+			on.endRound()
+		}
+		overhead = pairedOverheadPct(off.recP99ms, on.recP99ms)
+		if overhead <= hotBudgetPct || attempt >= serveMaxAttempts {
+			break
+		}
+		fmt.Printf("hot-bench: overhead estimate %.1f%% over budget after %d rounds; extending measurement\n",
+			overhead, len(off.recP99ms))
+	}
+
+	// The hot-on phase must actually have tracked the workload: /v1/hot's
+	// users dimension saw every recommend.
+	hotUsers, err := hotTopKeys(on, "users")
+	if err != nil {
+		return err
+	}
+	if len(hotUsers) == 0 {
+		return fmt.Errorf("hot-bench: hot-on phase reports no hot users — the record path is not wired")
+	}
+	// And the hot-off phase must not pretend to serve telemetry.
+	resp, err := off.client.Get(off.ts.URL + "/v1/hot")
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		return fmt.Errorf("hot-bench: disabled phase serves /v1/hot with status %d, want 404", resp.StatusCode)
+	}
+
+	baseline, err := off.result()
+	if err != nil {
+		return err
+	}
+	traced, err := on.result()
+	if err != nil {
+		return err
+	}
+	baseline.Tracing = "hot-off"
+	traced.Tracing = "hot-on"
+
+	res := hotBenchResult{
+		GeneratedAt:    time.Now().UTC().Format(time.RFC3339),
+		Bench:          "hotkey-overhead",
+		Workers:        serveWorkers,
+		Rounds:         serveRounds,
+		Baseline:       baseline,
+		Traced:         traced,
+		HotOverheadPct: overhead,
+		HotBudgetPct:   hotBudgetPct,
+	}
+	out, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if err := os.WriteFile(outPath, out, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("hot-bench: hot-off %d req (%.1f req/s, rec p99 %.2fms); hot-on %d req (%.1f req/s, rec p99 %.2fms, top user %s); overhead %.1f%%, wrote %s\n",
+		baseline.RequestsTotal, baseline.ThroughputRPS, baseline.RecP99GateMs,
+		traced.RequestsTotal, traced.ThroughputRPS, traced.RecP99GateMs, hotUsers[0],
+		overhead, outPath)
+	if overhead > hotBudgetPct {
+		return fmt.Errorf("hot-bench: hot-key telemetry grew recommend p99 by %.1f%% (budget %.0f%%): %.2fms -> %.2fms",
+			overhead, hotBudgetPct, baseline.RecP99GateMs, traced.RecP99GateMs)
+	}
+	return nil
+}
+
+// hotTopKeys fetches one dimension from the phase's /v1/hot and returns its
+// ranked key names.
+func hotTopKeys(p *servePhase, dim string) ([]string, error) {
+	resp, err := p.client.Get(p.ts.URL + "/v1/hot?dim=" + dim)
+	if err != nil {
+		return nil, fmt.Errorf("hot query: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("hot query: status %d", resp.StatusCode)
+	}
+	var doc struct {
+		Dimensions []struct {
+			Keys []struct {
+				Key string `json:"key"`
+			} `json:"keys"`
+		} `json:"dimensions"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("hot query: %w", err)
+	}
+	var keys []string
+	for _, d := range doc.Dimensions {
+		for _, k := range d.Keys {
+			keys = append(keys, k.Key)
+		}
+	}
+	return keys, nil
+}

@@ -8,6 +8,8 @@
 //	adbench -list              # list experiment IDs and titles
 //	adbench -serve-bench 5s    # tracing-overhead bench + metrics smoke test
 //	adbench -contention 3s     # parallel-recommend-under-writer-churn bench
+//	adbench -hot-bench 5s      # hot-key telemetry overhead bench (tracking on vs off)
+//	adbench -hot-smoke         # end-to-end /v1/hot smoke: planted hot key must surface
 package main
 
 import (
@@ -29,6 +31,9 @@ func main() {
 	captureSmoke := flag.Bool("capture-smoke", false, "inject a serving-path latency fault, verify the SLO watchdog trips and captures an attributable CPU profile, and exit")
 	captureSmokeOut := flag.String("capture-smoke-out", "BENCH_CAPTURE_SMOKE.json", "output file for -capture-smoke results")
 	captureSmokeDir := flag.String("capture-smoke-dir", "", "keep the -capture-smoke bundle under this directory (empty = throwaway temp dir)")
+	hotBench := flag.Duration("hot-bench", 0, "run the hot-key-telemetry overhead bench for this long and exit (0 = off)")
+	hotOut := flag.String("hot-out", "BENCH_PR8.json", "output file for -hot-bench results")
+	hotSmoke := flag.Bool("hot-smoke", false, "serve traffic with a planted hot key, verify /v1/hot names it, and exit")
 	flag.Parse()
 
 	if *list {
@@ -49,6 +54,22 @@ func main() {
 
 	if *contention > 0 {
 		if err := runContentionBench(*contention, *contentionOut); err != nil {
+			fmt.Fprintln(os.Stderr, "adbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *hotBench > 0 {
+		if err := runHotBench(*hotBench, *hotOut); err != nil {
+			fmt.Fprintln(os.Stderr, "adbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *hotSmoke {
+		if err := runHotSmoke(); err != nil {
 			fmt.Fprintln(os.Stderr, "adbench:", err)
 			os.Exit(1)
 		}

@@ -104,13 +104,13 @@ const (
 // no traces, or if full-rate tracing grew the recommend p99 beyond
 // tracingBudgetPct.
 func runServeBench(dur time.Duration, outPath string) error {
-	off, err := newServePhase(nil)
+	off, err := newServePhase(nil, false)
 	if err != nil {
 		return err
 	}
 	defer off.close()
 	store := trace.NewStore(trace.Config{Capacity: 1024, SampleRate: 1})
-	full, err := newServePhase(store)
+	full, err := newServePhase(store, false)
 	if err != nil {
 		return err
 	}
@@ -198,6 +198,7 @@ func runServeBench(dur time.Duration, outPath string) error {
 // server, plus the latency samples collected against it so far.
 type servePhase struct {
 	tracer   *trace.Store
+	eng      *caar.Engine
 	ts       *httptest.Server
 	client   *http.Client
 	users    []string
@@ -210,13 +211,14 @@ type servePhase struct {
 }
 
 // newServePhase builds a fresh seeded engine+server (tracer nil = tracing
-// off).
-func newServePhase(tracer *trace.Store) (*servePhase, error) {
+// off; hotOff disables hot-key telemetry, the A/B knob of -hot-bench).
+func newServePhase(tracer *trace.Store, hotOff bool) (*servePhase, error) {
 	reg := obs.NewRegistry()
 	cfg := caar.DefaultConfig()
 	cfg.Shards = 4
 	cfg.Metrics = reg
 	cfg.Tracer = tracer
+	cfg.DisableHotKeys = hotOff
 	eng, err := caar.Open(cfg)
 	if err != nil {
 		return nil, err
@@ -267,6 +269,7 @@ func newServePhase(tracer *trace.Store) (*servePhase, error) {
 	}}
 	return &servePhase{
 		tracer: tracer,
+		eng:    eng,
 		ts:     ts,
 		client: client,
 		users:  users,

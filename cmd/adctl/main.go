@@ -20,6 +20,8 @@
 //	trace <id>
 //	impression <ad-id>
 //	trending [slot] [k]
+//	hot [dim] [k] [window]   (heavy-hitter telemetry; dim "" = all dimensions)
+//	hot partition [window]   (per-dimension shard-skew summary)
 //	stats
 //	health
 //	ready
@@ -274,6 +276,63 @@ func run(ctx context.Context, c *client.Client, cmd string, args []string, now t
 		}
 		for i, tt := range terms {
 			fmt.Printf("%2d. %-24s %d\n", i+1, tt.Term, tt.Count)
+		}
+		return nil
+	case "hot":
+		if len(args) > 0 && args[0] == "partition" {
+			window := time.Duration(0)
+			if len(args) > 1 {
+				var err error
+				if window, err = time.ParseDuration(args[1]); err != nil {
+					return fmt.Errorf("window: %w", err)
+				}
+			}
+			rep, err := c.HotPartitionReport(ctx, window)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("window  %.0fs over %d shards\n", rep.WindowSeconds, rep.Shards)
+			for _, d := range rep.Dimensions {
+				fmt.Printf("%-10s top=%s count=%d (±%d) share=%.2f", d.Dimension, d.TopKey, d.TopCount, d.ErrorBound, d.TopShare)
+				if d.ShardWeight != nil {
+					fmt.Printf(" max-shard-share=%.2f shard-weight=%v", d.MaxShardShare, d.ShardWeight)
+				}
+				fmt.Println()
+			}
+			return nil
+		}
+		dim := ""
+		if len(args) > 0 {
+			dim = args[0]
+		}
+		k := 10
+		if len(args) > 1 {
+			var err error
+			if k, err = strconv.Atoi(args[1]); err != nil {
+				return fmt.Errorf("k: %w", err)
+			}
+		}
+		window := time.Duration(0)
+		if len(args) > 2 {
+			var err error
+			if window, err = time.ParseDuration(args[2]); err != nil {
+				return fmt.Errorf("window: %w", err)
+			}
+		}
+		dims, err := c.Hot(ctx, dim, k, window)
+		if err != nil {
+			return err
+		}
+		for _, d := range dims {
+			fmt.Printf("%s (events=%d dropped=%d tracked=%d window=%.0fs)\n",
+				d.Dimension, d.Events, d.Dropped, d.TrackedKeys, d.WindowSeconds)
+			if len(d.Keys) == 0 {
+				fmt.Println("  (no keys yet)")
+				continue
+			}
+			for i, hk := range d.Keys {
+				fmt.Printf("  %2d. %-24s %d (±%d)\n", i+1, hk.Key, hk.Count, hk.ErrorBound)
+			}
 		}
 		return nil
 	case "stats":

@@ -83,6 +83,8 @@ func run() error {
 	captureRetain := flag.Int("capture-retain", 8, "capture bundles retained before the oldest are pruned")
 	captureMinInterval := flag.Duration("capture-interval", time.Minute, "min spacing between anomaly-triggered captures")
 	captureCPU := flag.Duration("capture-cpu", 2*time.Second, "CPU-profile duration inside each capture bundle")
+	hotOff := flag.Bool("hot-off", false, "disable hot-key telemetry (/v1/hot)")
+	hotWindow := flag.Duration("hot-window", 0, "hot-key sliding window (0 = engine default, 1m)")
 	flag.Parse()
 
 	policy, err := journal.ParseSyncPolicy(*fsync)
@@ -105,6 +107,8 @@ func run() error {
 	cfg.WindowSize = *windowSize
 	cfg.DecayHalfLife = *halfLife
 	cfg.Metrics = reg
+	cfg.DisableHotKeys = *hotOff
+	cfg.HotKeyWindow = *hotWindow
 	if *traceCapacity > 0 {
 		cfg.Tracer = trace.NewStore(trace.Config{
 			Capacity:      *traceCapacity,
@@ -272,6 +276,11 @@ func run() error {
 
 	if t := srv.SLO(); t != nil {
 		go t.Run(ctx.Done())
+	}
+	// Hot-key aggregator: drains the lock-free record queues into the
+	// sliding-window sketches so gauges stay fresh between /v1/hot reads.
+	if ht := eng.HotTracker(); ht != nil {
+		go ht.Run(ctx.Done())
 	}
 
 	errc := make(chan error, 1)

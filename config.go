@@ -69,6 +69,17 @@ type Config struct {
 	// and errored ones. nil disables tracing; the recommend hot path then
 	// pays nothing (no clock reads, no allocations) beyond a nil check.
 	Tracer *trace.Store
+
+	// DisableHotKeys turns off the hot-key telemetry layer (obs/hotkey).
+	// It is on by default: recording is one lock-free bounded-queue write
+	// per observation and the sketches hold a fixed ~0.5 MiB, so serving
+	// cost stays within the ≤5% p99 budget the hot-bench gate enforces.
+	DisableHotKeys bool
+
+	// HotKeyWindow is the hot-key telemetry sliding window (default 1m,
+	// split into 6 ring'd sub-windows). Longer windows trade freshness for
+	// stability of the heavy-hitter set.
+	HotKeyWindow time.Duration
 }
 
 // DefaultConfig returns a production-shaped configuration: CAP engine,
@@ -107,6 +118,9 @@ func (c Config) validate() error {
 	}
 	if c.ContinuousK > 0 && c.OnRecommend == nil {
 		return fmt.Errorf("%w: ContinuousK set without OnRecommend callback", ErrBadConfig)
+	}
+	if c.HotKeyWindow < 0 {
+		return fmt.Errorf("%w: negative HotKeyWindow %v", ErrBadConfig, c.HotKeyWindow)
 	}
 	rect := geo.Rect(c.Region)
 	if !rect.Valid() || rect.MinLat == rect.MaxLat || rect.MinLng == rect.MaxLng {

@@ -15,6 +15,7 @@ import (
 	"caar/internal/textproc"
 	"caar/internal/timeslot"
 	"caar/obs"
+	"caar/obs/hotkey"
 	"caar/obs/trace"
 )
 
@@ -49,6 +50,11 @@ type Engine struct {
 	metrics *obs.Registry
 	obsm    *engineMetrics
 	tracer  *trace.Store
+
+	// hot is the heavy-hitter telemetry tracker; nil when disabled. All
+	// record calls on it are lock-free enqueues (nil-safe no-ops when
+	// disabled), so the serving path's lock-freedom is preserved.
+	hot *hotkey.Tracker
 }
 
 // adRef is a directory entry for one live ad: its external name and its
@@ -229,6 +235,26 @@ func Open(cfg Config) (*Engine, error) {
 	e.tracer = cfg.Tracer
 	if e.tracer != nil {
 		e.tracer.RegisterMetrics(reg)
+	}
+	if !cfg.DisableHotKeys {
+		hot, err := hotkey.New(hotkey.Config{Window: cfg.HotKeyWindow, Metrics: reg})
+		if err != nil {
+			return nil, err
+		}
+		// Display names resolve at query time against whatever directory
+		// snapshot is current then — one lock-free atomic load, no
+		// serving-path locks. Terms resolve through the vocabulary's
+		// read lock, which only queries (never record sites) pay.
+		hot.SetResolver(hotkey.DimUsers, func(key uint64) string {
+			return e.dir.Load().userName(feed.UserID(key))
+		})
+		hot.SetResolver(hotkey.DimPosters, func(key uint64) string {
+			return e.dir.Load().userName(feed.UserID(key))
+		})
+		hot.SetResolver(hotkey.DimTerms, func(key uint64) string {
+			return e.pipeline.Vocab.Term(textproc.TermID(key))
+		})
+		e.hot = hot
 	}
 	for _, sh := range e.shards {
 		if ss, ok := sh.eng.(core.StageSetter); ok {
@@ -474,6 +500,9 @@ func (e *Engine) Post(author, text string, at time.Time) error {
 		Vec:    e.vectorize(text),
 	}
 	e.trends.observe(timeslot.Of(at), msg.Vec)
+	for term := range msg.Vec {
+		e.hot.RecordKey(hotkey.DimTerms, uint64(term), 1)
+	}
 	followers := e.graph.Followers(uid)
 	all := make([]feed.UserID, 0, len(followers)+1)
 	all = append(all, uid) // the author sees their own post
@@ -538,6 +567,9 @@ func (e *Engine) deliver(msg feed.Message, all []feed.UserID, at time.Time) erro
 	if firstErr != nil {
 		return firstErr
 	}
+	// Fan-out cost telemetry: the author is charged one unit per feed
+	// window written. Lock-free enqueue; nil-safe no-op when disabled.
+	e.hot.RecordKey(hotkey.DimPosters, uint64(msg.Author), uint64(len(all)))
 	e.postsDelivered.Add(1)
 	return nil
 }
@@ -579,6 +611,9 @@ func (e *Engine) recommend(user string, k int, at time.Time, policy ServingPolic
 		err := fmt.Errorf("%w: k=%d", ErrBadConfig, k)
 		return nil, e.finishTrace(tr, time.Since(start), err), err
 	}
+	// Hot-key telemetry: one lock-free bounded-queue enqueue (nil-safe
+	// no-op when disabled).
+	e.hot.RecordKey(hotkey.DimUsers, uint64(uid), 1)
 	span := e.obsm.stage(e.obsm.stageLookup, start)
 	if tr != nil {
 		tr.AddSpan("lookup", span.Sub(start), 1, 1)
@@ -632,7 +667,8 @@ func (e *Engine) recommend(user string, k int, at time.Time, policy ServingPolic
 // paced budget. It reports whether the impression may be shown; false means
 // the campaign is out of (released) budget.
 func (e *Engine) ServeImpression(adID string, at time.Time) (bool, error) {
-	internalID, ok := e.dir.Load().adIDs[adID]
+	d := e.dir.Load()
+	internalID, ok := d.adIDs[adID]
 	if !ok {
 		e.obsm.impressions.With("error").Inc()
 		return false, fmt.Errorf("%w: %q", ErrUnknownAd, adID)
@@ -643,6 +679,15 @@ func (e *Engine) ServeImpression(adID string, at time.Time) (bool, error) {
 		e.obsm.impressions.With("error").Inc()
 	case served:
 		e.obsm.impressions.With("billed").Inc()
+		// Spend telemetry per campaign (per ad name for campaign-less
+		// ads): lock-free enqueue against the directory snapshot already
+		// loaded above.
+		ref := d.ads[internalID]
+		name := ref.campaign
+		if name == "" {
+			name = ref.name
+		}
+		e.hot.Record(hotkey.DimCampaigns, name, 1)
 	default:
 		e.obsm.impressions.With("budget_exhausted").Inc()
 	}

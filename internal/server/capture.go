@@ -58,11 +58,11 @@ func (s *Server) captureTraceJSON() ([]byte, error) {
 	return json.Marshal(map[string]any{"traces": sums})
 }
 
-// wireCaptureSources points the recorder's trace-tail and statusz sources
-// at this server (New calls it when WithCapture was used), so bundles carry
-// the same views an operator would have fetched by hand.
+// wireCaptureSources points the recorder's trace-tail, statusz, and hot-key
+// sources at this server (New calls it when WithCapture was used), so bundles
+// carry the same views an operator would have fetched by hand.
 func (s *Server) wireCaptureSources() {
-	s.capture.SetSources(s.captureTraceJSON, s.captureStatuszText)
+	s.capture.SetSources(s.captureTraceJSON, s.captureStatuszText, s.captureHotkeysJSON)
 }
 
 // captureStatuszText renders the statusz page into memory for bundle

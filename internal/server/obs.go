@@ -207,7 +207,7 @@ var endpoints = []string{
 	"/v1/users", "/v1/follow", "/v1/checkins", "/v1/posts", "/v1/campaigns",
 	"/v1/recommendations", "/v1/impressions", "/v1/trending", "/v1/stats",
 	"/v1/healthz", "/v1/readyz", "/v1/metrics", "/v1/statusz", "/v1/traces",
-	"/v1/invariants", "/v1/slo", "/v1/capturez",
+	"/v1/invariants", "/v1/slo", "/v1/capturez", "/v1/hot",
 }
 
 func endpointLabel(path string) string {
@@ -239,7 +239,7 @@ func endpointLabel(path string) string {
 func isOperatorPath(path string) bool {
 	switch path {
 	case "/v1/healthz", "/v1/readyz", "/v1/metrics", "/v1/statusz", "/v1/traces",
-		"/v1/invariants", "/v1/slo", "/v1/capturez":
+		"/v1/invariants", "/v1/slo", "/v1/capturez", "/v1/hot":
 		return true
 	}
 	return strings.HasPrefix(path, "/v1/traces/") ||

@@ -15,6 +15,7 @@
 //	GET    /v1/recommendations?user=alice&k=5&at=RFC3339
 //	POST   /v1/impressions      {"ad": "...", "user": "..."?, "at": "RFC3339"?}
 //	GET    /v1/trending?slot=morning&k=10
+//	GET    /v1/hot?dim=posters&k=10&window=1m  (heavy-hitter telemetry; view=partition for shard skew)
 //	GET    /v1/stats
 //	GET    /v1/traces?n=50      (captured request traces, newest first)
 //	GET    /v1/traces/{id}      (one full trace with score decomposition)
@@ -162,6 +163,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("/v1/stats", s.handleStats)
 	s.mux.HandleFunc("/v1/invariants", s.handleInvariants)
 	s.mux.HandleFunc("/v1/trending", s.handleTrending)
+	s.mux.HandleFunc("/v1/hot", s.handleHot)
 	s.mux.HandleFunc("/v1/healthz", s.handleHealth)
 	s.mux.HandleFunc("/v1/readyz", s.handleReady)
 	s.mux.Handle("/v1/metrics", s.metrics.Handler())

@@ -140,6 +140,34 @@ func TestSLOTripCapturesAttributableBundle(t *testing.T) {
 		t.Fatalf("injected delay site not attributable in cpu.pprof (%d bytes)", len(cpu))
 	}
 
+	// The bundle must name the hot key driving the anomaly: the closed-loop
+	// load hammers alice's recommendations, so hotkeys.json must rank her
+	// first in the users dimension.
+	hk, err := rec.ReadFile(c.bundle, "hotkeys.json")
+	if err != nil {
+		t.Fatalf("read hotkeys.json: %v", err)
+	}
+	var hot struct {
+		Dimensions []struct {
+			Dimension string `json:"dimension"`
+			Keys      []struct {
+				Key string `json:"key"`
+			} `json:"keys"`
+		} `json:"dimensions"`
+	}
+	if err := json.Unmarshal(hk, &hot); err != nil {
+		t.Fatalf("hotkeys.json: %v (%s)", err, hk)
+	}
+	hotUser := ""
+	for _, d := range hot.Dimensions {
+		if d.Dimension == "users" && len(d.Keys) > 0 {
+			hotUser = d.Keys[0].Key
+		}
+	}
+	if hotUser != "alice" {
+		t.Fatalf("hotkeys.json does not name the hot user: %s", hk)
+	}
+
 	// The bundle must also be reachable over the operator surface.
 	resp, err := http.Get(ts.URL + "/v1/capturez")
 	if err != nil {

@@ -97,6 +97,29 @@ func (c *CountMin) Reset() {
 	c.total = 0
 }
 
+// ErrorBound returns the one-sided overestimate bound ε·N for the stream
+// seen so far, where ε = e/width: Count(key) ≤ true + ErrorBound() with
+// probability ≥ 1−δ, and Count(key) ≥ true always.
+func (c *CountMin) ErrorBound() uint64 {
+	return uint64(math.Ceil(math.E / float64(c.width) * float64(c.total)))
+}
+
+// Merge folds other into c element-wise. Both sketches must share the same
+// row-hash family, which NewCountMin guarantees for equal dimensions; the
+// merged sketch estimates the concatenated stream. Merging is commutative:
+// a.Merge(b) and b.Merge(a) yield identical counters.
+func (c *CountMin) Merge(other *CountMin) error {
+	if c.width != other.width || c.depth != other.depth {
+		return fmt.Errorf("sketch: merge dimension mismatch %dx%d vs %dx%d",
+			c.depth, c.width, other.depth, other.width)
+	}
+	for i := range c.counts {
+		c.counts[i] += other.counts[i]
+	}
+	c.total += other.total
+	return nil
+}
+
 // Counted is one heavy-hitter result.
 type Counted struct {
 	Key   uint64
@@ -156,7 +179,16 @@ func (h *HeavyHitters) TopK() []Counted {
 	for key := range h.cand {
 		out = append(out, Counted{Key: key, Count: h.cm.Count(key)})
 	}
-	// insertion sort: candidate set is ≤ 2k
+	sortCounted(out)
+	if len(out) > h.k {
+		out = out[:h.k]
+	}
+	return out
+}
+
+// sortCounted orders results in descending count, ascending key on ties.
+// Insertion sort: candidate sets are ≤ 2k per sub-window.
+func sortCounted(out []Counted) {
 	for i := 1; i < len(out); i++ {
 		for j := i; j > 0; j-- {
 			a, b := out[j-1], out[j]
@@ -167,10 +199,6 @@ func (h *HeavyHitters) TopK() []Counted {
 			}
 		}
 	}
-	if len(out) > h.k {
-		out = out[:h.k]
-	}
-	return out
 }
 
 // Total returns the total weight observed.

@@ -21,6 +21,7 @@
 //	    traces.json     trace-ring tail (when a trace source is wired)
 //	    metrics.prom    full Prometheus exposition (when a registry is wired)
 //	    statusz.txt     status page (when a statusz source is wired)
+//	    hotkeys.json    hot-key telemetry snapshot (when a hotkey source is wired)
 //
 // written first into a dot-prefixed temp directory, fsynced, and renamed
 // into place, so a listing never observes a half-written bundle. Retention
@@ -68,6 +69,10 @@ type Config struct {
 	TraceJSON func() ([]byte, error)
 	// StatuszText, when set, renders statusz.txt.
 	StatuszText func() ([]byte, error)
+	// HotkeysJSON, when set, renders the hot-key telemetry snapshot for
+	// hotkeys.json — so an SLO-trip bundle names the hot user / poster /
+	// campaign behind the anomaly, not just its latency shape.
+	HotkeysJSON func() ([]byte, error)
 	// EnableContentionProfiling turns on the runtime's mutex and block
 	// samplers at recorder construction, so mutex.pprof and block.pprof
 	// carry data. Modest fixed rates (mutex 1/16 events, block >=1ms).
@@ -161,17 +166,20 @@ func NewRecorder(cfg Config) (*Recorder, error) {
 // Dir returns the bundle root.
 func (r *Recorder) Dir() string { return r.cfg.Dir }
 
-// SetSources wires the trace-tail and statusz renderers after construction:
-// adserver builds the recorder before the HTTP server that owns those
-// surfaces, and the server points them here when it is. nil arguments leave
-// the existing source in place. Call before the first Capture; not
-// synchronized with it.
-func (r *Recorder) SetSources(traceJSON, statusz func() ([]byte, error)) {
+// SetSources wires the trace-tail, statusz, and hot-key renderers after
+// construction: adserver builds the recorder before the HTTP server that
+// owns those surfaces, and the server points them here when it is. nil
+// arguments leave the existing source in place. Call before the first
+// Capture; not synchronized with it.
+func (r *Recorder) SetSources(traceJSON, statusz, hotkeys func() ([]byte, error)) {
 	if traceJSON != nil {
 		r.cfg.TraceJSON = traceJSON
 	}
 	if statusz != nil {
 		r.cfg.StatuszText = statusz
+	}
+	if hotkeys != nil {
+		r.cfg.HotkeysJSON = hotkeys
 	}
 }
 
@@ -251,6 +259,13 @@ func (r *Recorder) Capture(trigger, reason string, force bool) (string, error) {
 			err = writeFileSync(filepath.Join(tmp, "statusz.txt"), b)
 		}
 		fail("statusz.txt", err)
+	}
+	if r.cfg.HotkeysJSON != nil {
+		b, err := r.cfg.HotkeysJSON()
+		if err == nil {
+			err = writeFileSync(filepath.Join(tmp, "hotkeys.json"), b)
+		}
+		fail("hotkeys.json", err)
 	}
 	mb, err := json.MarshalIndent(meta, "", "  ")
 	if err == nil {

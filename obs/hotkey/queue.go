@@ -1,0 +1,83 @@
+package hotkey
+
+import "sync/atomic"
+
+// event is one record-path observation: a key (pre-hashed for string-keyed
+// dimensions, with the display name carried alongside) and its weight.
+type event struct {
+	key    uint64
+	weight uint64
+	name   string
+}
+
+// queue is a bounded lock-free multi-producer single-consumer ring (the
+// bounded-MPMC design with per-slot sequence numbers, consumed from a
+// single goroutine). Producers never block and never spin on a full ring:
+// push fails fast and the caller counts a drop. That is the property the
+// serving path needs — a slow or stopped aggregator costs telemetry
+// fidelity, never request latency, and caarlint's readpathlock stays green
+// because the record path takes no locks.
+type queue struct {
+	slots []qslot
+	mask  uint64
+	head  atomic.Uint64 // next enqueue position (producers, CAS)
+	tail  uint64        // next dequeue position (single consumer only)
+}
+
+type qslot struct {
+	// seq == pos: slot free for the producer claiming pos.
+	// seq == pos+1: slot filled, ready for the consumer at pos.
+	seq atomic.Uint64
+	ev  event
+}
+
+// newQueue rounds capacity up to a power of two.
+func newQueue(capacity int) *queue {
+	n := 1
+	for n < capacity {
+		n <<= 1
+	}
+	q := &queue{slots: make([]qslot, n), mask: uint64(n - 1)}
+	for i := range q.slots {
+		q.slots[i].seq.Store(uint64(i))
+	}
+	return q
+}
+
+// push enqueues ev, returning false when the ring is full.
+func (q *queue) push(ev event) bool {
+	pos := q.head.Load()
+	for {
+		s := &q.slots[pos&q.mask]
+		seq := s.seq.Load()
+		switch d := int64(seq) - int64(pos); {
+		case d == 0:
+			if q.head.CompareAndSwap(pos, pos+1) {
+				s.ev = ev
+				s.seq.Store(pos + 1)
+				return true
+			}
+			pos = q.head.Load()
+		case d < 0:
+			// The slot still holds an entry from one lap ago: full.
+			return false
+		default:
+			// Another producer claimed pos; reload and retry.
+			pos = q.head.Load()
+		}
+	}
+}
+
+// pop dequeues the oldest event. Single-consumer: callers serialize pops
+// behind the aggregator mutex.
+func (q *queue) pop() (event, bool) {
+	s := &q.slots[q.tail&q.mask]
+	if s.seq.Load() != q.tail+1 {
+		return event{}, false
+	}
+	ev := s.ev
+	s.ev = event{} // release the name string
+	s.seq.Store(q.tail + uint64(len(q.slots)))
+	q.tail++
+	return ev, true
+}

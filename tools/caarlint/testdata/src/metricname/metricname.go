@@ -50,3 +50,22 @@ func violatingSLOCapture(r *obs.Registry) {
 	r.GaugeVec("caar_slo_breaching_total", "B.", "objective")    // want `gauge "caar_slo_breaching_total" must not end in _total`
 	r.CounterVec("caar_capture_bundles_total", "Bundles.", "le") // want `label name "le" is reserved`
 }
+
+// The hot-key telemetry families (obs/hotkey) must keep passing the same
+// rules as every other metric.
+func conformingHot(r *obs.Registry) {
+	r.CounterVec("caar_hot_events_total", "Hot-key events recorded.", "dim")
+	r.CounterVec("caar_hot_dropped_total", "Hot-key events dropped at a full queue.", "dim")
+	r.GaugeVec("caar_hot_tracked_keys", "Distinct keys tracked.", "dim")
+	r.GaugeVec("caar_hot_window_weight", "Event weight in the sliding window.", "dim")
+	r.GaugeVec("caar_hot_top_share_ratio", "Top key's share of window weight.", "dim")
+}
+
+func violatingHot(r *obs.Registry) {
+	r.CounterVec("caar_hot_events", "Events.", "dim")         // want `counter "caar_hot_events" must end in _total`
+	r.GaugeVec("caar_hot_tracked_keys_total", "Keys.", "dim") // want `gauge "caar_hot_tracked_keys_total" must not end in _total`
+	r.CounterVec("hot_dropped_total", "Dropped.", "dim")      // want `lacks the "caar_" prefix`
+	r.GaugeVec("caar_hot_TopShare_ratio", "Share.", "dim")    // want `not snake_case`
+	r.CounterVec("caar_hot_events_total", "Events.", "le")    // want `label name "le" is reserved`
+	r.GaugeVec("caar_hot_window_weight", "", "dim")           // want `registered without help text`
+}

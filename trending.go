@@ -3,6 +3,7 @@ package caar
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"caar/internal/sketch"
 	"caar/internal/textproc"
@@ -10,9 +11,10 @@ import (
 )
 
 // Trending: per-slot streaming term frequencies over the post stream,
-// tracked with a count-min sketch + heavy-hitters candidate set (bounded
-// memory regardless of vocabulary size). Ad-ops uses this to steer keyword
-// targeting: "what are people talking about on weekday afternoons?"
+// tracked with the shared windowed-sketch primitive (count-min +
+// heavy-hitters candidate set; bounded memory regardless of vocabulary
+// size). Ad-ops uses this to steer keyword targeting: "what are people
+// talking about on weekday afternoons?"
 
 // TrendingTerm is one trending-term result.
 type TrendingTerm struct {
@@ -20,10 +22,14 @@ type TrendingTerm struct {
 	Count uint64 `json:"count"` // sketch estimate; never under-counts
 }
 
-// trendTracker holds one heavy-hitters tracker per time slot.
+// trendTracker holds one windowed-sketch tracker per time slot. The slot
+// itself is the window — posts bucket by their timestamp's slot, and
+// counts accumulate across days — so each tracker runs in the primitive's
+// unwindowed mode (span 0: a single eternal sub-window, timestamps
+// ignored) rather than decaying by wall clock like the hot-key layer.
 type trendTracker struct {
 	mu    sync.Mutex
-	slots [timeslot.NumSlots]*sketch.HeavyHitters
+	slots [timeslot.NumSlots]*sketch.Windowed
 }
 
 // trendCapacity is how many top terms each slot retains (requests for
@@ -33,11 +39,11 @@ const trendCapacity = 50
 func newTrendTracker() *trendTracker {
 	t := &trendTracker{}
 	for i := range t.slots {
-		hh, err := sketch.NewHeavyHitters(trendCapacity, 0.001, 0.01)
+		w, err := sketch.NewWindowed(trendCapacity, 0.001, 0.01, 0, 1)
 		if err != nil {
 			panic("caar: trend tracker sizing: " + err.Error())
 		}
-		t.slots[i] = hh
+		t.slots[i] = w
 	}
 	return t
 }
@@ -49,9 +55,9 @@ func (t *trendTracker) observe(sl timeslot.Slot, vec textproc.SparseVector) {
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	hh := t.slots[sl]
+	w := t.slots[sl]
 	for term := range vec {
-		hh.Offer(uint64(term), 1)
+		w.Offer(uint64(term), 1, time.Time{})
 	}
 }
 
@@ -61,7 +67,7 @@ func (t *trendTracker) observe(sl timeslot.Slot, vec textproc.SparseVector) {
 func (t *trendTracker) top(sl timeslot.Slot) []sketch.Counted {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	return t.slots[sl].TopK()
+	return t.slots[sl].TopK(time.Time{}, 0)
 }
 
 // Trending returns up to k terms most frequent in posts made during the
