@@ -1,0 +1,586 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	caar "caar"
+	"caar/ingest"
+	"caar/internal/server"
+	"caar/journal"
+	"caar/metrics"
+	"caar/obs"
+)
+
+// Acceptance gates for -ingest-bench. The pipeline exists to amortize the
+// fsync and the shard-lock acquisition across a batch, so at write
+// saturation it must at least double posts/s, spend at least 5x fewer
+// fsyncs per post, and actually form batches (mean >= ingestMinBatch);
+// and at a matched, paced write load it must not tax the read path: the
+// recommend p99 may grow at most ingestRecBudgetPct versus the synchronous
+// write path. The two claims are measured in separate segments because a
+// closed loop conflates them — a faster write path does more work per
+// second, which by itself slows reads.
+const (
+	ingestMinSpeedup     = 2.0
+	ingestMinFsyncFactor = 5.0
+	ingestMinBatch       = 8.0
+	ingestRecBudgetPct   = 10.0
+
+	ingestPostWorkers = 32 // closed-loop posters in the throughput segment
+	ingestReadWorkers = 6  // closed-loop recommend workers in the read segment
+	ingestPacers      = 3  // paced background posters in the read segment
+	ingestPaceEvery   = 5 * time.Millisecond
+
+	// ingestLinger holds a partial batch open briefly so the saturation
+	// segment measures the grouped regime rather than racing the committer
+	// against the HTTP round-trip; it is the product's own -ingest-linger
+	// knob, and its cost is on the posts it delays, which the post p99
+	// reports.
+	ingestLinger = 250 * time.Microsecond
+
+	ingestRetryBackoff   = 500 * time.Microsecond
+	ingestMaxSubmitRetry = 1000
+)
+
+// ingestBenchResult is the JSON document written by -ingest-bench (see
+// BENCH_PR9.json). It reuses the A/B/B/A shape benchdiff normalizes:
+// "baseline" is the synchronous journaled write path, "traced" is the
+// batched ingest pipeline, and the recommend-p99 regression lands under the
+// key the abba normalizer reads ("tracing_overhead_pct" — fixed by the
+// consumer, not by what is measured).
+type ingestBenchResult struct {
+	GeneratedAt string      `json:"generated_at"`
+	Bench       string      `json:"bench"`
+	PostWorkers int         `json:"post_workers"`
+	ReadWorkers int         `json:"read_workers"`
+	Rounds      int         `json:"rounds"`
+	Baseline    phaseResult `json:"baseline"`
+	Traced      phaseResult `json:"traced"`
+	// RecRegressionPct is the paired growth of the recommend p99 with the
+	// ingest pipeline on versus the synchronous path, under the same paced
+	// write load.
+	RecRegressionPct float64 `json:"tracing_overhead_pct"`
+	RecBudgetPct     float64 `json:"rec_budget_pct"`
+
+	// Write-saturation gates (pure-post segment).
+	SyncPostsPerSec     float64 `json:"sync_posts_per_sec"`
+	IngestPostsPerSec   float64 `json:"ingest_posts_per_sec"`
+	PostSpeedup         float64 `json:"post_speedup"`
+	SyncFsyncsPerSec    float64 `json:"sync_fsyncs_per_sec"`
+	IngestFsyncsPerSec  float64 `json:"ingest_fsyncs_per_sec"`
+	SyncFsyncsPerPost   float64 `json:"sync_fsyncs_per_post"`
+	IngestFsyncsPerPost float64 `json:"ingest_fsyncs_per_post"`
+	FsyncReduction      float64 `json:"fsync_per_post_reduction"`
+	MeanBatch           float64 `json:"mean_batch_entries"`
+	Retried429          int     `json:"retried_429_total"`
+}
+
+// ingestPhase is one write-path variant under test: a seeded engine behind a
+// live server, journaling to a real temp file with -fsync always so every
+// group commit (or, on the sync path, every post) pays a true fsync.
+type ingestPhase struct {
+	name   string
+	eng    *caar.Engine
+	jw     *journal.Writer
+	jf     *os.File
+	pipe   *ingest.Pipeline
+	ts     *httptest.Server
+	client *http.Client
+	users  []string
+	at     string
+
+	post        []time.Duration // post samples, current throughput round
+	postDone    []time.Duration
+	postElapsed time.Duration
+
+	rec        []time.Duration // recommend samples, current read round
+	recDone    []time.Duration
+	recP99ms   []float64
+	recElapsed time.Duration
+
+	retried int // 429s absorbed by the drivers' retry loops
+}
+
+// newIngestPhase builds a seeded engine journaling to its own temp file.
+// With batched false, posts take the synchronous Logged path (one fsync
+// each); with batched true they go through a real ingest.Pipeline wired to
+// the same journal writer.
+func newIngestPhase(name string, batched bool) (*ingestPhase, error) {
+	reg := obs.NewRegistry()
+	cfg := caar.DefaultConfig()
+	cfg.Shards = 4
+	cfg.Metrics = reg
+	eng, err := caar.Open(cfg)
+	if err != nil {
+		return nil, err
+	}
+	users, now, err := seedServeGraph(eng)
+	if err != nil {
+		return nil, err
+	}
+
+	jf, err := os.CreateTemp("", "ingestbench-*.journal")
+	if err != nil {
+		return nil, err
+	}
+	jw := journal.NewFileWriter(jf, journal.SyncAlways, 0)
+	jw.SetMetrics(journal.NewMetrics(reg))
+
+	opts := []server.Option{server.WithMetrics(reg)}
+	var pipe *ingest.Pipeline
+	if batched {
+		pipe = ingest.New(eng, jw, reg, ingest.Config{Linger: ingestLinger})
+		opts = append(opts, server.WithIngest(pipe))
+	}
+	ts := httptest.NewServer(server.New(journal.NewLogged(eng, jw), opts...).Handler())
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        2 * ingestPostWorkers,
+		MaxIdleConnsPerHost: 2 * ingestPostWorkers,
+	}}
+	return &ingestPhase{
+		name:   name,
+		eng:    eng,
+		jw:     jw,
+		jf:     jf,
+		pipe:   pipe,
+		ts:     ts,
+		client: client,
+		users:  users,
+		at:     now.Format(time.RFC3339Nano),
+	}, nil
+}
+
+func (p *ingestPhase) close() {
+	p.client.CloseIdleConnections()
+	p.ts.Close()
+	if p.pipe != nil {
+		p.pipe.Close()
+	}
+	p.jw.Close()
+	p.jf.Close()
+	os.Remove(p.jf.Name())
+}
+
+func (p *ingestPhase) endPostRound() {
+	p.postDone = append(p.postDone, p.post...)
+	p.post = p.post[:0]
+}
+
+func (p *ingestPhase) endReadRound() {
+	if len(p.rec) == 0 {
+		return
+	}
+	p.recP99ms = append(p.recP99ms, exactStats(p.rec).P99ms)
+	p.recDone = append(p.recDone, p.rec...)
+	p.rec = p.rec[:0]
+}
+
+// drivePosts saturates the write path: ingestPostWorkers closed-loop
+// posters, nothing else. A 429 is retried after a short backoff — the
+// client contract — and counted; the post's recorded latency then includes
+// the backoff, exactly what a real producer observes.
+func (p *ingestPhase) drivePosts(dur time.Duration, record bool) error {
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	deadline := time.Now().Add(dur)
+	start := time.Now()
+	for wk := 0; wk < ingestPostWorkers; wk++ {
+		wg.Add(1)
+		go func(wk int) {
+			defer wg.Done()
+			local := make([]time.Duration, 0, 8192)
+			retried := 0
+			for i := 0; time.Now().Before(deadline); i++ {
+				user := p.users[(wk*131+i)%len(p.users)]
+				body, _ := json.Marshal(map[string]string{
+					"author": user,
+					"text":   fmt.Sprintf("word%04d word%04d update", (wk*31+i)%500, (i*7)%500),
+					"at":     p.at,
+				})
+				t0 := time.Now()
+				n, err := p.postWithRetry(body)
+				retried += n
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+				local = append(local, time.Since(t0))
+			}
+			if record {
+				mu.Lock()
+				p.post = append(p.post, local...)
+				p.retried += retried
+				mu.Unlock()
+			}
+		}(wk)
+	}
+	wg.Wait()
+	if record {
+		p.postElapsed += time.Since(start)
+	}
+	if firstErr != nil {
+		return fmt.Errorf("ingest-bench: post failed: %w", firstErr)
+	}
+	return nil
+}
+
+// driveReads measures the read path under a matched write load: closed-loop
+// recommend workers plus paced background posters at a fixed rate — the
+// SAME rate in both phases, so the comparison isolates what the write-path
+// machinery costs readers rather than rewarding the slower writer with a
+// lighter box.
+func (p *ingestPhase) driveReads(dur time.Duration, record bool) error {
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+	deadline := time.Now().Add(dur)
+	start := time.Now()
+	for wk := 0; wk < ingestReadWorkers; wk++ {
+		wg.Add(1)
+		go func(wk int) {
+			defer wg.Done()
+			local := make([]time.Duration, 0, 4096)
+			for i := 0; time.Now().Before(deadline); i++ {
+				user := p.users[(wk*131+i)%len(p.users)]
+				t0 := time.Now()
+				resp, err := p.client.Get(p.ts.URL + "/v1/recommendations?user=" + user + "&k=5&at=" + p.at)
+				if resp != nil {
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+				}
+				if err != nil {
+					fail(err)
+					return
+				}
+				local = append(local, time.Since(t0))
+			}
+			if record {
+				mu.Lock()
+				p.rec = append(p.rec, local...)
+				mu.Unlock()
+			}
+		}(wk)
+	}
+	for pc := 0; pc < ingestPacers; pc++ {
+		wg.Add(1)
+		go func(pc int) {
+			defer wg.Done()
+			tick := time.NewTicker(ingestPaceEvery)
+			defer tick.Stop()
+			retried := 0
+			for i := 0; time.Now().Before(deadline); i++ {
+				<-tick.C
+				user := p.users[(pc*37+i)%len(p.users)]
+				body, _ := json.Marshal(map[string]string{
+					"author": user,
+					"text":   fmt.Sprintf("paced word%04d note", (pc*97+i)%500),
+					"at":     p.at,
+				})
+				n, err := p.postWithRetry(body)
+				retried += n
+				if err != nil {
+					fail(err)
+					return
+				}
+			}
+			if record {
+				mu.Lock()
+				p.retried += retried
+				mu.Unlock()
+			}
+		}(pc)
+	}
+	wg.Wait()
+	if record {
+		p.recElapsed += time.Since(start)
+	}
+	if firstErr != nil {
+		return fmt.Errorf("ingest-bench: read-segment request failed: %w", firstErr)
+	}
+	return nil
+}
+
+// postWithRetry submits one post, honoring 429 backpressure with a short
+// backoff, and returns how many 429s it absorbed.
+func (p *ingestPhase) postWithRetry(body []byte) (int, error) {
+	for attempt := 0; ; attempt++ {
+		resp, err := p.client.Post(p.ts.URL+"/v1/posts", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return attempt, err
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		switch {
+		case resp.StatusCode == http.StatusTooManyRequests:
+			if attempt >= ingestMaxSubmitRetry {
+				return attempt, fmt.Errorf("post still shed after %d retries", attempt)
+			}
+			time.Sleep(ingestRetryBackoff)
+		case resp.StatusCode >= 300:
+			return attempt, fmt.Errorf("post status %d", resp.StatusCode)
+		default:
+			return attempt, nil
+		}
+	}
+}
+
+func (p *ingestPhase) result(tag string) (phaseResult, error) {
+	var zero phaseResult
+	series, families, err := scrapeMetrics(p.client, p.ts.URL+"/v1/metrics")
+	if err != nil {
+		return zero, err
+	}
+	if series == 0 {
+		return zero, fmt.Errorf("ingest-bench: /v1/metrics scrape returned no series")
+	}
+	elapsed := p.postElapsed + p.recElapsed
+	total := uint64(len(p.recDone) + len(p.postDone))
+	return phaseResult{
+		Tracing:         tag,
+		DurationSeconds: elapsed.Seconds(),
+		RequestsTotal:   total,
+		ThroughputRPS:   metrics.Throughput{Events: total, Elapsed: elapsed}.PerSecond(),
+		Endpoints: map[string]endpointStats{
+			"/v1/recommendations": exactStats(p.recDone),
+			"/v1/posts":           exactStats(p.postDone),
+		},
+		RecP99PerRoundMs: p.recP99ms,
+		RecP99GateMs:     median(p.recP99ms),
+		MetricSeries:     series,
+		MetricFamilies:   families,
+	}, nil
+}
+
+// counter scrapes one counter/gauge value from the phase's /v1/metrics.
+func (p *ingestPhase) counter(name string) (float64, error) {
+	resp, err := p.client.Get(p.ts.URL + "/v1/metrics")
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, name+" ") {
+			continue
+		}
+		return strconv.ParseFloat(strings.TrimSpace(strings.TrimPrefix(line, name+" ")), 64)
+	}
+	if err := sc.Err(); err != nil {
+		return 0, err
+	}
+	return 0, fmt.Errorf("ingest-bench: metric %s not found in scrape", name)
+}
+
+// runIngestBench measures what group commit buys the write path: two live
+// servers journaling to real files with -fsync always — the synchronous
+// Logged path (one fsync per post) versus the batched ingest pipeline (one
+// fsync per group commit). Segment 1 saturates both with closed-loop
+// posters in alternating ABBA slices and gates posts/s, mean batch size and
+// fsyncs per post; segment 2 drives closed-loop recommends with an
+// identical paced write load on both and gates the recommend p99.
+func runIngestBench(dur time.Duration, outPath string) error {
+	syncPath, err := newIngestPhase("sync", false)
+	if err != nil {
+		return err
+	}
+	defer syncPath.close()
+	batched, err := newIngestPhase("ingest", true)
+	if err != nil {
+		return err
+	}
+	defer batched.close()
+
+	if err := syncPath.drivePosts(serveWarmup, false); err != nil {
+		return err
+	}
+	if err := batched.drivePosts(serveWarmup, false); err != nil {
+		return err
+	}
+
+	// Segment 1: write saturation. Counter snapshots bracket exactly this
+	// segment so the batch-size and fsync gates describe the saturated
+	// regime, not the paced one.
+	syncFsyncs0, err := syncPath.counter("caar_journal_fsyncs_total")
+	if err != nil {
+		return err
+	}
+	ingFsyncs0, err := batched.counter("caar_journal_fsyncs_total")
+	if err != nil {
+		return err
+	}
+	accepted0, err := batched.counter("caar_ingest_accepted_total")
+	if err != nil {
+		return err
+	}
+	commits0, err := batched.counter("caar_ingest_batches_total")
+	if err != nil {
+		return err
+	}
+
+	slice := dur / (4 * serveRounds) // dur splits across 2 segments × 2 phases
+	if slice < 50*time.Millisecond {
+		slice = 50 * time.Millisecond
+	}
+	for r := 0; r < serveRounds; r++ {
+		a, b := syncPath, batched
+		if r%2 == 1 {
+			a, b = batched, syncPath
+		}
+		if err := a.drivePosts(slice, true); err != nil {
+			return err
+		}
+		if err := b.drivePosts(slice, true); err != nil {
+			return err
+		}
+		syncPath.endPostRound()
+		batched.endPostRound()
+	}
+
+	syncFsyncs, err := syncPath.counter("caar_journal_fsyncs_total")
+	if err != nil {
+		return err
+	}
+	ingFsyncs, err := batched.counter("caar_journal_fsyncs_total")
+	if err != nil {
+		return err
+	}
+	accepted, err := batched.counter("caar_ingest_accepted_total")
+	if err != nil {
+		return err
+	}
+	commits, err := batched.counter("caar_ingest_batches_total")
+	if err != nil {
+		return err
+	}
+	syncFsyncs -= syncFsyncs0
+	ingFsyncs -= ingFsyncs0
+	accepted -= accepted0
+	commits -= commits0
+
+	// Segment 2: read latency at matched write load, with the same
+	// extend-on-noise policy as the other ABBA benches.
+	var regression float64
+	for attempt := 1; ; attempt++ {
+		for r := 0; r < serveRounds; r++ {
+			a, b := syncPath, batched
+			if r%2 == 1 {
+				a, b = batched, syncPath
+			}
+			if err := a.driveReads(slice, true); err != nil {
+				return err
+			}
+			if err := b.driveReads(slice, true); err != nil {
+				return err
+			}
+			syncPath.endReadRound()
+			batched.endReadRound()
+		}
+		regression = pairedOverheadPct(syncPath.recP99ms, batched.recP99ms)
+		if regression <= ingestRecBudgetPct || attempt >= serveMaxAttempts {
+			break
+		}
+		fmt.Printf("ingest-bench: rec-p99 regression estimate %.1f%% over budget after %d rounds; extending measurement\n",
+			regression, len(syncPath.recP99ms))
+	}
+
+	syncPosts := float64(len(syncPath.postDone))
+	ingPosts := float64(len(batched.postDone))
+	if syncPosts == 0 || ingPosts == 0 || syncFsyncs == 0 || ingFsyncs == 0 || commits == 0 {
+		return fmt.Errorf("ingest-bench: degenerate run (posts %v/%v fsyncs %v/%v commits %v)",
+			syncPosts, ingPosts, syncFsyncs, ingFsyncs, commits)
+	}
+	syncRate := syncPosts / syncPath.postElapsed.Seconds()
+	ingRate := ingPosts / batched.postElapsed.Seconds()
+	speedup := ingRate / syncRate
+	// fsyncs are normalized per post: both phases run the segment closed-
+	// loop, so raw fsyncs/s just tracks disk saturation on both sides; what
+	// group commit changes is how many posts each fsync pays for.
+	syncPerPost := syncFsyncs / syncPosts
+	ingPerPost := ingFsyncs / ingPosts
+	reduction := syncPerPost / ingPerPost
+	meanBatch := accepted / commits
+
+	baseline, err := syncPath.result("sync-write-path")
+	if err != nil {
+		return err
+	}
+	traced, err := batched.result("batched-ingest")
+	if err != nil {
+		return err
+	}
+
+	res := ingestBenchResult{
+		GeneratedAt:         time.Now().UTC().Format(time.RFC3339),
+		Bench:               "ingest-group-commit",
+		PostWorkers:         ingestPostWorkers,
+		ReadWorkers:         ingestReadWorkers,
+		Rounds:              serveRounds,
+		Baseline:            baseline,
+		Traced:              traced,
+		RecRegressionPct:    regression,
+		RecBudgetPct:        ingestRecBudgetPct,
+		SyncPostsPerSec:     syncRate,
+		IngestPostsPerSec:   ingRate,
+		PostSpeedup:         speedup,
+		SyncFsyncsPerSec:    syncFsyncs / syncPath.postElapsed.Seconds(),
+		IngestFsyncsPerSec:  ingFsyncs / batched.postElapsed.Seconds(),
+		SyncFsyncsPerPost:   syncPerPost,
+		IngestFsyncsPerPost: ingPerPost,
+		FsyncReduction:      reduction,
+		MeanBatch:           meanBatch,
+		Retried429:          syncPath.retried + batched.retried,
+	}
+	out, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if err := os.WriteFile(outPath, out, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("ingest-bench: sync %.0f posts/s (%.2f fsyncs/post); ingest %.0f posts/s (%.3f fsyncs/post, mean batch %.1f); speedup %.1fx, fsync/post reduction %.1fx, rec p99 regression %.1f%% at matched load, wrote %s\n",
+		syncRate, syncPerPost, ingRate, ingPerPost, meanBatch, speedup, reduction, regression, outPath)
+
+	switch {
+	case speedup < ingestMinSpeedup:
+		return fmt.Errorf("ingest-bench: posts/s speedup %.2fx below gate %.1fx (%.0f -> %.0f posts/s)",
+			speedup, ingestMinSpeedup, syncRate, ingRate)
+	case meanBatch < ingestMinBatch:
+		return fmt.Errorf("ingest-bench: mean batch %.1f below gate %.0f — group commit is not grouping", meanBatch, ingestMinBatch)
+	case reduction < ingestMinFsyncFactor:
+		return fmt.Errorf("ingest-bench: fsyncs per post reduced only %.1fx (gate %.0fx): %.2f -> %.3f",
+			reduction, ingestMinFsyncFactor, syncPerPost, ingPerPost)
+	case regression > ingestRecBudgetPct:
+		return fmt.Errorf("ingest-bench: batched ingest grew recommend p99 by %.1f%% (budget %.0f%%): %.2fms -> %.2fms",
+			regression, ingestRecBudgetPct, baseline.RecP99GateMs, traced.RecP99GateMs)
+	}
+	return nil
+}

@@ -1,0 +1,235 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sync"
+	"time"
+
+	caar "caar"
+	"caar/ingest"
+	"caar/internal/server"
+	"caar/journal"
+	"caar/obs"
+)
+
+const (
+	smokeUsers    = 8
+	smokeBurst    = 48
+	smokeQueue    = 8 // tiny ring so the burst overflows it
+	smokeBatch    = 4
+	smokeCommitMs = 4 // per-commit journal delay; makes the ring back up
+)
+
+// slowJournal wraps a real writer with a fixed per-commit delay, standing in
+// for a disk whose fsync cannot keep up with the offered burst.
+type slowJournal struct {
+	w *journal.Writer
+}
+
+func (s *slowJournal) AppendBatch(entries []journal.Entry) error {
+	time.Sleep(smokeCommitMs * time.Millisecond)
+	return s.w.AppendBatch(entries)
+}
+
+func (s *slowJournal) SyncPending() error { return s.w.SyncPending() }
+
+// runIngestSmoke is the end-to-end backpressure drill, built to run under
+// the race detector: a live server with a deliberately tiny ingest ring
+// behind a slow journal takes a concurrent burst of posts. The smoke fails
+// unless (1) some of the burst is shed with 429 + Retry-After while some is
+// acked, (2) every shed post succeeds on client-style retry, (3) after the
+// pipeline drains, /v1/invariants accounts for every acked post and lists
+// only the impression op as apply-first, and (4) replaying the journal into
+// a fresh engine reproduces the same delivered-post count — the acks were
+// backed by the log.
+func runIngestSmoke() error {
+	reg := obs.NewRegistry()
+	cfg := caar.DefaultConfig()
+	cfg.Shards = 2
+	cfg.Metrics = reg
+	eng, err := caar.Open(cfg)
+	if err != nil {
+		return err
+	}
+	users, err := seedSmokeGraph(eng)
+	if err != nil {
+		return err
+	}
+
+	jf, err := os.CreateTemp("", "ingestsmoke-*.journal")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(jf.Name())
+	defer jf.Close()
+	jw := journal.NewFileWriter(jf, journal.SyncAlways, 0)
+	jw.SetMetrics(journal.NewMetrics(reg))
+
+	pipe := ingest.New(eng, &slowJournal{w: jw}, reg, ingest.Config{
+		QueueSize: smokeQueue,
+		MaxBatch:  smokeBatch,
+	})
+	ts := httptest.NewServer(server.New(journal.NewLogged(eng, jw),
+		server.WithMetrics(reg), server.WithIngest(pipe)).Handler())
+	defer ts.Close()
+	client := &http.Client{}
+
+	// Phase 1: the burst. More concurrent posts than the ring can hold while
+	// each commit crawls — the edge must shed, and what it acks must stick.
+	at := time.Now().Format(time.RFC3339Nano)
+	type outcome struct {
+		status     int
+		retryAfter string
+		body       []byte
+	}
+	results := make([]outcome, smokeBurst)
+	var wg sync.WaitGroup
+	for i := 0; i < smokeBurst; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			body, _ := json.Marshal(map[string]string{
+				"author": users[i%len(users)],
+				"text":   fmt.Sprintf("burst message %d with context words", i),
+				"at":     at,
+			})
+			resp, err := client.Post(ts.URL+"/v1/posts", "application/json", bytes.NewReader(body))
+			if err != nil {
+				results[i] = outcome{status: -1}
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			results[i] = outcome{status: resp.StatusCode, retryAfter: resp.Header.Get("Retry-After"), body: body}
+		}(i)
+	}
+	wg.Wait()
+
+	acked, shed := 0, 0
+	for i, r := range results {
+		switch r.status {
+		case http.StatusNoContent:
+			acked++
+		case http.StatusTooManyRequests:
+			if r.retryAfter == "" {
+				return fmt.Errorf("ingest-smoke: burst post %d shed without a Retry-After hint", i)
+			}
+			shed++
+		default:
+			return fmt.Errorf("ingest-smoke: burst post %d: status %d, want 204 or 429", i, r.status)
+		}
+	}
+	if shed == 0 {
+		return fmt.Errorf("ingest-smoke: %d concurrent posts against a %d-slot ring never shed — backpressure is not wired", smokeBurst, smokeQueue)
+	}
+	if acked == 0 {
+		return fmt.Errorf("ingest-smoke: every burst post shed — the committer never drained the ring")
+	}
+
+	// Phase 2: the drain. Every shed post retries like a client honoring the
+	// hint until the ring has room again; all of them must land.
+	for i, r := range results {
+		if r.status != http.StatusTooManyRequests {
+			continue
+		}
+		landed := false
+		for attempt := 0; attempt < 400; attempt++ {
+			resp, err := client.Post(ts.URL+"/v1/posts", "application/json", bytes.NewReader(r.body))
+			if err != nil {
+				return err
+			}
+			io.Copy(io.Discard, resp.Body)
+			code := resp.StatusCode
+			resp.Body.Close()
+			if code == http.StatusNoContent {
+				landed = true
+				break
+			}
+			if code != http.StatusTooManyRequests {
+				return fmt.Errorf("ingest-smoke: retry of post %d: status %d", i, code)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		if !landed {
+			return fmt.Errorf("ingest-smoke: post %d still shed after the burst ended — the ring never drained", i)
+		}
+		acked++
+	}
+
+	// Phase 3: drain the pipeline (commit AND apply), then the books must
+	// balance: every acked post delivered, sync-exception ops limited to the
+	// impression path.
+	if err := pipe.Close(); err != nil {
+		return err
+	}
+	var rep caar.InvariantReport
+	resp, err := client.Get(ts.URL + "/v1/invariants")
+	if err != nil {
+		return err
+	}
+	err = json.NewDecoder(resp.Body).Decode(&rep)
+	resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	if rep.PostsDelivered != uint64(acked) {
+		return fmt.Errorf("ingest-smoke: %d posts acked but /v1/invariants reports %d delivered", acked, rep.PostsDelivered)
+	}
+	if len(rep.ApplyFirstOps) != 1 || rep.ApplyFirstOps[0] != string(journal.OpImpression) {
+		return fmt.Errorf("ingest-smoke: apply-first ops = %v, want exactly [%s]", rep.ApplyFirstOps, journal.OpImpression)
+	}
+
+	// Phase 4: the acks were durable, not just in memory — a fresh engine
+	// fed only the journal reaches the same delivered count.
+	if err := jw.Close(); err != nil {
+		return err
+	}
+	if _, err := jf.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	recovered, err := caar.Open(caar.DefaultConfig())
+	if err != nil {
+		return err
+	}
+	if _, err := seedSmokeGraph(recovered); err != nil {
+		return err
+	}
+	stats, err := journal.Replay(jf, recovered)
+	if err != nil {
+		return err
+	}
+	if stats.Applied != acked || stats.Skipped != 0 {
+		return fmt.Errorf("ingest-smoke: replay applied %d, skipped %d; want %d applied", stats.Applied, stats.Skipped, acked)
+	}
+	if got := recovered.Stats().PostsDelivered; got != uint64(acked) {
+		return fmt.Errorf("ingest-smoke: replayed engine delivered %d posts, acked %d", got, acked)
+	}
+
+	fmt.Printf("ingest-smoke: PASS — burst %d: %d acked, %d shed with Retry-After; all retries landed; invariants account for %d posts; replay reproduces them\n",
+		smokeBurst, acked-shed, shed, acked)
+	return nil
+}
+
+// seedSmokeGraph loads the smoke's tiny social graph: smokeUsers users who
+// all follow user 0, so every post fans out.
+func seedSmokeGraph(eng *caar.Engine) ([]string, error) {
+	users := make([]string, smokeUsers)
+	for i := range users {
+		users[i] = fmt.Sprintf("smoke%02d", i)
+		if err := eng.AddUser(users[i]); err != nil {
+			return nil, err
+		}
+	}
+	for _, u := range users[1:] {
+		if err := eng.Follow(u, users[0]); err != nil {
+			return nil, err
+		}
+	}
+	return users, nil
+}

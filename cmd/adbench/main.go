@@ -10,6 +10,8 @@
 //	adbench -contention 3s     # parallel-recommend-under-writer-churn bench
 //	adbench -hot-bench 5s      # hot-key telemetry overhead bench (tracking on vs off)
 //	adbench -hot-smoke         # end-to-end /v1/hot smoke: planted hot key must surface
+//	adbench -ingest-bench 6s   # group-commit write-path bench (batched ingest vs sync)
+//	adbench -ingest-smoke      # end-to-end ingest backpressure smoke: burst, 429s, drain
 package main
 
 import (
@@ -34,6 +36,9 @@ func main() {
 	hotBench := flag.Duration("hot-bench", 0, "run the hot-key-telemetry overhead bench for this long and exit (0 = off)")
 	hotOut := flag.String("hot-out", "BENCH_PR8.json", "output file for -hot-bench results")
 	hotSmoke := flag.Bool("hot-smoke", false, "serve traffic with a planted hot key, verify /v1/hot names it, and exit")
+	ingestBench := flag.Duration("ingest-bench", 0, "run the group-commit write-path bench for this long and exit (0 = off)")
+	ingestOut := flag.String("ingest-out", "BENCH_PR9.json", "output file for -ingest-bench results")
+	ingestSmoke := flag.Bool("ingest-smoke", false, "burst a tiny ingest ring behind a slow journal, verify 429+Retry-After shedding, drain, check invariants, and exit")
 	flag.Parse()
 
 	if *list {
@@ -70,6 +75,22 @@ func main() {
 
 	if *hotSmoke {
 		if err := runHotSmoke(); err != nil {
+			fmt.Fprintln(os.Stderr, "adbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *ingestBench > 0 {
+		if err := runIngestBench(*ingestBench, *ingestOut); err != nil {
+			fmt.Fprintln(os.Stderr, "adbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *ingestSmoke {
+		if err := runIngestSmoke(); err != nil {
 			fmt.Fprintln(os.Stderr, "adbench:", err)
 			os.Exit(1)
 		}

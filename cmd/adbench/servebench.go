@@ -224,38 +224,9 @@ func newServePhase(tracer *trace.Store, hotOff bool) (*servePhase, error) {
 		return nil, err
 	}
 
-	// Seed a small social graph with ads so recommendations have work to do.
-	const nUsers = 64
-	users := make([]string, nUsers)
-	now := time.Now()
-	for i := range users {
-		users[i] = fmt.Sprintf("user%03d", i)
-		if err := eng.AddUser(users[i]); err != nil {
-			return nil, err
-		}
-	}
-	for i, u := range users {
-		for f := 1; f <= 4; f++ {
-			if err := eng.Follow(u, users[(i+f*7)%nUsers]); err != nil {
-				return nil, err
-			}
-		}
-	}
-	for i := 0; i < 40; i++ {
-		ad := caar.Ad{
-			ID:   fmt.Sprintf("ad%03d", i),
-			Text: fmt.Sprintf("word%04d word%04d word%04d offer sale", i%500, (i*3)%500, (i*11)%500),
-			Bid:  0.1 + float64(i%10)/20,
-		}
-		if err := eng.AddAd(ad); err != nil {
-			return nil, err
-		}
-	}
-	for i, u := range users {
-		text := fmt.Sprintf("word%04d word%04d word%04d morning update", i%500, (i*5)%500, (i*13)%500)
-		if err := eng.Post(u, text, now); err != nil {
-			return nil, err
-		}
+	users, now, err := seedServeGraph(eng)
+	if err != nil {
+		return nil, err
 	}
 
 	ts := httptest.NewServer(server.New(eng, server.WithMetrics(reg)).Handler())
@@ -275,6 +246,45 @@ func newServePhase(tracer *trace.Store, hotOff bool) (*servePhase, error) {
 		users:  users,
 		at:     now.Format(time.RFC3339Nano),
 	}, nil
+}
+
+// seedServeGraph loads the shared bench dataset — a small social graph with
+// ads — so recommendations have work to do. Seeding goes through the raw
+// engine (not a journaled wrapper), leaving any attached journal empty.
+func seedServeGraph(eng *caar.Engine) ([]string, time.Time, error) {
+	const nUsers = 64
+	users := make([]string, nUsers)
+	now := time.Now()
+	for i := range users {
+		users[i] = fmt.Sprintf("user%03d", i)
+		if err := eng.AddUser(users[i]); err != nil {
+			return nil, now, err
+		}
+	}
+	for i, u := range users {
+		for f := 1; f <= 4; f++ {
+			if err := eng.Follow(u, users[(i+f*7)%nUsers]); err != nil {
+				return nil, now, err
+			}
+		}
+	}
+	for i := 0; i < 40; i++ {
+		ad := caar.Ad{
+			ID:   fmt.Sprintf("ad%03d", i),
+			Text: fmt.Sprintf("word%04d word%04d word%04d offer sale", i%500, (i*3)%500, (i*11)%500),
+			Bid:  0.1 + float64(i%10)/20,
+		}
+		if err := eng.AddAd(ad); err != nil {
+			return nil, now, err
+		}
+	}
+	for i, u := range users {
+		text := fmt.Sprintf("word%04d word%04d word%04d morning update", i%500, (i*5)%500, (i*13)%500)
+		if err := eng.Post(u, text, now); err != nil {
+			return nil, now, err
+		}
+	}
+	return users, now, nil
 }
 
 func (p *servePhase) close() {

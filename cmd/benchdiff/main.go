@@ -47,6 +47,11 @@ var metricDir = map[string]bool{
 	"recovery_ms":          false,
 	"tracing_overhead_pct": false,
 	"invariant_failures":   false,
+	"posts_per_sec":        true,
+	"post_speedup":         true,
+	"fsync_reduction":      true,
+	"mean_batch_entries":   true,
+	"rec_regression_pct":   false,
 }
 
 // phase is one named slice of a bench document: a worker count, a crash
@@ -166,6 +171,9 @@ func loadDoc(path string) (benchDoc, error) {
 	}
 
 	switch {
+	case has(raw, "post_speedup"):
+		d.Kind = "ingest"
+		err = normalizeIngest(raw, &d)
 	case has(raw, "baseline") && has(raw, "traced"):
 		d.Kind = "abba"
 		err = normalizeABBA(raw, &d)
@@ -239,6 +247,49 @@ func normalizeServeBench(blob []byte, d *benchDoc) error {
 	}
 	d.Phases = append(d.Phases, phase{Name: "summary", Metrics: summary})
 	d.Phases = append(d.Phases, endpointPhases(doc.Endpoints, "")...)
+	return nil
+}
+
+// normalizeIngest handles the PR9 group-commit write-path shape: two
+// servebench-style phases (synchronous journaled writes vs the batched
+// ingest pipeline) plus the write-saturation gates. The summary carries the
+// numbers the pipeline exists to move — posts/s, the speedup, the fsync
+// amortization — and the read-path regression measured at matched load.
+func normalizeIngest(raw map[string]json.RawMessage, d *benchDoc) error {
+	type phaseResult struct {
+		ThroughputRPS float64                  `json:"throughput_rps"`
+		Endpoints     map[string]endpointStats `json:"endpoints"`
+		RecP99Gate    float64                  `json:"rec_p99_gate_ms"`
+	}
+	var base, batched phaseResult
+	if err := json.Unmarshal(raw["baseline"], &base); err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+	if err := json.Unmarshal(raw["traced"], &batched); err != nil {
+		return fmt.Errorf("traced: %w", err)
+	}
+	num := func(key string) float64 {
+		var v float64
+		if b, ok := raw[key]; ok {
+			json.Unmarshal(b, &v)
+		}
+		return v
+	}
+	d.Phases = append(d.Phases, phase{Name: "summary", Metrics: map[string]float64{
+		"throughput_rps":     num("ingest_posts_per_sec"),
+		"posts_per_sec":      num("ingest_posts_per_sec"),
+		"post_speedup":       num("post_speedup"),
+		"fsync_reduction":    num("fsync_per_post_reduction"),
+		"mean_batch_entries": num("mean_batch_entries"),
+		"rec_regression_pct": num("tracing_overhead_pct"),
+	}})
+	for name, pr := range map[string]phaseResult{"sync": base, "ingest": batched} {
+		d.Phases = append(d.Phases, phase{
+			Name:    name,
+			Metrics: map[string]float64{"throughput_rps": pr.ThroughputRPS, "p99_ms": pr.RecP99Gate},
+		})
+		d.Phases = append(d.Phases, endpointPhases(pr.Endpoints, name+"/")...)
+	}
 	return nil
 }
 

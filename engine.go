@@ -469,109 +469,251 @@ func (e *Engine) RemoveAd(id string) error {
 	return nil
 }
 
-// CheckIn updates a user's location context.
+// CheckIn updates a user's location context. It is the single-item form of
+// CheckInBatch and shares its implementation.
 func (e *Engine) CheckIn(user string, lat, lng float64, at time.Time) error {
-	uid, err := e.lookupUser(user)
-	if err != nil {
+	return e.CheckInBatch([]CheckInRequest{{User: user, Lat: lat, Lng: lng, At: at}})[0]
+}
+
+// CheckInBatch applies a batch of location updates, grouped by destination
+// shard so each shard lock is taken once per batch. The returned slice has
+// one entry per request (nil on success), in request order; within a shard,
+// updates apply in request order.
+func (e *Engine) CheckInBatch(reqs []CheckInRequest) []error {
+	errs := make([]error, len(reqs))
+	if len(reqs) == 0 {
+		return errs
+	}
+	d := e.dir.Load()
+	type slot struct {
+		item int
+		uid  feed.UserID
+	}
+	groups := make([][]slot, len(e.shards))
+	for i, r := range reqs {
+		uid, err := d.lookup(r.User)
+		if err != nil {
+			errs[i] = err
+			continue
+		}
+		si := int(uid) % len(e.shards)
+		groups[si] = append(groups[si], slot{item: i, uid: uid})
+	}
+	for si, g := range groups {
+		if len(g) == 0 {
+			continue
+		}
+		sh := e.shards[si]
+		sh.mu.Lock()
+		for _, s := range g {
+			r := reqs[s.item]
+			if err := sh.eng.CheckIn(s.uid, geo.Point{Lat: r.Lat, Lng: r.Lng}, r.At); err != nil {
+				errs[s.item] = err
+				continue
+			}
+			e.checkIns.Add(1)
+		}
+		sh.mu.Unlock()
+	}
+	return errs
+}
+
+// ValidateUser reports whether a handle resolves in the current directory
+// snapshot. It is lock-free (one atomic pointer load) so the asynchronous
+// ingest accept path can reject unknown authors before enqueueing without
+// touching any shard lock.
+func (e *Engine) ValidateUser(handle string) error {
+	_, err := e.dir.Load().lookup(handle)
+	return err
+}
+
+// ValidateCheckIn reports whether a check-in would be accepted: the user
+// resolves and the point lies inside the configured region. Like
+// ValidateUser it is lock-free, so the asynchronous ingest path can return
+// the same rejections a synchronous CheckIn would — before acknowledging —
+// without touching any shard lock.
+func (e *Engine) ValidateCheckIn(user string, lat, lng float64) error {
+	if _, err := e.dir.Load().lookup(user); err != nil {
 		return err
 	}
-	sh := e.shardOf(uid)
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	if err := sh.eng.CheckIn(uid, geo.Point{Lat: lat, Lng: lng}, at); err != nil {
-		return err
+	r := e.cfg.Region
+	if lat < r.MinLat || lat > r.MaxLat || lng < r.MinLng || lng > r.MaxLng {
+		return fmt.Errorf("caar: check-in (%v, %v) outside region", lat, lng)
 	}
-	e.checkIns.Add(1)
 	return nil
 }
 
 // Post publishes a message: the text is semantically processed once and the
 // message fans out to the author's followers (and the author's own feed).
-// With Shards > 1, the fan-out is processed in parallel across shards.
+// With Shards > 1, the fan-out is processed in parallel across shards. Post
+// is the single-message form of PostBatch and shares its implementation.
 func (e *Engine) Post(author, text string, at time.Time) error {
-	uid, err := e.lookupUser(author)
-	if err != nil {
-		return err
-	}
-	msg := feed.Message{
-		ID:     feed.MessageID(e.msgSeq.Add(1)),
-		Author: uid,
-		Time:   at,
-		Vec:    e.vectorize(text),
-	}
-	e.trends.observe(timeslot.Of(at), msg.Vec)
-	for term := range msg.Vec {
-		e.hot.RecordKey(hotkey.DimTerms, uint64(term), 1)
-	}
-	followers := e.graph.Followers(uid)
-	all := make([]feed.UserID, 0, len(followers)+1)
-	all = append(all, uid) // the author sees their own post
-	all = append(all, followers...)
-	return e.deliver(msg, all, at)
+	return e.PostBatch([]PostRequest{{Author: author, Text: text, At: at}})[0]
 }
 
-func (e *Engine) deliver(msg feed.Message, all []feed.UserID, at time.Time) error {
-	// One directory snapshot serves the whole fan-out: every continuous
-	// recommendation emitted below resolves names against the same view.
+// PostBatch publishes a batch of messages with grouped fan-out: the batch is
+// partitioned by destination shard and each shard's lock is taken once per
+// batch, updating every affected follower window under that single
+// acquisition, instead of one lock round-trip per post. The returned slice
+// has one entry per request (nil on success), in request order; within a
+// shard, messages apply in request order. The asynchronous ingest pipeline
+// (package ingest) drains its ring through this entry point.
+//
+// Trending and hot-key telemetry are recorded only for posts whose delivery
+// succeeded — a failed fan-out must not pollute Trending or /v1/hot with
+// phantom counts.
+func (e *Engine) PostBatch(reqs []PostRequest) []error {
+	errs := make([]error, len(reqs))
+	if len(reqs) == 0 {
+		return errs
+	}
+	// One directory snapshot serves the whole batch: every lookup and every
+	// continuous recommendation below resolves names against the same view.
 	d := e.dir.Load()
-	// Group followers by shard.
-	groups := make([][]feed.UserID, len(e.shards))
-	for _, u := range all {
-		si := int(u) % len(e.shards)
-		groups[si] = append(groups[si], u)
+	msgs := make([]feed.Message, len(reqs))
+	for i, r := range reqs {
+		uid, err := d.lookup(r.Author)
+		if err != nil {
+			errs[i] = err
+			continue
+		}
+		msgs[i] = feed.Message{
+			ID:     feed.MessageID(e.msgSeq.Add(1)),
+			Author: uid,
+			Time:   r.At,
+			Vec:    e.vectorize(r.Text),
+		}
+	}
+	e.deliver(d, reqs, msgs, errs)
+	for i := range reqs {
+		if errs[i] != nil {
+			continue
+		}
+		// Telemetry strictly after successful delivery (a failed deliver used
+		// to leave phantom terms in Trending and /v1/hot?dim=terms).
+		e.trends.observe(timeslot.Of(reqs[i].At), msgs[i].Vec)
+		for term := range msgs[i].Vec {
+			e.hot.RecordKey(hotkey.DimTerms, uint64(term), 1)
+		}
+	}
+	return errs
+}
+
+// shardDelivery is one message's fan-out slice destined for a single shard.
+type shardDelivery struct {
+	item  int // index into the batch
+	users []feed.UserID
+}
+
+// continuousRec is one continuous-mode recommendation computed under the
+// shard lock and delivered to the OnRecommend callback after it is released.
+type continuousRec struct {
+	user feed.UserID
+	recs []core.Scored
+}
+
+// deliver fans a batch of messages out to their follower windows, grouped so
+// each shard lock is acquired once per batch. Per-item errors land in errs
+// (first error wins for an item split across shards). The continuous-mode
+// OnRecommend callback is invoked strictly outside the shard lock: a slow
+// consumer costs only its own goroutine, never the shard's fan-out or the
+// writers queued behind it. Each affected user gets one callback per batch
+// (after its last message of the batch), not one per message.
+func (e *Engine) deliver(d *directory, reqs []PostRequest, msgs []feed.Message, errs []error) {
+	groups := make([][]shardDelivery, len(e.shards))
+	for i := range reqs {
+		if errs[i] != nil {
+			continue
+		}
+		uid := msgs[i].Author
+		followers := e.graph.Followers(uid)
+		all := make([]feed.UserID, 0, len(followers)+1)
+		all = append(all, uid) // the author sees their own post
+		all = append(all, followers...)
+		perShard := make(map[int][]feed.UserID, len(e.shards))
+		for _, u := range all {
+			si := int(u) % len(e.shards)
+			perShard[si] = append(perShard[si], u)
+		}
+		for si, users := range perShard {
+			groups[si] = append(groups[si], shardDelivery{item: i, users: users})
+		}
 	}
 
 	var (
-		wg       sync.WaitGroup
-		firstErr error
-		errMu    sync.Mutex
+		wg    sync.WaitGroup
+		errMu sync.Mutex
 	)
-	for si, group := range groups {
-		if len(group) == 0 {
+	setErr := func(item int, err error) {
+		errMu.Lock() //caarlint:allow readpathlock per-item error collection off the fast path
+		if errs[item] == nil {
+			errs[item] = err
+		}
+		errMu.Unlock()
+	}
+	ok := make([]atomic.Bool, len(reqs))
+	run := func(si int, work []shardDelivery) {
+		sh := e.shards[si]
+		var out []continuousRec
+		affected := make(map[feed.UserID]time.Time)
+		sh.mu.Lock() //caarlint:allow readpathlock per-shard core lock is the designed serialization point
+		for _, wk := range work {
+			if err := sh.eng.Deliver(msgs[wk.item], wk.users); err != nil {
+				setErr(wk.item, err)
+				continue
+			}
+			ok[wk.item].Store(true)
+			if e.cfg.ContinuousK > 0 {
+				for _, u := range wk.users {
+					affected[u] = msgs[wk.item].Time
+				}
+			}
+		}
+		for u, at := range affected {
+			recs, err := sh.eng.TopAds(u, e.cfg.ContinuousK, at)
+			if err != nil {
+				e.obsm.continuousErrors.Inc()
+				continue
+			}
+			out = append(out, continuousRec{user: u, recs: recs})
+		}
+		sh.mu.Unlock()
+		// Callback outside the lock: collected under it, invoked after it.
+		for _, c := range out {
+			e.cfg.OnRecommend(d.userName(c.user), e.toRecommendations(d, c.recs))
+		}
+	}
+	busy := 0
+	for _, work := range groups {
+		if len(work) > 0 {
+			busy++
+		}
+	}
+	for si, work := range groups {
+		if len(work) == 0 {
 			continue
 		}
-		run := func(si int, group []feed.UserID) {
-			sh := e.shards[si]
-			sh.mu.Lock() //caarlint:allow readpathlock per-shard core lock is the designed serialization point
-			defer sh.mu.Unlock()
-			if err := sh.eng.Deliver(msg, group); err != nil {
-				errMu.Lock() //caarlint:allow readpathlock first-error collection off the per-request fast path
-				if firstErr == nil {
-					firstErr = err
-				}
-				errMu.Unlock()
-				return
-			}
-			if e.cfg.ContinuousK > 0 {
-				for _, u := range group {
-					recs, err := sh.eng.TopAds(u, e.cfg.ContinuousK, at)
-					if err != nil {
-						e.obsm.continuousErrors.Inc()
-						continue
-					}
-					e.cfg.OnRecommend(d.userName(u), e.toRecommendations(d, recs))
-				}
-			}
-		}
-		if len(e.shards) == 1 {
-			run(si, group)
+		if busy == 1 {
+			run(si, work)
 		} else {
 			wg.Add(1)
-			go func(si int, group []feed.UserID) {
+			go func(si int, work []shardDelivery) {
 				defer wg.Done()
-				run(si, group)
-			}(si, group)
+				run(si, work)
+			}(si, work)
 		}
 	}
 	wg.Wait()
-	if firstErr != nil {
-		return firstErr
+	for i := range reqs {
+		if errs[i] != nil || !ok[i].Load() {
+			continue
+		}
+		// Fan-out cost telemetry: the author is charged one unit per feed
+		// window written. Lock-free enqueue; nil-safe no-op when disabled.
+		n := e.graph.FollowerCount(msgs[i].Author) + 1
+		e.hot.RecordKey(hotkey.DimPosters, uint64(msgs[i].Author), uint64(n))
+		e.postsDelivered.Add(1)
 	}
-	// Fan-out cost telemetry: the author is charged one unit per feed
-	// window written. Lock-free enqueue; nil-safe no-op when disabled.
-	e.hot.RecordKey(hotkey.DimPosters, uint64(msg.Author), uint64(len(all)))
-	e.postsDelivered.Add(1)
-	return nil
 }
 
 // Recommend returns the top-k ads for a user at the given time.

@@ -1,0 +1,294 @@
+package caar
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"caar/internal/feed"
+)
+
+// TestPostBatchMatchesSequential checks that a PostBatch call leaves the
+// engine in the same observable state as the equivalent sequence of Post
+// calls: same recommendations, same delivery counters, same trending terms.
+func TestPostBatchMatchesSequential(t *testing.T) {
+	build := func(t *testing.T) *Engine {
+		e := openEngine(t, testConfig())
+		for _, u := range []string{"alice", "bob", "carol"} {
+			if err := e.AddUser(u); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, f := range [][2]string{{"alice", "bob"}, {"carol", "bob"}, {"alice", "carol"}} {
+			if err := e.Follow(f[0], f[1]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := e.AddAd(Ad{ID: "shoes", Text: "marathon running shoes with cushioned sole", Bid: 0.4}); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.AddAd(Ad{ID: "pizza", Text: "fresh pizza delivered hot tonight", Bid: 0.4}); err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	posts := []PostRequest{
+		{Author: "bob", Text: "great marathon today, my running shoes held up", At: morning},
+		{Author: "carol", Text: "pizza night after the marathon", At: morning.Add(time.Minute)},
+		{Author: "bob", Text: "cushioned sole makes all the difference", At: morning.Add(2 * time.Minute)},
+	}
+
+	seq := build(t)
+	for _, p := range posts {
+		if err := seq.Post(p.Author, p.Text, p.At); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bat := build(t)
+	for i, err := range bat.PostBatch(posts) {
+		if err != nil {
+			t.Fatalf("batch item %d: %v", i, err)
+		}
+	}
+
+	for _, u := range []string{"alice", "bob", "carol"} {
+		want, err := seq.Recommend(u, 2, morning.Add(3*time.Minute))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := bat.Recommend(u, 2, morning.Add(3*time.Minute))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("user %s: batch returned %d recs, sequential %d", u, len(got), len(want))
+		}
+		for i := range got {
+			if got[i].AdID != want[i].AdID {
+				t.Errorf("user %s rec %d: batch %s, sequential %s", u, i, got[i].AdID, want[i].AdID)
+			}
+		}
+	}
+	if s, b := seq.Stats().PostsDelivered, bat.Stats().PostsDelivered; s != b {
+		t.Errorf("posts delivered: sequential %d, batch %d", s, b)
+	}
+}
+
+// TestPostBatchPerItemErrors checks that an unknown author inside a batch
+// fails only its own slot: the other posts still deliver.
+func TestPostBatchPerItemErrors(t *testing.T) {
+	e := openEngine(t, testConfig())
+	for _, u := range []string{"alice", "bob"} {
+		if err := e.AddUser(u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Follow("alice", "bob"); err != nil {
+		t.Fatal(err)
+	}
+	errs := e.PostBatch([]PostRequest{
+		{Author: "bob", Text: "first post", At: morning},
+		{Author: "nobody", Text: "ghost post", At: morning},
+		{Author: "bob", Text: "second post", At: morning},
+	})
+	if errs[0] != nil || errs[2] != nil {
+		t.Fatalf("valid batch items failed: %v, %v", errs[0], errs[2])
+	}
+	if !errors.Is(errs[1], ErrUnknownUser) {
+		t.Fatalf("unknown author: got %v, want ErrUnknownUser", errs[1])
+	}
+	if got := e.Stats().PostsDelivered; got != 2 {
+		t.Fatalf("posts delivered = %d, want 2", got)
+	}
+}
+
+// TestCheckInBatchPerItemErrors checks per-item error reporting and that the
+// batched form updates location context exactly like the single-item form.
+func TestCheckInBatchPerItemErrors(t *testing.T) {
+	e := openEngine(t, testConfig())
+	if err := e.AddUser("alice"); err != nil {
+		t.Fatal(err)
+	}
+	errs := e.CheckInBatch([]CheckInRequest{
+		{User: "alice", Lat: 1.5, Lng: 1.5, At: morning},
+		{User: "nobody", Lat: 1.5, Lng: 1.5, At: morning},
+		{User: "alice", Lat: 99, Lng: 0, At: morning}, // outside the region
+	})
+	if errs[0] != nil {
+		t.Fatalf("valid check-in failed: %v", errs[0])
+	}
+	if !errors.Is(errs[1], ErrUnknownUser) {
+		t.Fatalf("unknown user: got %v, want ErrUnknownUser", errs[1])
+	}
+	if errs[2] == nil {
+		t.Fatal("out-of-region check-in accepted")
+	}
+	if got := e.Stats().CheckIns; got != 1 {
+		t.Fatalf("check-ins = %d, want 1", got)
+	}
+}
+
+// TestFailedDeliveryLeavesNoTrendingTelemetry is the regression test for the
+// telemetry-ordering bug: Engine.Post used to record trending terms (and
+// hot-key term telemetry) before delivery, so a failed fan-out polluted
+// Trending with phantom counts for a post that no feed ever received.
+func TestFailedDeliveryLeavesNoTrendingTelemetry(t *testing.T) {
+	e := openEngine(t, testConfig())
+	for _, u := range []string{"bob", "carol"} {
+		if err := e.AddUser(u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Control: a successful post's terms must show up in Trending, proving
+	// the text pipeline keeps the marker words we assert on below.
+	if err := e.Post("bob", "zanzibar zanzibar zanzibar", morning); err != nil {
+		t.Fatal(err)
+	}
+	if !trendingHas(t, e, "zanzibar") {
+		t.Fatal("control term missing from Trending; marker words do not survive the text pipeline")
+	}
+
+	// Wire a follower into the graph that no shard knows about, so carol's
+	// fan-out fails validation inside the core engine.
+	ghost := feed.UserID(1 << 20)
+	e.graph.AddUser(ghost)
+	carol, err := e.lookupUser("carol")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.graph.Follow(ghost, carol); err != nil {
+		t.Fatal(err)
+	}
+
+	before := e.Stats().PostsDelivered
+	if err := e.Post("carol", "quokka quokka quokka", morning); err == nil {
+		t.Fatal("post with unregistered follower succeeded, want delivery error")
+	}
+	if trendingHas(t, e, "quokka") {
+		t.Fatal("failed delivery left phantom term counts in Trending")
+	}
+	if got := e.Stats().PostsDelivered; got != before {
+		t.Fatalf("failed delivery counted as delivered: %d -> %d", before, got)
+	}
+}
+
+func trendingHas(t *testing.T, e *Engine, term string) bool {
+	t.Helper()
+	terms, err := e.Trending(Morning, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tt := range terms {
+		if tt.Term == term {
+			return true
+		}
+	}
+	return false
+}
+
+// TestSlowOnRecommendDoesNotHoldShardLock is the regression test for the
+// continuous-delivery callback bug: OnRecommend used to run while holding
+// the shard lock, so one slow consumer stalled the shard's entire fan-out
+// and every writer queued behind it. The callback must run outside the
+// lock: while it blocks, a check-in on the same shard must still complete.
+func TestSlowOnRecommendDoesNotHoldShardLock(t *testing.T) {
+	entered := make(chan struct{}, 16)
+	release := make(chan struct{})
+	cfg := testConfig()
+	cfg.Shards = 1
+	cfg.ContinuousK = 2
+	cfg.OnRecommend = func(user string, recs []Recommendation) {
+		entered <- struct{}{}
+		<-release
+	}
+	e := openEngine(t, cfg)
+	for _, u := range []string{"alice", "bob"} {
+		if err := e.AddUser(u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Follow("alice", "bob"); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.AddAd(Ad{ID: "shoes", Text: "marathon running shoes", Bid: 0.4}); err != nil {
+		t.Fatal(err)
+	}
+
+	postDone := make(chan error, 1)
+	go func() {
+		postDone <- e.Post("bob", "marathon running shoes forever", morning)
+	}()
+	select {
+	case <-entered:
+	case <-time.After(5 * time.Second):
+		t.Fatal("OnRecommend never invoked")
+	}
+
+	// The callback is now blocked. A writer on the same (only) shard must
+	// not be stuck behind it.
+	ciDone := make(chan error, 1)
+	go func() {
+		ciDone <- e.CheckIn("alice", 1.5, 1.5, morning)
+	}()
+	select {
+	case err := <-ciDone:
+		if err != nil {
+			t.Fatalf("check-in failed: %v", err)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("check-in blocked behind a slow OnRecommend callback: callback still holds the shard lock")
+	}
+
+	// Unblock and drain the remaining callbacks so Post can finish.
+	go func() {
+		for range entered {
+		}
+	}()
+	close(release)
+	if err := <-postDone; err != nil {
+		t.Fatalf("post failed: %v", err)
+	}
+}
+
+// TestPostBatchContinuousOncePerUser checks the batched continuous-delivery
+// contract: one OnRecommend callback per affected user per batch, not one
+// per message.
+func TestPostBatchContinuousOncePerUser(t *testing.T) {
+	var mu = make(chan struct{}, 1)
+	calls := map[string]int{}
+	cfg := testConfig()
+	cfg.Shards = 1
+	cfg.ContinuousK = 2
+	cfg.OnRecommend = func(user string, recs []Recommendation) {
+		mu <- struct{}{}
+		calls[user]++
+		<-mu
+	}
+	e := openEngine(t, cfg)
+	for _, u := range []string{"alice", "bob"} {
+		if err := e.AddUser(u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Follow("alice", "bob"); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.AddAd(Ad{ID: "shoes", Text: "marathon running shoes", Bid: 0.4}); err != nil {
+		t.Fatal(err)
+	}
+	var batch []PostRequest
+	for i := 0; i < 5; i++ {
+		batch = append(batch, PostRequest{Author: "bob", Text: fmt.Sprintf("running update %d", i), At: morning})
+	}
+	for i, err := range e.PostBatch(batch) {
+		if err != nil {
+			t.Fatalf("batch item %d: %v", i, err)
+		}
+	}
+	for _, u := range []string{"alice", "bob"} {
+		if calls[u] != 1 {
+			t.Errorf("user %s got %d continuous callbacks for one batch, want 1", u, calls[u])
+		}
+	}
+}

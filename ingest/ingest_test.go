@@ -1,0 +1,297 @@
+package ingest
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	caar "caar"
+	"caar/journal"
+)
+
+var t0 = time.Date(2026, 7, 6, 9, 0, 0, 0, time.UTC)
+
+func newEngine(t *testing.T) *caar.Engine {
+	t.Helper()
+	eng, err := caar.Open(caar.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range []string{"alice", "bob", "carol"} {
+		if err := eng.AddUser(u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := eng.Follow("alice", "bob"); err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+// countingJournal wraps a real Writer, counting batches and optionally
+// delaying or failing each commit.
+type countingJournal struct {
+	w       *journal.Writer
+	batches atomic.Int64
+	syncs   atomic.Int64
+	delay   time.Duration
+	fail    atomic.Bool
+}
+
+func (j *countingJournal) AppendBatch(entries []journal.Entry) error {
+	if j.delay > 0 {
+		time.Sleep(j.delay)
+	}
+	if j.fail.Load() {
+		return fmt.Errorf("%w: sync: injected", journal.ErrDurability)
+	}
+	j.batches.Add(1)
+	return j.w.AppendBatch(entries)
+}
+
+func (j *countingJournal) SyncPending() error {
+	j.syncs.Add(1)
+	return nil
+}
+
+func TestPipelineCommitsAppliesAndReplays(t *testing.T) {
+	eng := newEngine(t)
+	var log bytes.Buffer
+	// A 1ms "fsync" makes submitters pile up behind the in-flight commit, so
+	// group commit has something to group even on a fast machine.
+	cj := &countingJournal{w: journal.NewWriter(&log), delay: time.Millisecond}
+	p := New(eng, cj, nil, Config{QueueSize: 128, MaxBatch: 32})
+
+	const n = 200
+	var wg sync.WaitGroup
+	var acked atomic.Int64
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Retry on ErrQueueFull exactly as a client honoring 429 +
+			// Retry-After would.
+			for {
+				var err error
+				if i%4 == 3 {
+					err = p.SubmitCheckIn("alice", 1.5, 1.5, t0)
+				} else {
+					err = p.SubmitPost("bob", fmt.Sprintf("update %d from the road", i), t0)
+				}
+				if errors.Is(err, ErrQueueFull) {
+					time.Sleep(time.Millisecond)
+					continue
+				}
+				if err != nil {
+					t.Errorf("submit %d: %v", i, err)
+					return
+				}
+				acked.Add(1)
+				return
+			}
+		}(i)
+	}
+	wg.Wait()
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if acked.Load() != n {
+		t.Fatalf("acked %d of %d", acked.Load(), n)
+	}
+
+	// Everything acked was applied by Close's drain.
+	st := eng.Stats()
+	if st.PostsDelivered != n-n/4 {
+		t.Fatalf("posts delivered = %d, want %d", st.PostsDelivered, n-n/4)
+	}
+	if st.CheckIns != n/4 {
+		t.Fatalf("check-ins = %d, want %d", st.CheckIns, n/4)
+	}
+	// Group commit actually grouped: far fewer batches than entries.
+	if b := cj.batches.Load(); b >= n {
+		t.Fatalf("no batching: %d batches for %d entries", b, n)
+	}
+
+	// And the journal replays to the same state — the ack is backed by the
+	// log, not by memory.
+	recovered, err := caar.Open(caar.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range []string{"alice", "bob", "carol"} {
+		if err := recovered.AddUser(u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := recovered.Follow("alice", "bob"); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := journal.Replay(bytes.NewReader(log.Bytes()), recovered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Applied != n || stats.Skipped != 0 {
+		t.Fatalf("replay stats = %+v, want %d applied", stats, n)
+	}
+	if got := recovered.Stats().PostsDelivered; got != n-n/4 {
+		t.Fatalf("replayed posts = %d, want %d", got, n-n/4)
+	}
+}
+
+func TestPipelineQueueFullRejects(t *testing.T) {
+	eng := newEngine(t)
+	var log bytes.Buffer
+	cj := &countingJournal{w: journal.NewWriter(&log), delay: 20 * time.Millisecond}
+	p := New(eng, cj, nil, Config{QueueSize: 8, MaxBatch: 4})
+	defer p.Close()
+
+	const n = 120
+	var wg sync.WaitGroup
+	var full, ok atomic.Int64
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			err := p.SubmitPost("bob", fmt.Sprintf("burst %d", i), t0)
+			switch {
+			case err == nil:
+				ok.Add(1)
+			case errors.Is(err, ErrQueueFull):
+				full.Add(1)
+			default:
+				t.Errorf("unexpected error: %v", err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if full.Load() == 0 {
+		t.Fatal("slow journal with a tiny ring never rejected — backpressure is not wired")
+	}
+	if ok.Load() == 0 {
+		t.Fatal("every submit rejected — ring never drains")
+	}
+}
+
+func TestPipelineJournalErrorAcksFailureAppliesNothing(t *testing.T) {
+	eng := newEngine(t)
+	var log bytes.Buffer
+	cj := &countingJournal{w: journal.NewWriter(&log)}
+	cj.fail.Store(true)
+	p := New(eng, cj, nil, Config{QueueSize: 64, MaxBatch: 16})
+	defer p.Close()
+
+	err := p.SubmitPost("bob", "doomed", t0)
+	if !errors.Is(err, journal.ErrDurability) {
+		t.Fatalf("got %v, want ErrDurability", err)
+	}
+	if got := eng.Stats().PostsDelivered; got != 0 {
+		t.Fatalf("failed commit was applied: %d posts", got)
+	}
+	if log.Len() != 0 {
+		t.Fatal("failed commit reached the log buffer")
+	}
+}
+
+func TestPipelineValidatesBeforeEnqueue(t *testing.T) {
+	eng := newEngine(t)
+	var log bytes.Buffer
+	cj := &countingJournal{w: journal.NewWriter(&log)}
+	p := New(eng, cj, nil, Config{})
+	defer p.Close()
+
+	if err := p.SubmitPost("ghost", "boo", t0); !errors.Is(err, caar.ErrUnknownUser) {
+		t.Fatalf("unknown author: got %v, want ErrUnknownUser", err)
+	}
+	if err := p.SubmitCheckIn("ghost", 1, 1, t0); !errors.Is(err, caar.ErrUnknownUser) {
+		t.Fatalf("unknown user: got %v, want ErrUnknownUser", err)
+	}
+	if err := p.SubmitCheckIn("alice", 99, 0, t0); err == nil {
+		t.Fatal("out-of-region check-in accepted")
+	}
+	if log.Len() != 0 {
+		t.Fatal("rejected submissions reached the journal")
+	}
+}
+
+func TestPipelineClosedRejects(t *testing.T) {
+	eng := newEngine(t)
+	p := New(eng, &countingJournal{w: journal.NewWriter(&bytes.Buffer{})}, nil, Config{})
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.SubmitPost("bob", "late", t0); !errors.Is(err, ErrClosed) {
+		t.Fatalf("got %v, want ErrClosed", err)
+	}
+	// Close is idempotent.
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPipelineIdleTimerFlushesTail checks the satellite-4 wiring from the
+// pipeline side: an idle committer periodically calls the journal's
+// SyncPending so interval-policy records never sit unsynced waiting for the
+// next append.
+func TestPipelineIdleTimerFlushesTail(t *testing.T) {
+	eng := newEngine(t)
+	cj := &countingJournal{w: journal.NewWriter(&bytes.Buffer{})}
+	p := New(eng, cj, nil, Config{IdleSync: 5 * time.Millisecond})
+	defer p.Close()
+
+	if err := p.SubmitPost("bob", "one post then silence", t0); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for cj.syncs.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("idle committer never flushed the journal tail")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestRing(t *testing.T) {
+	r := newRing(4)
+	if got := len(r.slots); got != 4 {
+		t.Fatalf("capacity %d, want 4", got)
+	}
+	for i := 0; i < 4; i++ {
+		if !r.push(&item{}) {
+			t.Fatalf("push %d failed on non-full ring", i)
+		}
+	}
+	if r.push(&item{}) {
+		t.Fatal("push succeeded on full ring")
+	}
+	if got := r.depth(); got != 4 {
+		t.Fatalf("depth = %d, want 4", got)
+	}
+	for i := 0; i < 4; i++ {
+		if _, ok := r.pop(); !ok {
+			t.Fatalf("pop %d failed", i)
+		}
+	}
+	if _, ok := r.pop(); ok {
+		t.Fatal("pop succeeded on empty ring")
+	}
+	if got := r.depth(); got != 0 {
+		t.Fatalf("depth = %d, want 0", got)
+	}
+	// Wrap-around reuse.
+	for lap := 0; lap < 3; lap++ {
+		for i := 0; i < 4; i++ {
+			if !r.push(&item{}) {
+				t.Fatalf("lap %d push %d failed", lap, i)
+			}
+		}
+		for i := 0; i < 4; i++ {
+			if _, ok := r.pop(); !ok {
+				t.Fatalf("lap %d pop %d failed", lap, i)
+			}
+		}
+	}
+}

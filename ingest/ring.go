@@ -1,0 +1,85 @@
+package ingest
+
+import "sync/atomic"
+
+// ring is a bounded lock-free multi-producer single-consumer queue of
+// in-flight ingest items — the same bounded-MPMC design with per-slot
+// sequence numbers used by the hot-key record path (obs/hotkey), consumed
+// from the single committer goroutine. Producers never block and never spin
+// on a full ring: push fails fast and the handler turns that into a 429, so
+// overload surfaces as backpressure at the edge instead of goroutines piling
+// up on a shard lock.
+type ring struct {
+	slots []slot
+	mask  uint64
+	head  atomic.Uint64 // next enqueue position (producers, CAS)
+	tail  atomic.Uint64 // next dequeue position (written by the single consumer, read by the depth gauge)
+}
+
+type slot struct {
+	// seq == pos: slot free for the producer claiming pos.
+	// seq == pos+1: slot filled, ready for the consumer at pos.
+	seq atomic.Uint64
+	it  *item
+}
+
+// newRing rounds capacity up to a power of two.
+func newRing(capacity int) *ring {
+	n := 1
+	for n < capacity {
+		n <<= 1
+	}
+	r := &ring{slots: make([]slot, n), mask: uint64(n - 1)}
+	for i := range r.slots {
+		r.slots[i].seq.Store(uint64(i))
+	}
+	return r
+}
+
+// push enqueues it, returning false when the ring is full.
+func (r *ring) push(it *item) bool {
+	pos := r.head.Load()
+	for {
+		s := &r.slots[pos&r.mask]
+		seq := s.seq.Load()
+		switch d := int64(seq) - int64(pos); {
+		case d == 0:
+			if r.head.CompareAndSwap(pos, pos+1) {
+				s.it = it
+				s.seq.Store(pos + 1)
+				return true
+			}
+			pos = r.head.Load()
+		case d < 0:
+			// The slot still holds an entry from one lap ago: full.
+			return false
+		default:
+			// Another producer claimed pos; reload and retry.
+			pos = r.head.Load()
+		}
+	}
+}
+
+// pop dequeues the oldest item. Single-consumer: only the committer
+// goroutine calls it.
+func (r *ring) pop() (*item, bool) {
+	tail := r.tail.Load()
+	s := &r.slots[tail&r.mask]
+	if s.seq.Load() != tail+1 {
+		return nil, false
+	}
+	it := s.it
+	s.it = nil // release the item for GC once acked
+	s.seq.Store(tail + uint64(len(r.slots)))
+	r.tail.Store(tail + 1)
+	return it, true
+}
+
+// depth approximates the number of queued items; safe from any goroutine.
+func (r *ring) depth() int {
+	h, t := r.head.Load(), r.tail.Load()
+	if h < t {
+		return 0
+	}
+	return int(h - t)
+}

@@ -1,0 +1,139 @@
+package server
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	caar "caar"
+	"caar/ingest"
+	"caar/journal"
+)
+
+// fakeQueue scripts the ingest pipeline's answer so the HTTP mapping can be
+// tested without a real ring, journal or committer.
+type fakeQueue struct {
+	err    error
+	posts  int
+	checks int
+}
+
+func (q *fakeQueue) SubmitPost(author, text string, at time.Time) error {
+	q.posts++
+	return q.err
+}
+
+func (q *fakeQueue) SubmitCheckIn(user string, lat, lng float64, at time.Time) error {
+	q.checks++
+	return q.err
+}
+
+// TestIngestRouting: with WithIngest configured, posts and check-ins go to
+// the queue (not the synchronous engine path) and a nil ack maps to 204.
+func TestIngestRouting(t *testing.T) {
+	eng := testEngine(t)
+	q := &fakeQueue{}
+	srv := New(eng, WithIngest(q))
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, err := http.Post(ts.URL+"/v1/posts", "application/json",
+		strings.NewReader(`{"author":"alice","text":"hello"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("ingest post: %d, want 204", resp.StatusCode)
+	}
+	resp, err = http.Post(ts.URL+"/v1/checkins", "application/json",
+		strings.NewReader(`{"user":"alice","lat":1.5,"lng":1.5}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("ingest check-in: %d, want 204", resp.StatusCode)
+	}
+	if q.posts != 1 || q.checks != 1 {
+		t.Fatalf("queue saw %d posts, %d check-ins; want 1 and 1", q.posts, q.checks)
+	}
+	// The queue, not the engine, owns the write: nothing was applied.
+	if got := eng.Stats().PostsDelivered; got != 0 {
+		t.Fatalf("post bypassed the ingest queue: %d delivered", got)
+	}
+}
+
+// TestIngestQueueFullMaps429: ErrQueueFull is backpressure, not a client
+// error — 429 with a Retry-After hint, same shape as admission control.
+func TestIngestQueueFullMaps429(t *testing.T) {
+	srv := New(testEngine(t), WithIngest(&fakeQueue{err: ingest.ErrQueueFull}), WithRetryAfter(2*time.Second))
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, err := http.Post(ts.URL+"/v1/posts", "application/json",
+		strings.NewReader(`{"author":"alice","text":"burst"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("full ring: %d, want 429", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "2" {
+		t.Fatalf("Retry-After = %q, want \"2\"", got)
+	}
+}
+
+// TestIngestValidationErrorsKeepEngineMapping: the pipeline re-derives the
+// sync path's rejections at submission time; they must map to the same
+// statuses the synchronous handler produces.
+func TestIngestValidationErrorsKeepEngineMapping(t *testing.T) {
+	srv := New(testEngine(t), WithIngest(&fakeQueue{err: caar.ErrUnknownUser}))
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, err := http.Post(ts.URL+"/v1/posts", "application/json",
+		strings.NewReader(`{"author":"ghost","text":"boo"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown user via ingest: %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestIngestEndToEndThroughRealPipeline wires a real pipeline (no journal
+// durability needed — a no-op journal) behind the server and checks the
+// acked write becomes visible after Close drains the applier.
+func TestIngestEndToEndThroughRealPipeline(t *testing.T) {
+	eng := testEngine(t)
+	p := ingest.New(eng, nopJournal{}, nil, ingest.Config{QueueSize: 16, MaxBatch: 4})
+	srv := New(eng, WithIngest(p))
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, err := http.Post(ts.URL+"/v1/posts", "application/json",
+		strings.NewReader(`{"author":"alice","text":"through the ring"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("post via real pipeline: %d, want 204", resp.StatusCode)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := eng.Stats().PostsDelivered; got != 1 {
+		t.Fatalf("posts delivered = %d, want 1", got)
+	}
+}
+
+type nopJournal struct{}
+
+func (nopJournal) AppendBatch([]journal.Entry) error { return nil }
+func (nopJournal) SyncPending() error                { return nil }

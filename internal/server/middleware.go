@@ -43,6 +43,12 @@ func WithMaxInFlight(n int) Option { return func(s *Server) { s.maxInFlight = n 
 // responses. Default 1s.
 func WithRetryAfter(d time.Duration) Option { return func(s *Server) { s.retryAfter = d } }
 
+// WithIngest routes posts and check-ins through the batched asynchronous
+// ingest pipeline: the handler blocks until the write's group commit is
+// durable, and a full ingest ring sheds with 429 + Retry-After. All other
+// mutations stay synchronous.
+func WithIngest(q IngestQueue) Option { return func(s *Server) { s.ingest = q } }
+
 // WithLogger routes panic reports and shed notices to l instead of the
 // process-wide default logger.
 func WithLogger(l *log.Logger) Option { return func(s *Server) { s.logger = l } }

@@ -35,6 +35,7 @@ import (
 	"fmt"
 	"log"
 	"log/slog"
+	"math"
 	"net/http"
 	"strconv"
 	"strings"
@@ -42,6 +43,7 @@ import (
 	"time"
 
 	caar "caar"
+	"caar/ingest"
 	"caar/journal"
 	"caar/obs"
 	"caar/obs/capture"
@@ -64,6 +66,17 @@ type API interface {
 	ServeImpression(adID string, at time.Time) (bool, error)
 	Trending(slot caar.Slot, k int) ([]caar.TrendingTerm, error)
 	Stats() caar.Stats
+}
+
+// IngestQueue is the asynchronous write path for posts and check-ins
+// (*ingest.Pipeline implements it). When attached via WithIngest, the posts
+// and check-ins handlers submit through it — blocking until the write's
+// group commit is durable — instead of calling the synchronous engine path;
+// ingest.ErrQueueFull surfaces as 429 + Retry-After. Control-plane ops
+// (users, follows, campaigns, ads) always stay on the synchronous path.
+type IngestQueue interface {
+	SubmitPost(author, text string, at time.Time) error
+	SubmitCheckIn(user string, lat, lng float64, at time.Time) error
 }
 
 // PolicyAPI is implemented by engines that additionally support serving
@@ -105,6 +118,10 @@ type Server struct {
 	// recovery, when set, gates API traffic until journal replay finishes
 	// and feeds replay progress into the readiness probe (see obs.go).
 	recovery *journal.RecoveryProgress
+
+	// ingest, when set, carries posts and check-ins through the batched
+	// asynchronous write path (see IngestQueue).
+	ingest IngestQueue
 
 	// SLO tracking (see slo.go) and the anomaly flight recorder (see
 	// capture.go). debugPprof mounts net/http/pprof on the main mux.
@@ -320,11 +337,35 @@ func (s *Server) handleCheckIn(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	if s.ingest != nil {
+		s.finishWrite(w, s.ingest.SubmitCheckIn(req.User, req.Lat, req.Lng, at))
+		return
+	}
 	if err := s.eng.CheckIn(req.User, req.Lat, req.Lng, at); err != nil {
 		fail(w, err)
 		return
 	}
 	ok(w, nil)
+}
+
+// finishWrite completes an ingest-path write: a full ring is backpressure
+// (429 + Retry-After, same shape as admission control), every other error
+// follows the engine error→status table.
+func (s *Server) finishWrite(w http.ResponseWriter, err error) {
+	if err == nil {
+		ok(w, nil)
+		return
+	}
+	if errors.Is(err, ingest.ErrQueueFull) {
+		retry := s.retryAfter
+		if retry <= 0 {
+			retry = time.Second
+		}
+		w.Header().Set("Retry-After", strconv.FormatInt(int64(math.Ceil(retry.Seconds())), 10))
+		httpError(w, http.StatusTooManyRequests, "ingest queue full, retry later")
+		return
+	}
+	fail(w, err)
 }
 
 func (s *Server) handlePost(w http.ResponseWriter, r *http.Request) {
@@ -339,6 +380,10 @@ func (s *Server) handlePost(w http.ResponseWriter, r *http.Request) {
 	at, err := s.at(req.At)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if s.ingest != nil {
+		s.finishWrite(w, s.ingest.SubmitPost(req.Author, req.Text, at))
 		return
 	}
 	if err := s.eng.Post(req.Author, req.Text, at); err != nil {

@@ -53,6 +53,14 @@ type InvariantReport struct {
 	// Process-level memory signals.
 	HeapAllocBytes uint64 `json:"heap_alloc_bytes"`
 	Goroutines     int    `json:"goroutines"`
+
+	// ApplyFirstOps lists journal ops the durability layer applies before
+	// appending (everything else is journal-first / write-ahead). An ack for
+	// one of these carries a weaker guarantee — the mutation may exist in
+	// memory without a journal entry if the append fails — so the soak
+	// ledger classifies such acks as uncertain rather than guaranteed.
+	// Populated by the journal's Logged wrapper; empty for a bare engine.
+	ApplyFirstOps []string `json:"apply_first_ops,omitempty"`
 }
 
 // Invariants assembles the report. Safe to call concurrently with serving

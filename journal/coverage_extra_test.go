@@ -71,9 +71,11 @@ func TestLoggedRecordImpressionTo(t *testing.T) {
 	}
 }
 
-// TestLoggedMutatorFailuresNotJournaled drives the error branch of every
-// journaled mutator.
-func TestLoggedMutatorFailuresNotJournaled(t *testing.T) {
+// TestLoggedMutatorFailuresReplayAsSkips drives the error branch of every
+// journal-first mutator: the client sees the rejection, the write-ahead
+// entry lands in the log anyway, and replaying the log re-derives every
+// rejection as a clean skip — the recovered engine stays empty.
+func TestLoggedMutatorFailuresReplayAsSkips(t *testing.T) {
 	var log bytes.Buffer
 	l := NewLogged(newEngine(t), NewWriter(&log))
 	fails := []func() error{
@@ -89,8 +91,17 @@ func TestLoggedMutatorFailuresNotJournaled(t *testing.T) {
 			t.Fatalf("case %d: invalid operation accepted", i)
 		}
 	}
-	if log.Len() != 0 {
-		t.Fatalf("failures journaled: %s", log.String())
+	recovered := newEngine(t)
+	stats, err := Replay(bytes.NewReader(log.Bytes()), recovered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Applied != 0 || stats.Skipped != len(fails) {
+		t.Fatalf("rejected mutators did not replay as skips: %+v", stats)
+	}
+	st := recovered.Stats()
+	if st.Users != 0 || st.Ads != 0 {
+		t.Fatalf("replay of rejected mutators created state: %+v", st)
 	}
 }
 

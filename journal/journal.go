@@ -165,6 +165,11 @@ type Writer struct {
 	interval time.Duration
 	lastSync time.Time
 	now      func() time.Time
+	// pendingSync is set when an interval-policy append was acknowledged
+	// without an fsync. SyncPending flushes it; without that, an idle tail
+	// (traffic stops right after an append) would sit unsynced until the
+	// *next* append — indefinitely.
+	pendingSync bool
 
 	// observability: degraded flips on a durability failure and clears on
 	// the next successful append; readers (the readiness probe) must not
@@ -224,10 +229,14 @@ func (w *Writer) noteAppendError(err error) error {
 
 // noteAppendOK records a durable append of n framed bytes and clears the
 // degraded state.
-func (w *Writer) noteAppendOK(n int) {
+func (w *Writer) noteAppendOK(n int) { w.noteBatchOK(1, n) }
+
+// noteBatchOK records count appended entries totalling n framed bytes and
+// clears the degraded state.
+func (w *Writer) noteBatchOK(count, n int) {
 	w.degraded.Store(false)
 	if w.metrics != nil {
-		w.metrics.appends.Inc()
+		w.metrics.appends.Add(uint64(count))
 		w.metrics.appendBytes.Add(uint64(n))
 		w.metrics.degraded.Set(0)
 	}
@@ -273,6 +282,64 @@ func (w *Writer) Append(e Entry) error {
 	return nil
 }
 
+// AppendBatch writes a batch of framed entries and flushes them to the
+// underlying writer with at most ONE fsync for the whole batch — the group
+// commit at the heart of the asynchronous ingest path. Either the entire
+// batch is durable per the sync policy or an error is returned and the
+// caller must treat every entry in the batch as unacknowledged (a torn tail
+// is cut by Recover on restart). Entries are validated and encoded outside
+// the lock; the frame writes, single flush, and single policy sync happen
+// under one lock acquisition, so concurrent Append/AppendBatch callers can
+// never interleave frames.
+func (w *Writer) AppendBatch(entries []Entry) error {
+	if len(entries) == 0 {
+		return nil
+	}
+	bufs := make([][]byte, len(entries))
+	crcs := make([]uint32, len(entries))
+	for i, e := range entries {
+		if e.Op == "" {
+			return errors.New("journal: entry without op")
+		}
+		buf, err := json.Marshal(e)
+		if err != nil {
+			return fmt.Errorf("journal: marshal: %w", err)
+		}
+		bufs[i] = buf
+		crcs[i] = crc32.Checksum(buf, castagnoli)
+	}
+
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	total := 0
+	for i, buf := range bufs {
+		lenStr := strconv.Itoa(len(buf))
+		w.out.WriteString(framePrefix)
+		w.out.WriteString(lenStr)
+		w.out.WriteByte(' ')
+		fmt.Fprintf(w.out, "%08x ", crcs[i])
+		w.out.Write(buf)
+		if err := w.out.WriteByte('\n'); err != nil {
+			return w.noteAppendError(fmt.Errorf("%w: append: %w", ErrDurability, err))
+		}
+		total += len(framePrefix) + len(lenStr) + 1 + 9 + len(buf) + 1
+	}
+	if err := w.out.Flush(); err != nil {
+		return w.noteAppendError(fmt.Errorf("%w: flush: %w", ErrDurability, err))
+	}
+	faultinject.CrashPoint(CrashPreFsync)
+	if w.Sync != nil {
+		if err := w.Sync(); err != nil {
+			return w.noteAppendError(fmt.Errorf("%w: sync: %w", ErrDurability, err))
+		}
+	}
+	if err := w.maybeSyncLocked(); err != nil {
+		return w.noteAppendError(fmt.Errorf("%w: sync: %w", ErrDurability, err))
+	}
+	w.noteBatchOK(len(entries), total)
+	return nil
+}
+
 // maybeSyncLocked applies the fsync policy; callers hold w.mu.
 func (w *Writer) maybeSyncLocked() error {
 	if w.syncFn == nil {
@@ -288,8 +355,31 @@ func (w *Writer) maybeSyncLocked() error {
 				return err
 			}
 			w.lastSync = now
+			w.pendingSync = false
+		} else {
+			w.pendingSync = true
 		}
 	}
+	return nil
+}
+
+// SyncPending flushes a deferred interval-policy fsync: if the last append
+// was acknowledged without reaching stable storage, sync now. It is a no-op
+// under SyncAlways (nothing is ever pending) and SyncNever (the operator
+// opted out of fsync entirely). Callers with a clock — the ingest committer's
+// idle timer, adserver's background ticker — invoke it so records appended
+// just before traffic stops are not left unsynced until the next append.
+func (w *Writer) SyncPending() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if !w.pendingSync || w.syncFn == nil || w.policy != SyncIntervalPolicy {
+		return nil
+	}
+	if err := w.timedSync(); err != nil {
+		return w.noteAppendError(fmt.Errorf("%w: sync: %w", ErrDurability, err))
+	}
+	w.lastSync = w.now()
+	w.pendingSync = false
 	return nil
 }
 
@@ -317,6 +407,8 @@ func (w *Writer) Flush() error {
 		if err := w.syncFn(); err != nil {
 			return fmt.Errorf("journal: sync: %w", err)
 		}
+		w.lastSync = w.now()
+		w.pendingSync = false
 	}
 	return nil
 }
@@ -658,70 +750,91 @@ func (l *Logged) HealthProblems() []string {
 	return probs
 }
 
-// AddUser journals and applies.
+// Mutations follow the write-ahead contract: append (durable per the sync
+// policy) first, then apply to the engine. The old apply-then-append order
+// had a real failure mode — an append error (disk full, fsync failure)
+// returned an error to the client while the mutation stayed live in memory,
+// then silently vanished on restart; readers observed state the journal
+// never contained. Journal-first closes it: an append error applies nothing,
+// and an apply error after a durable append returns that error to the client
+// while replay deterministically re-derives the same rejection (counted as a
+// skip). Impressions are the one exception — billability is decided by the
+// engine, so they stay apply-first and are declared in ApplyFirstOps for the
+// soak ledger to classify as uncertain rather than acked.
+
+// AddUser journals, then applies.
 func (l *Logged) AddUser(handle string) error {
-	if err := l.Engine.AddUser(handle); err != nil {
+	if err := l.w.Append(Entry{Op: OpAddUser, User: handle}); err != nil {
 		return err
 	}
-	return l.w.Append(Entry{Op: OpAddUser, User: handle})
+	return l.Engine.AddUser(handle)
 }
 
-// Follow journals and applies.
+// Follow journals, then applies.
 func (l *Logged) Follow(follower, followee string) error {
-	if err := l.Engine.Follow(follower, followee); err != nil {
+	if err := l.w.Append(Entry{Op: OpFollow, User: follower, Followee: followee}); err != nil {
 		return err
 	}
-	return l.w.Append(Entry{Op: OpFollow, User: follower, Followee: followee})
+	return l.Engine.Follow(follower, followee)
 }
 
-// Unfollow journals and applies.
+// Unfollow journals, then applies.
 func (l *Logged) Unfollow(follower, followee string) error {
-	if err := l.Engine.Unfollow(follower, followee); err != nil {
+	if err := l.w.Append(Entry{Op: OpUnfollow, User: follower, Followee: followee}); err != nil {
 		return err
 	}
-	return l.w.Append(Entry{Op: OpUnfollow, User: follower, Followee: followee})
+	return l.Engine.Unfollow(follower, followee)
 }
 
-// AddCampaign journals and applies.
+// AddCampaign journals, then applies.
 func (l *Logged) AddCampaign(name string, budget float64, start, end time.Time) error {
-	if err := l.Engine.AddCampaign(name, budget, start, end); err != nil {
-		return err
-	}
-	return l.w.Append(Entry{Op: OpAddCampaign, Campaign: &CampaignEntry{
+	if err := l.w.Append(Entry{Op: OpAddCampaign, Campaign: &CampaignEntry{
 		Name: name, Budget: budget, Start: start, End: end,
-	}})
+	}}); err != nil {
+		return err
+	}
+	return l.Engine.AddCampaign(name, budget, start, end)
 }
 
-// AddAd journals and applies.
+// AddAd journals, then applies.
 func (l *Logged) AddAd(ad caar.Ad) error {
-	if err := l.Engine.AddAd(ad); err != nil {
+	if err := l.w.Append(Entry{Op: OpAddAd, Ad: &ad}); err != nil {
 		return err
 	}
-	return l.w.Append(Entry{Op: OpAddAd, Ad: &ad})
+	return l.Engine.AddAd(ad)
 }
 
-// RemoveAd journals and applies.
+// RemoveAd journals, then applies.
 func (l *Logged) RemoveAd(id string) error {
-	if err := l.Engine.RemoveAd(id); err != nil {
+	if err := l.w.Append(Entry{Op: OpRemoveAd, AdID: id}); err != nil {
 		return err
 	}
-	return l.w.Append(Entry{Op: OpRemoveAd, AdID: id})
+	return l.Engine.RemoveAd(id)
 }
 
-// Post journals and applies.
+// Post journals, then applies.
 func (l *Logged) Post(author, text string, at time.Time) error {
-	if err := l.Engine.Post(author, text, at); err != nil {
+	if err := l.w.Append(Entry{Op: OpPost, User: author, Text: text, At: at}); err != nil {
 		return err
 	}
-	return l.w.Append(Entry{Op: OpPost, User: author, Text: text, At: at})
+	return l.Engine.Post(author, text, at)
 }
 
-// CheckIn journals and applies.
+// CheckIn journals, then applies.
 func (l *Logged) CheckIn(user string, lat, lng float64, at time.Time) error {
-	if err := l.Engine.CheckIn(user, lat, lng, at); err != nil {
+	if err := l.w.Append(Entry{Op: OpCheckIn, User: user, Lat: lat, Lng: lng, At: at}); err != nil {
 		return err
 	}
-	return l.w.Append(Entry{Op: OpCheckIn, User: user, Lat: lat, Lng: lng, At: at})
+	return l.Engine.CheckIn(user, lat, lng, at)
+}
+
+// Invariants annotates the engine's report with the ops that remain
+// apply-first (impressions: the engine decides billability before the entry
+// exists), so the soak ledger knows which acks carry weaker guarantees.
+func (l *Logged) Invariants() caar.InvariantReport {
+	rep := l.Engine.Invariants()
+	rep.ApplyFirstOps = []string{string(OpImpression)}
+	return rep
 }
 
 // ServeImpression journals (when billable) and applies.

@@ -2,6 +2,7 @@ package journal
 
 import (
 	"bytes"
+	"errors"
 	"strings"
 	"testing"
 	"time"
@@ -164,7 +165,43 @@ func TestWriterRejectsEmptyOp(t *testing.T) {
 	}
 }
 
-func TestLoggedDoesNotJournalFailures(t *testing.T) {
+// errWriter fails every write, simulating a full or failing disk under the
+// journal.
+type errWriter struct{}
+
+func (errWriter) Write(p []byte) (int, error) { return 0, errors.New("disk full") }
+
+// TestLoggedFailedAppendAppliesNothing is the regression test for the
+// write-ordering bug: Logged used to apply the engine mutation before
+// appending, so a failed append returned an error to the client while the
+// mutation stayed live in memory — and silently vanished on restart.
+// Journal-first means an append failure must leave the engine untouched.
+func TestLoggedFailedAppendAppliesNothing(t *testing.T) {
+	l := NewLogged(newEngine(t), NewWriter(errWriter{}))
+	if err := l.AddUser("alice"); err == nil {
+		t.Fatal("append to failing disk reported success")
+	}
+	if got := l.Stats().Users; got != 0 {
+		t.Fatalf("failed append left mutation live in memory: %d users, want 0", got)
+	}
+	if err := l.AddCampaign("c", 1, t0, t0.Add(time.Hour)); err == nil {
+		t.Fatal("append to failing disk reported success")
+	}
+	if err := l.AddAd(caar.Ad{ID: "x", Text: "sneaker promo", Bid: 0.1}); err == nil {
+		t.Fatal("append to failing disk reported success")
+	}
+	if got := l.Stats().Ads; got != 0 {
+		t.Fatalf("failed append left ad live in memory: %d ads, want 0", got)
+	}
+}
+
+// TestLoggedJournalFirst pins down the write-ahead contract: rejected
+// mutations may leave entries in the journal (the append happens before
+// validation), but replaying that journal reproduces the exact same end
+// state because the engine re-derives the same rejections as skips. The
+// impression path is the documented exception — billability is decided by
+// the engine, so unserved impressions are applied-first and never journaled.
+func TestLoggedJournalFirst(t *testing.T) {
 	var log bytes.Buffer
 	l := NewLogged(newEngine(t), NewWriter(&log))
 	if err := l.AddUser(""); err == nil {
@@ -173,9 +210,20 @@ func TestLoggedDoesNotJournalFailures(t *testing.T) {
 	if err := l.Follow("x", "y"); err == nil {
 		t.Fatal("unknown users accepted")
 	}
-	if log.Len() != 0 {
-		t.Fatalf("failed operations were journaled: %s", log.String())
+	// The rejected ops were journaled (write-ahead), but they must replay as
+	// clean skips, converging to the same state.
+	recovered := newEngine(t)
+	stats, err := Replay(bytes.NewReader(log.Bytes()), recovered)
+	if err != nil {
+		t.Fatal(err)
 	}
+	if stats.Applied != 0 || stats.Skipped != 2 {
+		t.Fatalf("rejected ops did not replay as skips: %+v", stats)
+	}
+	if got := recovered.Stats().Users; got != 0 {
+		t.Fatalf("replay of rejected ops created state: %d users", got)
+	}
+
 	// An unbillable impression is applied but not journaled.
 	l.AddUser("u")
 	l.AddCampaign("c", 0.1, t0, t0.Add(time.Hour))
@@ -187,6 +235,11 @@ func TestLoggedDoesNotJournalFailures(t *testing.T) {
 	}
 	if log.Len() != before {
 		t.Fatal("unserved impression journaled")
+	}
+	// And the wrapper declares the apply-first exception for the soak ledger.
+	rep := l.Invariants()
+	if len(rep.ApplyFirstOps) != 1 || rep.ApplyFirstOps[0] != string(OpImpression) {
+		t.Fatalf("ApplyFirstOps = %v, want [%s]", rep.ApplyFirstOps, OpImpression)
 	}
 }
 

@@ -113,6 +113,24 @@ type Ad struct {
 	Bid float64
 }
 
+// PostRequest is one post in a PostBatch call: the batched form of the
+// Post(author, text, at) argument list. The asynchronous ingest pipeline
+// buffers these between accept and apply.
+type PostRequest struct {
+	Author string
+	Text   string
+	At     time.Time
+}
+
+// CheckInRequest is one location update in a CheckInBatch call: the batched
+// form of the CheckIn(user, lat, lng, at) argument list.
+type CheckInRequest struct {
+	User string
+	Lat  float64
+	Lng  float64
+	At   time.Time
+}
+
 // Recommendation is one ranked ad for a user, with the score decomposition.
 type Recommendation struct {
 	AdID  string
