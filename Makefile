@@ -6,7 +6,12 @@ STATICCHECK_VERSION ?= 2025.1
 
 CAARLINT := bin/caarlint
 
-.PHONY: all check lint vet staticcheck caarlint tools-test build test race fuzz-smoke bench bench-smoke bench-contention bench-hot bench-ingest hot-smoke ingest-smoke soak-smoke capture-smoke bench-diff clean
+# The full analyzer suite, in the order cmd/caarlint registers it. Used by
+# the per-analyzer finding summary below; keep in sync with
+# tools/cmd/caarlint/main.go (`caarlint -list` prints the same set).
+CAARLINT_ANALYZERS := cowmut readpathlock metricname fsyncrename errstatus lockorder goroutinelife atomicfield batchalias
+
+.PHONY: all check lint vet staticcheck caarlint tools-test build test race race-matrix fuzz-smoke bench bench-smoke bench-contention bench-hot bench-ingest hot-smoke ingest-smoke soak-smoke capture-smoke bench-diff clean
 
 all: check
 
@@ -37,8 +42,18 @@ staticcheck:
 # invariants DESIGN.md documents under "Enforced invariants": COW snapshot
 # immutability, read-path lock-freedom, metric naming, fsync-before-rename,
 # and the error→status table.
+# Every diagnostic message carries its analyzer name as a "name: " prefix,
+# so the summary is a plain grep over the vet output. The target fails iff
+# go vet failed; the summary is printed either way.
 caarlint: $(CAARLINT)
-	$(GO) vet -vettool=$(CAARLINT) ./...
+	@out=$$($(GO) vet -vettool=$(CAARLINT) ./... 2>&1); status=$$?; \
+	if [ -n "$$out" ]; then printf '%s\n' "$$out"; fi; \
+	echo "caarlint: findings per analyzer:"; \
+	for a in $(CAARLINT_ANALYZERS); do \
+		n=$$(printf '%s\n' "$$out" | grep -c ": $$a: "); \
+		printf '  %-14s %s\n' "$$a" "$$n"; \
+	done; \
+	exit $$status
 
 $(CAARLINT): $(wildcard tools/caarlint/*/*.go tools/cmd/caarlint/*.go)
 	cd tools && $(GO) build -o ../$(CAARLINT) ./cmd/caarlint
@@ -59,6 +74,25 @@ test:
 # shard locking, dynBuf aging) and their stress tests.
 race:
 	$(GO) test -race ./...
+
+# race-matrix is the concurrency gate: the full test suite plus the three
+# end-to-end smokes, all race-built with GORACE=halt_on_error=1 so the
+# first data race aborts the run, and all with the caarlockwatch build tag
+# plus CAAR_LOCKWATCH armed so any mutex held past the bound dumps every
+# goroutine stack (CAAR_LOCKWATCH_OUT, default lockwatch-stacks.txt) and
+# panics instead of hanging CI. The tag also compiles in the watchdog's own
+# trip/release/disarm tests, which plain `make race` skips.
+race-matrix: export GORACE = halt_on_error=1
+race-matrix: export CAAR_LOCKWATCH = 5s
+race-matrix:
+	$(GO) test -race -tags caarlockwatch ./...
+	$(GO) run -race -tags caarlockwatch ./cmd/adbench -ingest-smoke
+	$(GO) run -race -tags caarlockwatch ./cmd/adbench -hot-smoke
+	$(GO) build -race -tags caarlockwatch -o bin/adserver ./cmd/adserver
+	$(GO) build -race -tags caarlockwatch -o bin/adsoak ./cmd/adsoak
+	./bin/adsoak -server-bin bin/adserver -addr 127.0.0.1:9785 \
+		-users 80 -ads 200 -messages 2500 -events-per-cycle 150 \
+		-kills 3 -out BENCH_SOAK_RACE.json
 
 # fuzz-smoke gives each fuzz target a short budget — enough to catch a
 # regression in the journal frame decoder, crash recovery, or the request

@@ -20,6 +20,7 @@ import (
 	"os"
 
 	"caar/internal/experiments"
+	"caar/internal/faultinject"
 )
 
 func main() {
@@ -40,6 +41,16 @@ func main() {
 	ingestOut := flag.String("ingest-out", "BENCH_PR9.json", "output file for -ingest-bench results")
 	ingestSmoke := flag.Bool("ingest-smoke", false, "burst a tiny ingest ring behind a slow journal, verify 429+Retry-After shedding, drain, check invariants, and exit")
 	flag.Parse()
+
+	// Lock watchdog: a no-op outside `-tags caarlockwatch` builds; the
+	// race-matrix smokes build with the tag and set CAAR_LOCKWATCH so a
+	// mutex held past the bound dumps all goroutine stacks and panics.
+	if spec, err := faultinject.ArmLockWatchFromEnv(); err != nil {
+		fmt.Fprintln(os.Stderr, "adbench:", err)
+		os.Exit(1)
+	} else if spec != "" {
+		fmt.Fprintf(os.Stderr, "adbench: faultinject: lock watchdog armed: bound %s\n", spec)
+	}
 
 	if *list {
 		for _, id := range experiments.IDs() {

@@ -168,6 +168,14 @@ func run() error {
 	} else if spec != "" {
 		log.Printf("faultinject: delay points armed: %s", spec)
 	}
+	// Lock watchdog: a no-op outside `-tags caarlockwatch` builds; the
+	// race-matrix smokes build with the tag and set CAAR_LOCKWATCH so a
+	// mutex held past the bound dumps all goroutine stacks and panics.
+	if spec, err := faultinject.ArmLockWatchFromEnv(); err != nil {
+		return err
+	} else if spec != "" {
+		log.Printf("faultinject: lock watchdog armed: bound %s", spec)
+	}
 
 	// The journal is recovered AFTER the listener opens (below), behind the
 	// server's recovery gate: API traffic gets 503 + Retry-After and

@@ -17,7 +17,9 @@
 //
 // Same-kind comparisons are gated: a metric that moves in the bad direction
 // by more than -budget (default 10%) is a REGRESSION and the exit status is
-// 1. Cross-kind comparisons (different workloads; the checked-in BENCH files
+// 1. A same-kind pair whose phase sets differ also fails with the missing
+// phases named on stderr — aligning on the intersection would hide a phase
+// a harness silently stopped emitting. Cross-kind comparisons (different workloads; the checked-in BENCH files
 // span four harnesses) align only on the synthetic "summary" phase and are
 // reported as informational — shown, never gated — so the cross-PR
 // trajectory is visible without pretending a contention run and a soak run
@@ -85,6 +87,12 @@ type comparison struct {
 	ToKind   string          `json:"to_kind"`
 	Gated    bool            `json:"gated"`
 	Metrics  []metricVerdict `json:"metrics"`
+	// PhaseMismatch names every phase present in exactly one side of a
+	// same-kind pair. A gated comparison with a non-empty mismatch fails
+	// the run: silently aligning on the intersection would let a harness
+	// that stopped emitting a phase (a dropped worker count, a missing
+	// crash cycle) pass the gate with the regressed phase simply absent.
+	PhaseMismatch []string `json:"phase_mismatch,omitempty"`
 }
 
 type trajectory struct {
@@ -93,6 +101,9 @@ type trajectory struct {
 	Files       []benchDoc   `json:"files"`
 	Comparisons []comparison `json:"comparisons"`
 	Regressions int          `json:"regressions"`
+	// PhaseMismatches counts gated pairs whose phase sets differ; any
+	// non-zero value fails the run alongside Regressions.
+	PhaseMismatches int `json:"phase_mismatches"`
 }
 
 func main() {
@@ -130,6 +141,9 @@ func main() {
 				traj.Regressions++
 			}
 		}
+		if len(c.PhaseMismatch) > 0 {
+			traj.PhaseMismatches++
+		}
 	}
 
 	printTable(traj)
@@ -147,9 +161,28 @@ func main() {
 		fmt.Printf("\nwrote %s\n", *out)
 	}
 
+	fail := false
 	if traj.Regressions > 0 {
 		fmt.Fprintf(os.Stderr, "benchdiff: %d metric(s) regressed past the %.0f%% budget\n",
 			traj.Regressions, *budget*100)
+		fail = true
+	}
+	if traj.PhaseMismatches > 0 {
+		for _, c := range traj.Comparisons {
+			if len(c.PhaseMismatch) == 0 {
+				continue
+			}
+			fmt.Fprintf(os.Stderr, "benchdiff: %s -> %s: same-kind pair (%s) has mismatched phase sets:\n",
+				c.From, c.To, c.FromKind)
+			for _, p := range c.PhaseMismatch {
+				fmt.Fprintf(os.Stderr, "  %s\n", p)
+			}
+		}
+		fmt.Fprintf(os.Stderr, "benchdiff: %d same-kind pair(s) with mismatched phase sets\n",
+			traj.PhaseMismatches)
+		fail = true
+	}
+	if fail {
 		os.Exit(1)
 	}
 }
@@ -441,6 +474,23 @@ func compare(from, to benchDoc, budget float64) comparison {
 	for _, p := range to.Phases {
 		toPhases[p.Name] = p
 	}
+	if c.Gated {
+		fromNames := map[string]bool{}
+		for _, p := range from.Phases {
+			fromNames[p.Name] = true
+			if _, ok := toPhases[p.Name]; !ok {
+				c.PhaseMismatch = append(c.PhaseMismatch,
+					fmt.Sprintf("%s (only in %s)", p.Name, from.Path))
+			}
+		}
+		for _, p := range to.Phases {
+			if !fromNames[p.Name] {
+				c.PhaseMismatch = append(c.PhaseMismatch,
+					fmt.Sprintf("%s (only in %s)", p.Name, to.Path))
+			}
+		}
+		sort.Strings(c.PhaseMismatch)
+	}
 	for _, fp := range from.Phases {
 		if !c.Gated && fp.Name != "summary" {
 			continue
@@ -524,6 +574,9 @@ func printTable(traj trajectory) {
 			mode = fmt.Sprintf("informational: %s vs %s workloads differ", c.FromKind, c.ToKind)
 		}
 		fmt.Printf("\n%s -> %s  (%s)\n", c.From, c.To, mode)
+		for _, p := range c.PhaseMismatch {
+			fmt.Printf("  PHASE MISMATCH: %s\n", p)
+		}
 		if len(c.Metrics) == 0 {
 			fmt.Println("  no shared phases/metrics")
 			continue

@@ -1,0 +1,68 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func doc(path, kind string, phaseNames ...string) benchDoc {
+	d := benchDoc{Path: path, Kind: kind}
+	for _, n := range phaseNames {
+		d.Phases = append(d.Phases, phase{Name: n, Metrics: map[string]float64{
+			"throughput_rps": 100,
+		}})
+	}
+	return d
+}
+
+// A same-kind pair whose phase sets differ must surface every missing phase
+// by name, in both directions, instead of silently comparing the
+// intersection.
+func TestComparePhaseMismatchSameKind(t *testing.T) {
+	from := doc("old.json", "contention", "workers=1", "workers=4", "summary")
+	to := doc("new.json", "contention", "workers=1", "workers=8", "summary")
+
+	c := compare(from, to, 0.10)
+	if !c.Gated {
+		t.Fatalf("same-kind pair should be gated")
+	}
+	if len(c.PhaseMismatch) != 2 {
+		t.Fatalf("PhaseMismatch = %q, want 2 entries", c.PhaseMismatch)
+	}
+	joined := strings.Join(c.PhaseMismatch, "\n")
+	for _, want := range []string{
+		"workers=4 (only in old.json)",
+		"workers=8 (only in new.json)",
+	} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("PhaseMismatch %q missing %q", c.PhaseMismatch, want)
+		}
+	}
+	// The shared phases still get verdicts: the mismatch adds a failure, it
+	// does not suppress the comparison.
+	if len(c.Metrics) == 0 {
+		t.Errorf("shared phases should still be compared, got no metrics")
+	}
+}
+
+func TestCompareMatchedPhasesNoMismatch(t *testing.T) {
+	from := doc("old.json", "contention", "workers=1", "summary")
+	to := doc("new.json", "contention", "workers=1", "summary")
+	if c := compare(from, to, 0.10); len(c.PhaseMismatch) != 0 {
+		t.Fatalf("matched phase sets reported mismatch: %q", c.PhaseMismatch)
+	}
+}
+
+// Cross-kind pairs align only on "summary" by design; differing phase sets
+// are expected there and must not be reported as a mismatch.
+func TestCompareCrossKindNoMismatch(t *testing.T) {
+	from := doc("old.json", "contention", "workers=1", "summary")
+	to := doc("new.json", "soak", "crash:sigkill", "summary")
+	c := compare(from, to, 0.10)
+	if c.Gated {
+		t.Fatalf("cross-kind pair should not be gated")
+	}
+	if len(c.PhaseMismatch) != 0 {
+		t.Fatalf("cross-kind pair reported phase mismatch: %q", c.PhaseMismatch)
+	}
+}

@@ -37,7 +37,7 @@ type Engine struct {
 	// also guarded by dirMu.
 	dir    atomic.Pointer[directory]
 	dirMu  sync.Mutex
-	nextAd adstore.AdID
+	nextAd adstore.AdID // guarded by dirMu
 
 	shards      []shard
 	msgSeq      atomic.Int64
@@ -288,8 +288,10 @@ func (e *Engine) AddUser(handle string) error {
 		return fmt.Errorf("%w: empty user handle", ErrBadConfig)
 	}
 	e.dirMu.Lock()
+	unwatch := faultinject.WatchLock("engine.dirMu")
 	d := e.dir.Load()
 	if _, dup := d.users[handle]; dup {
+		unwatch()
 		e.dirMu.Unlock()
 		return fmt.Errorf("%w: user %q", ErrDuplicate, handle)
 	}
@@ -298,6 +300,7 @@ func (e *Engine) AddUser(handle string) error {
 	nd.users[handle] = id
 	nd.names = append(nd.names, handle)
 	e.dir.Store(nd)
+	unwatch()
 	e.dirMu.Unlock()
 
 	e.graph.AddUser(id)
@@ -418,6 +421,7 @@ func (e *Engine) AddAd(ad Ad) error {
 func (e *Engine) mapAd(name, campaign string) (adstore.AdID, error) {
 	e.dirMu.Lock()
 	defer e.dirMu.Unlock()
+	defer faultinject.WatchLock("engine.dirMu")()
 	d := e.dir.Load()
 	if _, dup := d.adIDs[name]; dup {
 		return 0, fmt.Errorf("%w: ad %q", ErrDuplicate, name)
@@ -430,7 +434,9 @@ func (e *Engine) mapAd(name, campaign string) (adstore.AdID, error) {
 
 func (e *Engine) unmapAd(name string, id adstore.AdID) {
 	e.dirMu.Lock()
+	unwatch := faultinject.WatchLock("engine.dirMu")
 	e.dir.Store(e.dir.Load().withoutAd(name, id))
+	unwatch()
 	e.dirMu.Unlock()
 }
 
@@ -443,21 +449,26 @@ func (e *Engine) unmapAd(name string, id adstore.AdID) {
 // already deleted from the store.)
 func (e *Engine) RemoveAd(id string) error {
 	e.dirMu.Lock()
+	unwatch := faultinject.WatchLock("engine.dirMu")
 	d := e.dir.Load()
 	internalID, ok := d.adIDs[id]
 	if !ok {
+		unwatch()
 		e.dirMu.Unlock()
 		return fmt.Errorf("%w: %q", ErrUnknownAd, id)
 	}
 	campaign := d.ads[internalID].campaign
 	e.dir.Store(d.withoutAd(id, internalID))
+	unwatch()
 	e.dirMu.Unlock()
 
 	if err := e.store.Remove(internalID); err != nil {
 		// Roll the unmap back so the directory and the store stay
 		// consistent: the ad is still live.
 		e.dirMu.Lock()
+		unwatch := faultinject.WatchLock("engine.dirMu")
 		e.dir.Store(e.dir.Load().withAd(id, internalID, campaign))
+		unwatch()
 		e.dirMu.Unlock()
 		return err
 	}

@@ -1,0 +1,37 @@
+package faultinject
+
+// Lock watchdog: a runtime complement to the caarlint lockorder analyzer.
+//
+// The static analyzer proves lock *ordering*; it cannot prove a lock is
+// ever released — a hung fsync under journal.Writer.mu, or a writer path
+// that blocks while holding the directory lock, stalls every other writer
+// silently. The watchdog tracks how long instrumented mutexes have been
+// held and, past a bound, dumps every goroutine stack and panics, turning
+// an invisible stall into a loud, attributable CI failure.
+//
+// The real implementation lives behind the `caarlockwatch` build tag
+// (lockwatch_on.go) and is compiled into the race-matrix smoke binaries;
+// the default build gets the no-op stub in lockwatch_off.go, so production
+// binaries pay one inlinable call returning a shared no-op closure.
+//
+// Instrumented sites call, immediately after acquiring the mutex:
+//
+//	unwatch := faultinject.WatchLock("engine.dirMu")
+//	...
+//	unwatch() // immediately before (or deferred alongside) the Unlock
+//
+// Arming is opt-in even in tagged builds, via CAAR_LOCKWATCH=<bound> (a Go
+// duration, e.g. "5s"); the stack dump lands in CAAR_LOCKWATCH_OUT
+// (default lockwatch-stacks.txt), which CI uploads as an artifact.
+
+// LockWatchEnv names the environment variable holding the held-time bound
+// as a Go duration; unset or empty leaves the watchdog disarmed.
+const LockWatchEnv = "CAAR_LOCKWATCH"
+
+// LockWatchOutEnv names the environment variable overriding where the
+// watchdog writes its all-goroutine stack dump before panicking.
+const LockWatchOutEnv = "CAAR_LOCKWATCH_OUT"
+
+// LockWatchDefaultOut is the stack-dump path used when CAAR_LOCKWATCH_OUT
+// is unset.
+const LockWatchDefaultOut = "lockwatch-stacks.txt"

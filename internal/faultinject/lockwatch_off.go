@@ -1,0 +1,19 @@
+//go:build !caarlockwatch
+
+package faultinject
+
+// noopUnwatch is shared by every WatchLock call in untagged builds so the
+// hook allocates nothing.
+var noopUnwatch = func() {}
+
+// WatchLock is a no-op in builds without the caarlockwatch tag.
+func WatchLock(name string) func() { return noopUnwatch }
+
+// ArmLockWatchFromEnv is a no-op in builds without the caarlockwatch tag.
+func ArmLockWatchFromEnv() (string, error) { return "", nil }
+
+// DisarmLockWatch is a no-op in builds without the caarlockwatch tag.
+func DisarmLockWatch() {}
+
+// SetLockWatchHandler is a no-op in builds without the caarlockwatch tag.
+func SetLockWatchHandler(func(report string)) {}

@@ -1,0 +1,170 @@
+//go:build caarlockwatch
+
+package faultinject
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// The tagged lock-watchdog implementation: see lockwatch.go for the
+// contract. Held-lock registration is a mutex-guarded map, not a lock-free
+// structure, deliberately — the instrumented sites are write-path locks
+// (directory writers, journal appends), never the serving read path, and
+// the watchdog only exists in smoke builds.
+
+type lwEntry struct {
+	name  string
+	since time.Time
+}
+
+var (
+	lwArmed atomic.Bool
+	lwBound atomic.Int64 // nanoseconds
+
+	lwMu   sync.Mutex
+	lwHeld = map[uint64]*lwEntry{} // guarded by lwMu
+	lwNext atomic.Uint64
+	lwStop chan struct{} // guarded by lwMu
+
+	// lwHandler, when set, receives the report instead of the
+	// write-dump-and-panic default; tests use it to assert detection.
+	lwHandler atomic.Value // func(string)
+)
+
+// WatchLock registers an acquired mutex with the watchdog and returns the
+// release func to call before unlocking. Disarmed, it is one atomic load.
+func WatchLock(name string) func() {
+	if !lwArmed.Load() {
+		return func() {}
+	}
+	id := lwNext.Add(1)
+	e := &lwEntry{name: name, since: time.Now()}
+	lwMu.Lock()
+	lwHeld[id] = e
+	lwMu.Unlock()
+	return func() {
+		lwMu.Lock()
+		delete(lwHeld, id)
+		lwMu.Unlock()
+	}
+}
+
+// ArmLockWatchFromEnv arms the watchdog from CAAR_LOCKWATCH (a Go duration
+// bound) and returns the spec it read ("" when unset). Arming starts the
+// monitor goroutine; a previous monitor is stopped first.
+func ArmLockWatchFromEnv() (string, error) {
+	spec := os.Getenv(LockWatchEnv)
+	if spec == "" {
+		return "", nil
+	}
+	d, err := time.ParseDuration(spec)
+	if err != nil || d <= 0 {
+		return spec, fmt.Errorf("faultinject: bad %s %q (want a positive Go duration)", LockWatchEnv, spec)
+	}
+	armLockWatch(d)
+	return spec, nil
+}
+
+func armLockWatch(bound time.Duration) {
+	DisarmLockWatch()
+	lwBound.Store(int64(bound))
+	lwArmed.Store(true)
+	stop := make(chan struct{})
+	lwMu.Lock()
+	lwStop = stop
+	lwMu.Unlock()
+	// Poll at a quarter of the bound so a stall is caught within ~1.25x.
+	go lwMonitor(stop, bound/4)
+}
+
+// DisarmLockWatch stops the monitor and forgets all held entries.
+func DisarmLockWatch() {
+	lwArmed.Store(false)
+	lwMu.Lock()
+	if lwStop != nil {
+		close(lwStop)
+		lwStop = nil
+	}
+	lwHeld = map[uint64]*lwEntry{}
+	lwMu.Unlock()
+}
+
+// SetLockWatchHandler routes trip reports to h instead of the default
+// write-stacks-and-panic; pass nil to restore the default.
+func SetLockWatchHandler(h func(report string)) {
+	lwHandler.Store(h)
+}
+
+func lwMonitor(stop <-chan struct{}, every time.Duration) {
+	if every <= 0 {
+		every = 50 * time.Millisecond
+	}
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			if report := lwCheck(); report != "" {
+				if h, _ := lwHandler.Load().(func(string)); h != nil {
+					h(report)
+					continue
+				}
+				lwDump(report)
+				panic("faultinject: lockwatch: " + firstLine(report))
+			}
+		}
+	}
+}
+
+// lwCheck returns a trip report when any watched mutex has been held past
+// the bound, "" otherwise.
+func lwCheck() string {
+	bound := time.Duration(lwBound.Load())
+	now := time.Now()
+	var over []string
+	lwMu.Lock()
+	for _, e := range lwHeld {
+		if held := now.Sub(e.since); held > bound {
+			over = append(over, fmt.Sprintf("mutex %q held for %s (bound %s)", e.name, held.Round(time.Millisecond), bound))
+		}
+	}
+	lwMu.Unlock()
+	if len(over) == 0 {
+		return ""
+	}
+	report := "lock held past watchdog bound: " + over[0] + "\n"
+	for _, o := range over[1:] {
+		report += "  " + o + "\n"
+	}
+	buf := make([]byte, 1<<20)
+	n := runtime.Stack(buf, true)
+	return report + "\nall goroutine stacks:\n" + string(buf[:n])
+}
+
+// lwDump writes the report where CI can pick it up as an artifact.
+func lwDump(report string) {
+	out := os.Getenv(LockWatchOutEnv)
+	if out == "" {
+		out = LockWatchDefaultOut
+	}
+	if err := os.WriteFile(out, []byte(report), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "faultinject: lockwatch: writing %s: %v\n", out, err)
+	}
+	fmt.Fprint(os.Stderr, report)
+}
+
+func firstLine(s string) string {
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			return s[:i]
+		}
+	}
+	return s
+}

@@ -1,0 +1,85 @@
+//go:build caarlockwatch
+
+package faultinject
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestLockWatchTripsOnHeldLock arms a tight bound, simulates a stuck
+// holder, and asserts the monitor reports it with goroutine stacks.
+func TestLockWatchTripsOnHeldLock(t *testing.T) {
+	reports := make(chan string, 1)
+	SetLockWatchHandler(func(r string) {
+		select {
+		case reports <- r:
+		default:
+		}
+	})
+	defer SetLockWatchHandler(nil)
+	armLockWatch(50 * time.Millisecond)
+	defer DisarmLockWatch()
+
+	var mu sync.Mutex
+	mu.Lock()
+	unwatch := WatchLock("test.stuckMu")
+	defer func() {
+		unwatch()
+		mu.Unlock()
+	}()
+
+	select {
+	case r := <-reports:
+		if !strings.Contains(r, `mutex "test.stuckMu" held for`) {
+			t.Fatalf("report does not name the stuck mutex:\n%s", r)
+		}
+		if !strings.Contains(r, "all goroutine stacks:") || !strings.Contains(r, "goroutine ") {
+			t.Fatalf("report is missing the goroutine dump:\n%s", r)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("watchdog did not trip on a lock held past the bound")
+	}
+}
+
+// TestLockWatchQuietOnTimelyRelease holds a watched lock well inside the
+// bound and asserts no report fires.
+func TestLockWatchQuietOnTimelyRelease(t *testing.T) {
+	reports := make(chan string, 1)
+	SetLockWatchHandler(func(r string) {
+		select {
+		case reports <- r:
+		default:
+		}
+	})
+	defer SetLockWatchHandler(nil)
+	armLockWatch(500 * time.Millisecond)
+	defer DisarmLockWatch()
+
+	for i := 0; i < 20; i++ {
+		unwatch := WatchLock("test.quickMu")
+		time.Sleep(time.Millisecond)
+		unwatch()
+	}
+	select {
+	case r := <-reports:
+		t.Fatalf("watchdog tripped on timely releases:\n%s", r)
+	case <-time.After(700 * time.Millisecond):
+	}
+}
+
+// TestLockWatchDisarmedIsFree asserts the disarmed hook hands back a
+// release func without registering anything.
+func TestLockWatchDisarmedIsFree(t *testing.T) {
+	DisarmLockWatch()
+	unwatch := WatchLock("test.free")
+	unwatch()
+	lwMu.Lock()
+	n := len(lwHeld)
+	lwMu.Unlock()
+	if n != 0 {
+		t.Fatalf("disarmed WatchLock registered %d entries", n)
+	}
+}

@@ -153,7 +153,7 @@ func ParseSyncPolicy(s string) (SyncPolicy, error) {
 // written atomically with respect to other writers on the same Writer.
 type Writer struct {
 	mu  sync.Mutex
-	out *bufio.Writer
+	out *bufio.Writer // guarded by mu
 	// Sync, when non-nil, is called after every append (e.g. os.File.Sync
 	// for durability; tests leave it nil). For policy-driven syncing use
 	// NewFileWriter instead.
@@ -163,13 +163,13 @@ type Writer struct {
 	syncFn   func() error
 	policy   SyncPolicy
 	interval time.Duration
-	lastSync time.Time
+	lastSync time.Time // guarded by mu
 	now      func() time.Time
 	// pendingSync is set when an interval-policy append was acknowledged
 	// without an fsync. SyncPending flushes it; without that, an idle tail
 	// (traffic stops right after an append) would sit unsynced until the
 	// *next* append — indefinitely.
-	pendingSync bool
+	pendingSync bool // guarded by mu
 
 	// observability: degraded flips on a durability failure and clears on
 	// the next successful append; readers (the readiness probe) must not
@@ -256,6 +256,7 @@ func (w *Writer) Append(e Entry) error {
 
 	w.mu.Lock() //caarlint:allow readpathlock journal append order is the durability contract; this lock defines it
 	defer w.mu.Unlock()
+	defer faultinject.WatchLock("journal.Writer.mu")()
 	lenStr := strconv.Itoa(len(buf))
 	w.out.WriteString(framePrefix)
 	w.out.WriteString(lenStr)
@@ -311,6 +312,7 @@ func (w *Writer) AppendBatch(entries []Entry) error {
 
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	defer faultinject.WatchLock("journal.Writer.mu")()
 	total := 0
 	for i, buf := range bufs {
 		lenStr := strconv.Itoa(len(buf))
@@ -372,6 +374,7 @@ func (w *Writer) maybeSyncLocked() error {
 func (w *Writer) SyncPending() error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	defer faultinject.WatchLock("journal.Writer.mu")()
 	if !w.pendingSync || w.syncFn == nil || w.policy != SyncIntervalPolicy {
 		return nil
 	}
@@ -400,6 +403,7 @@ func (w *Writer) timedSync() error {
 func (w *Writer) Flush() error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	defer faultinject.WatchLock("journal.Writer.mu")()
 	if err := w.out.Flush(); err != nil {
 		return fmt.Errorf("journal: flush: %w", err)
 	}

@@ -122,9 +122,9 @@ type dimension struct {
 	share   *obs.Gauge
 
 	mu      sync.Mutex
-	win     *sketch.Windowed
-	names   map[uint64]string // candidate key → display name (string-keyed dims)
-	resolve Resolver
+	win     *sketch.Windowed  // guarded by mu
+	names   map[uint64]string // guarded by mu; candidate key → display name (string-keyed dims)
+	resolve Resolver          // guarded by mu
 }
 
 // Tracker tracks heavy hitters across all dimensions. All methods are safe

@@ -90,6 +90,7 @@ func (e *Engine) Snapshot(w io.Writer) error {
 	// frozen directory throughout.
 	e.dirMu.Lock()
 	defer e.dirMu.Unlock()
+	defer faultinject.WatchLock("engine.dirMu")()
 	for _, sh := range e.shards {
 		sh.mu.Lock()
 		defer sh.mu.Unlock()

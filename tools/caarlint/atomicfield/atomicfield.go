@@ -1,0 +1,270 @@
+// Package atomicfield enforces consistent synchronization discipline on
+// struct fields.
+//
+// Two rules, both aimed at the mixed-access bugs the race detector only
+// catches when the schedule cooperates:
+//
+//  1. A field that is ever accessed through sync/atomic function calls
+//     (atomic.LoadUint64(&s.n), atomic.AddInt64(&s.n, 1), ...) must never
+//     be read or written plainly anywhere else in the package. One plain
+//     access next to atomic ones is a data race by construction — the
+//     compiler is free to tear, cache, or reorder it. Fields of the typed
+//     atomics (atomic.Uint64, atomic.Pointer[T], ...) are safe by
+//     construction and need no checking: they have no plain access path.
+//
+//  2. A field annotated with a trailing `// guarded by <mu>` line comment
+//     on its declaration must only be accessed in
+//     functions where <mu> (a sibling mutex field of the same struct) is
+//     held at the access point, tracked linearly through the body the same
+//     way lockorder tracks held sets. Functions whose name ends in
+//     "Locked" are exempt — that suffix is the repo's caller-holds-the-lock
+//     convention (drainLocked, maybeSyncLocked) — as are constructors
+//     (func New*/new* or any function returning the struct type), since a
+//     value that hasn't been published yet has no concurrent readers.
+//
+// Deliberate exceptions are annotated in place:
+//
+//	n := s.approx //caarlint:allow atomicfield racy read is intentional, stats only
+package atomicfield
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+	"golang.org/x/tools/go/types/typeutil"
+
+	"caar/tools/caarlint/directive"
+)
+
+const Doc = `report mixed atomic/plain field access and guarded-field access without the lock
+
+A struct field passed to sync/atomic functions must never be accessed
+plainly elsewhere; a field annotated "// guarded by mu" must only be
+touched with that mutex held in the same function (functions named *Locked
+and constructors are exempt). Annotate deliberate exceptions with
+//caarlint:allow atomicfield <reason>.`
+
+const name = "atomicfield"
+
+var Analyzer = &analysis.Analyzer{
+	Name:     name,
+	Doc:      Doc,
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+var guardRE = regexp.MustCompile(`guarded by (\w+)`)
+
+func run(pass *analysis.Pass) (any, error) {
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	sup := directive.New(pass)
+
+	// ---- collect guarded fields: "Struct.field" -> guard key "Struct.mu".
+	guards := map[string]string{}
+	ins.Preorder([]ast.Node{(*ast.TypeSpec)(nil)}, func(n ast.Node) {
+		ts := n.(*ast.TypeSpec)
+		st, ok := ts.Type.(*ast.StructType)
+		if !ok {
+			return
+		}
+		for _, f := range st.Fields.List {
+			// Only the trailing line comment counts: the annotation is a
+			// deliberate per-field marker, not prose in a doc comment that
+			// happens to mention another field's guard.
+			if f.Comment == nil {
+				continue
+			}
+			m := guardRE.FindStringSubmatch(f.Comment.Text())
+			if m == nil {
+				continue
+			}
+			for _, fname := range f.Names {
+				guards[ts.Name.Name+"."+fname.Name] = ts.Name.Name + "." + m[1]
+			}
+		}
+	})
+
+	// ---- collect atomically-accessed fields: args &s.f to sync/atomic
+	// functions. atomicArgs marks the exact &f expressions that ARE the
+	// atomic access, so the plain-access scan below skips them.
+	atomicFields := map[string]token.Pos{} // field key -> first atomic site
+	atomicArgs := map[ast.Expr]bool{}
+	ins.Preorder([]ast.Node{(*ast.CallExpr)(nil)}, func(n ast.Node) {
+		call := n.(*ast.CallExpr)
+		callee, _ := typeutil.Callee(pass.TypesInfo, call).(*types.Func)
+		if callee == nil || callee.Pkg() == nil || callee.Pkg().Path() != "sync/atomic" {
+			return
+		}
+		if sig, ok := callee.Type().(*types.Signature); !ok || sig.Recv() != nil {
+			return // typed-atomic method (atomic.Uint64.Load): safe by construction
+		}
+		for _, arg := range call.Args {
+			un, ok := arg.(*ast.UnaryExpr)
+			if !ok || un.Op != token.AND {
+				continue
+			}
+			sel, ok := un.X.(*ast.SelectorExpr)
+			if !ok {
+				continue
+			}
+			if key := fieldKey(pass, sel); key != "" {
+				if _, dup := atomicFields[key]; !dup {
+					atomicFields[key] = call.Pos()
+				}
+				atomicArgs[un.X] = true
+			}
+		}
+	})
+
+	// ---- scan every function for plain accesses to atomic fields and for
+	// guarded-field accesses without the lock held.
+	ins.Preorder([]ast.Node{(*ast.FuncDecl)(nil)}, func(n ast.Node) {
+		fd := n.(*ast.FuncDecl)
+		if fd.Body == nil || directive.InTestFile(pass, fd.Pos()) {
+			return
+		}
+		exemptGuard := strings.HasSuffix(fd.Name.Name, "Locked") || isConstructor(pass, fd)
+
+		// Held-set tracking, linear in source order; deferred unlocks hold
+		// to function end (same model as lockorder).
+		deferred := map[*ast.CallExpr]bool{}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if ds, ok := n.(*ast.DeferStmt); ok {
+				deferred[ds.Call] = true
+				if lit, ok := ds.Call.Fun.(*ast.FuncLit); ok {
+					ast.Inspect(lit.Body, func(n ast.Node) bool {
+						if c, ok := n.(*ast.CallExpr); ok {
+							deferred[c] = true
+						}
+						return true
+					})
+				}
+			}
+			return true
+		})
+		held := map[string]bool{}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				callee, _ := typeutil.Callee(pass.TypesInfo, n).(*types.Func)
+				if callee == nil || !isMutexMethod(callee) {
+					return true
+				}
+				sel, ok := n.Fun.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				key := ""
+				if fs, ok := sel.X.(*ast.SelectorExpr); ok {
+					key = fieldKey(pass, fs)
+				} else if id, ok := sel.X.(*ast.Ident); ok {
+					key = id.Name
+				}
+				if key == "" {
+					return true
+				}
+				switch sel.Sel.Name {
+				case "Lock", "RLock", "TryLock", "TryRLock":
+					held[key] = true
+				case "Unlock", "RUnlock":
+					if !deferred[n] {
+						delete(held, key)
+					}
+				}
+			case *ast.SelectorExpr:
+				key := fieldKey(pass, n)
+				if key == "" {
+					return true
+				}
+				if pos, isAtomic := atomicFields[key]; isAtomic && !atomicArgs[n] {
+					if !sup.Allowed(name, n.Pos()) {
+						pass.Reportf(n.Pos(), "atomicfield: plain access to %s, which is accessed atomically at %s; use sync/atomic everywhere or neither",
+							key, pass.Fset.Position(pos))
+					}
+					return true
+				}
+				if guard, ok := guards[key]; ok && !exemptGuard && !held[guard] {
+					if !sup.Allowed(name, n.Pos()) {
+						pass.Reportf(n.Pos(), "atomicfield: %s accessed without holding %s (declared `// guarded by %s`); hold the lock or rename the function *Locked",
+							key, guard, guard[strings.Index(guard, ".")+1:])
+					}
+				}
+			}
+			return true
+		})
+	})
+
+	sup.Finish(name)
+	return nil, nil
+}
+
+// fieldKey names a field selection "Struct.field"; "" for anything else.
+func fieldKey(pass *analysis.Pass, sel *ast.SelectorExpr) string {
+	s, ok := pass.TypesInfo.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return ""
+	}
+	recv := s.Recv()
+	if ptr, ok := recv.(*types.Pointer); ok {
+		recv = ptr.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok {
+		return ""
+	}
+	return named.Obj().Name() + "." + sel.Sel.Name
+}
+
+// isConstructor reports whether fd returns the type whose fields it might
+// initialize, or follows the New*/new* naming convention.
+func isConstructor(pass *analysis.Pass, fd *ast.FuncDecl) bool {
+	if fd.Recv != nil {
+		return false // methods run on published values
+	}
+	if strings.HasPrefix(fd.Name.Name, "New") || strings.HasPrefix(fd.Name.Name, "new") {
+		return true
+	}
+	if fd.Type.Results == nil {
+		return false
+	}
+	for _, r := range fd.Type.Results.List {
+		t := pass.TypesInfo.TypeOf(r.Type)
+		if t == nil {
+			continue
+		}
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			if _, ok := named.Underlying().(*types.Struct); ok && named.Obj().Pkg() == pass.Pkg {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// isMutexMethod reports whether fn is a sync.Mutex / sync.RWMutex method.
+func isMutexMethod(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	recv := sig.Recv().Type()
+	if ptr, ok := recv.(*types.Pointer); ok {
+		recv = ptr.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+		(obj.Name() == "Mutex" || obj.Name() == "RWMutex")
+}

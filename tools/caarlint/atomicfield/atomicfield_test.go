@@ -1,0 +1,13 @@
+package atomicfield_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"caar/tools/caarlint/atomicfield"
+	"caar/tools/caarlint/internal/atest"
+)
+
+func TestAnalyzer(t *testing.T) {
+	atest.Run(t, filepath.Join("..", "testdata"), atomicfield.Analyzer, "atomicfield")
+}

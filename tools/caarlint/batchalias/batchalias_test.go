@@ -1,0 +1,13 @@
+package batchalias_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"caar/tools/caarlint/batchalias"
+	"caar/tools/caarlint/internal/atest"
+)
+
+func TestAnalyzer(t *testing.T) {
+	atest.Run(t, filepath.Join("..", "testdata"), batchalias.Analyzer, "batchalias")
+}

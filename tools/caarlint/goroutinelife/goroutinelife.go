@@ -1,0 +1,274 @@
+// Package goroutinelife verifies that every goroutine launched in
+// production code is tied to a shutdown path.
+//
+// PR 9's write pipeline made goroutine lifecycle a first-class invariant:
+// the committer and applier must exit on Close or a shutdown drains forever,
+// and the adserver's idle-fsync ticker must stop with the server or every
+// test that starts one leaks it. A leaked forever-goroutine is invisible to
+// the race detector and to unit tests — it only shows up as a goroutine
+// count that climbs in production.
+//
+// The analyzer inspects each `go` statement in non-test files and resolves
+// the launched body (a func literal, or a same-package function/method,
+// followed transitively through same-package calls). A goroutine conforms
+// when any of these holds:
+//
+//   - an argument of the `go` call carries the shutdown signal: a
+//     context.Context, a channel, or a Done() call (`go t.Run(ctx.Done())`);
+//   - the body receives from a channel other than a time.Ticker/time.Timer
+//     .C or time.After/time.Tick — via select, a direct receive, or
+//     range-over-channel (which exits when the channel closes, the
+//     applier's contract);
+//   - the body calls Done() on a sync.WaitGroup and the package contains a
+//     matching Wait() (the committer/fan-out join contract);
+//   - the body contains no unbounded loop at all: a one-shot goroutine that
+//     runs to completion needs no shutdown signal.
+//
+// An unbounded loop is a `for` with no condition or a range over a ticker
+// channel. Receiving only from a ticker .C does not count as a shutdown
+// path — the ticker never closes its channel, which is exactly the leak
+// this analyzer exists to catch. Goroutines whose body cannot be seen
+// (another package's function) and that take no shutdown argument are also
+// reported: the contract must be visible at the launch site.
+//
+// Deliberate exceptions are annotated in place:
+//
+//	go srv.ListenAndServe() //caarlint:allow goroutinelife exits with the process
+package goroutinelife
+
+import (
+	"go/ast"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+	"golang.org/x/tools/go/types/typeutil"
+
+	"caar/tools/caarlint/directive"
+)
+
+const Doc = `report goroutines with no visible shutdown path
+
+Every go statement in production code must be tied to a shutdown path:
+select/receive on a non-ticker channel, a context/channel argument, a
+WaitGroup Done with a package-level Wait, or a body with no unbounded loop.
+Annotate deliberate exceptions with //caarlint:allow goroutinelife <reason>.`
+
+const name = "goroutinelife"
+
+var Analyzer = &analysis.Analyzer{
+	Name:     name,
+	Doc:      Doc,
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+// maxDepth bounds the transitive walk through same-package callees.
+const maxDepth = 4
+
+func run(pass *analysis.Pass) (any, error) {
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	sup := directive.New(pass)
+
+	// Bodies of same-package functions, for resolving `go p.committer()`.
+	bodies := map[*types.Func]*ast.BlockStmt{}
+	// Whether any function in the package waits on a WaitGroup; Done()
+	// without a reachable Wait() is not a lifecycle.
+	pkgHasWait := false
+	ins.Preorder([]ast.Node{(*ast.FuncDecl)(nil), (*ast.CallExpr)(nil)}, func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			if n.Body != nil {
+				if fn, ok := pass.TypesInfo.Defs[n.Name].(*types.Func); ok {
+					bodies[fn] = n.Body
+				}
+			}
+		case *ast.CallExpr:
+			if callee, _ := typeutil.Callee(pass.TypesInfo, n).(*types.Func); callee != nil &&
+				callee.Name() == "Wait" && isWaitGroupMethod(callee) {
+				pkgHasWait = true
+			}
+		}
+	})
+
+	ins.Preorder([]ast.Node{(*ast.GoStmt)(nil)}, func(n ast.Node) {
+		g := n.(*ast.GoStmt)
+		if directive.InTestFile(pass, g.Pos()) {
+			return
+		}
+		if hasShutdownArg(pass, g.Call) {
+			return
+		}
+		body, targetName := spawnedBody(pass, g.Call, bodies)
+		if body == nil {
+			if !sup.Allowed(name, g.Pos()) {
+				pass.Reportf(g.Pos(), "goroutinelife: cannot see the body of goroutine target %s and no context/stop-channel argument is passed; the shutdown contract must be visible at the launch site", targetName)
+			}
+			return
+		}
+		w := &walker{pass: pass, bodies: bodies}
+		w.walk(body, 0, map[*ast.BlockStmt]bool{})
+		if w.unboundedLoop && !w.shutdownRecv && !(w.wgDone && pkgHasWait) {
+			if !sup.Allowed(name, g.Pos()) {
+				pass.Reportf(g.Pos(), "goroutinelife: goroutine loops forever with no shutdown path: select/receive on a context, stop, or closeable channel, register with a waited WaitGroup, or bound the loop")
+			}
+		}
+	})
+
+	sup.Finish(name)
+	return nil, nil
+}
+
+// walker accumulates lifecycle evidence over a body and its same-package
+// callees.
+type walker struct {
+	pass   *analysis.Pass
+	bodies map[*types.Func]*ast.BlockStmt
+
+	unboundedLoop bool
+	shutdownRecv  bool
+	wgDone        bool
+}
+
+func (w *walker) walk(body *ast.BlockStmt, depth int, seen map[*ast.BlockStmt]bool) {
+	if depth > maxDepth || seen[body] {
+		return
+	}
+	seen[body] = true
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ForStmt:
+			if n.Cond == nil {
+				w.unboundedLoop = true
+			}
+		case *ast.RangeStmt:
+			if isChan(w.pass, n.X) {
+				if isTickerChan(w.pass, n.X) {
+					w.unboundedLoop = true
+				} else {
+					w.shutdownRecv = true
+				}
+			}
+		case *ast.UnaryExpr:
+			if n.Op.String() == "<-" && !isTickerChan(w.pass, n.X) {
+				w.shutdownRecv = true
+			}
+		case *ast.CallExpr:
+			callee, _ := typeutil.Callee(w.pass.TypesInfo, n).(*types.Func)
+			if callee == nil {
+				return true
+			}
+			if callee.Name() == "Done" && isWaitGroupMethod(callee) {
+				w.wgDone = true
+			}
+			if callee.Pkg() == w.pass.Pkg {
+				if b, ok := w.bodies[callee]; ok {
+					w.walk(b, depth+1, seen)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// hasShutdownArg reports whether the go call passes a shutdown signal:
+// a context.Context, any channel, or a Done() call.
+func hasShutdownArg(pass *analysis.Pass, call *ast.CallExpr) bool {
+	for _, arg := range call.Args {
+		t := pass.TypesInfo.TypeOf(arg)
+		if t == nil {
+			continue
+		}
+		if _, ok := t.Underlying().(*types.Chan); ok {
+			return true
+		}
+		if named, ok := t.(*types.Named); ok {
+			obj := named.Obj()
+			if obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context" {
+				return true
+			}
+		}
+		if c, ok := arg.(*ast.CallExpr); ok {
+			if sel, ok := c.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Done" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// spawnedBody resolves the block the goroutine will execute: a func
+// literal's body, or the body of a same-package function/method. Returns
+// nil and a display name when the body is not visible.
+func spawnedBody(pass *analysis.Pass, call *ast.CallExpr, bodies map[*types.Func]*ast.BlockStmt) (*ast.BlockStmt, string) {
+	if lit, ok := call.Fun.(*ast.FuncLit); ok {
+		return lit.Body, "func literal"
+	}
+	callee, _ := typeutil.Callee(pass.TypesInfo, call).(*types.Func)
+	if callee == nil {
+		return nil, types.ExprString(call.Fun)
+	}
+	if b, ok := bodies[callee]; ok {
+		return b, callee.Name()
+	}
+	return nil, callee.FullName()
+}
+
+// isWaitGroupMethod reports whether fn is declared on sync.WaitGroup.
+func isWaitGroupMethod(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	recv := sig.Recv().Type()
+	if ptr, ok := recv.(*types.Pointer); ok {
+		recv = ptr.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == "WaitGroup"
+}
+
+func isChan(pass *analysis.Pass, e ast.Expr) bool {
+	t := pass.TypesInfo.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Chan)
+	return ok
+}
+
+// isTickerChan reports whether e is a channel that will never close on
+// shutdown: a time.Ticker/time.Timer .C field, or a time.After/time.Tick
+// call. Receiving from one is not a shutdown path.
+func isTickerChan(pass *analysis.Pass, e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.SelectorExpr:
+		if e.Sel.Name != "C" {
+			return false
+		}
+		t := pass.TypesInfo.TypeOf(e.X)
+		if t == nil {
+			return false
+		}
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		named, ok := t.(*types.Named)
+		if !ok {
+			return false
+		}
+		obj := named.Obj()
+		return obj.Pkg() != nil && obj.Pkg().Path() == "time" &&
+			(obj.Name() == "Ticker" || obj.Name() == "Timer")
+	case *ast.CallExpr:
+		callee, _ := typeutil.Callee(pass.TypesInfo, e).(*types.Func)
+		return callee != nil && callee.Pkg() != nil && callee.Pkg().Path() == "time" &&
+			(callee.Name() == "After" || callee.Name() == "Tick")
+	}
+	return false
+}

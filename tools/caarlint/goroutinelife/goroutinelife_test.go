@@ -1,0 +1,13 @@
+package goroutinelife_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"caar/tools/caarlint/goroutinelife"
+	"caar/tools/caarlint/internal/atest"
+)
+
+func TestAnalyzer(t *testing.T) {
+	atest.Run(t, filepath.Join("..", "testdata"), goroutinelife.Analyzer, "goroutinelife")
+}

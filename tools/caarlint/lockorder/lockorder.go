@@ -1,0 +1,410 @@
+// Package lockorder enforces a canonical lock-acquisition order and the
+// absence of lock cycles.
+//
+// PRs 4, 8 and 9 gave the engine several cooperating mutexes: the
+// copy-on-write directory writer lock (Engine.dirMu), the per-shard core
+// locks (shard.mu), the journal writer lock (Writer.mu) and the hot-key
+// dimension locks. None of them may ever nest against the canonical order —
+// an ABBA inversion is a deadlock that no unit test reliably reproduces,
+// because it needs two goroutines to interleave exactly wrong.
+//
+// The analyzer scans every function body in source order, tracking which
+// mutexes are held at each point (an Unlock in a branch conservatively
+// releases; a deferred Unlock holds to function end), and follows calls to
+// same-package functions ("call-graph-lite") so a lock taken three frames
+// down still registers as nested. Every nested acquisition becomes an edge
+// held→acquired in a per-package lock graph. It then reports:
+//
+//   - acquisitions that contradict the canonical order checked in at
+//     tools/caarlint/lockorder/order.txt (outermost first);
+//   - self edges (a mutex acquired while already held — self-deadlock);
+//   - cycles among the remaining edges (ABBA and longer).
+//
+// Locks are named by the struct type declaring the mutex field
+// ("Engine.dirMu", "shard.mu") or by the variable name for non-field
+// mutexes, so the graph is stable across receivers and call sites.
+// Deliberate nesting outside the canonical list is annotated in place:
+//
+//	e.statsMu.Lock() //caarlint:allow lockorder stats snapshot nests read-only under dirMu
+package lockorder
+
+import (
+	_ "embed"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+	"golang.org/x/tools/go/types/typeutil"
+
+	"caar/tools/caarlint/directive"
+)
+
+const Doc = `report lock-order inversions and lock cycles
+
+Builds a per-package lock-acquisition graph (which mutexes are acquired
+while which others are held, including through calls to same-package
+functions) and reports acquisitions contradicting the canonical order in
+tools/caarlint/lockorder/order.txt, self-deadlocks, and cycles. Annotate
+deliberate exceptions with //caarlint:allow lockorder <reason>.`
+
+const name = "lockorder"
+
+//go:embed order.txt
+var embeddedOrder string
+
+// order is the canonical acquisition order, outermost first, comma
+// separated. Defaults to the checked-in order.txt; overridable so other
+// repos can declare their own hierarchy.
+var order = canonicalList(embeddedOrder)
+
+func init() {
+	Analyzer.Flags.StringVar(&order, "order", order, "comma-separated canonical lock order, outermost first (default: embedded order.txt)")
+}
+
+var Analyzer = &analysis.Analyzer{
+	Name:     name,
+	Doc:      Doc,
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+// canonicalList flattens order.txt (one lock per line, '#' comments) into
+// the comma-separated flag default.
+func canonicalList(text string) string {
+	var names []string
+	for _, line := range strings.Split(text, "\n") {
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		if line = strings.TrimSpace(line); line != "" {
+			names = append(names, line)
+		}
+	}
+	return strings.Join(names, ",")
+}
+
+// acquireMethods and releaseMethods are the sync.Mutex/RWMutex entry points.
+var acquireMethods = map[string]bool{
+	"Lock": true, "RLock": true, "TryLock": true, "TryRLock": true,
+}
+var releaseMethods = map[string]bool{
+	"Unlock": true, "RUnlock": true,
+}
+
+// edge is one observed nesting: to was acquired while from was held.
+type edge struct{ from, to string }
+
+// site is where an edge was first observed, with the call chain when the
+// acquisition happened inside a callee.
+type site struct {
+	pos token.Pos
+	via string // "" for a direct acquisition, callee name otherwise
+}
+
+// pendingCall is a same-package call made while locks were held; resolved
+// against the callee's transitive acquisition set after all bodies are
+// scanned.
+type pendingCall struct {
+	callee *types.Func
+	held   []string
+	pos    token.Pos
+}
+
+type funcScan struct {
+	direct  map[string]token.Pos // locks acquired anywhere in the body
+	callees []*types.Func        // all same-package callees (for transitivity)
+	pending []pendingCall
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	sup := directive.New(pass)
+
+	canon := map[string]int{}
+	for i, n := range strings.Split(order, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			canon[n] = i
+		}
+	}
+
+	// Every site of an edge is kept: suppressing one occurrence of an
+	// inversion must not silence the same inversion elsewhere.
+	edges := map[edge][]site{}
+	scans := map[*types.Func]*funcScan{}
+	report := func(e edge, s site) {
+		for _, prev := range edges[e] {
+			if prev.pos == s.pos {
+				return
+			}
+		}
+		edges[e] = append(edges[e], s)
+	}
+
+	ins.Preorder([]ast.Node{(*ast.FuncDecl)(nil)}, func(n ast.Node) {
+		fd := n.(*ast.FuncDecl)
+		if fd.Body == nil || directive.InTestFile(pass, fd.Pos()) {
+			return
+		}
+		fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+		if !ok {
+			return
+		}
+		fs := &funcScan{direct: map[string]token.Pos{}}
+		scans[fn] = fs
+
+		// Deferred calls release at return, not where they appear in the
+		// source: collect them so the scan below keeps their locks held.
+		deferred := map[*ast.CallExpr]bool{}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if ds, ok := n.(*ast.DeferStmt); ok {
+				deferred[ds.Call] = true
+				if lit, ok := ds.Call.Fun.(*ast.FuncLit); ok {
+					ast.Inspect(lit.Body, func(n ast.Node) bool {
+						if c, ok := n.(*ast.CallExpr); ok {
+							deferred[c] = true
+						}
+						return true
+					})
+				}
+			}
+			return true
+		})
+
+		var held []string // acquisition order
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee, _ := typeutil.Callee(pass.TypesInfo, call).(*types.Func)
+			if callee == nil {
+				return true
+			}
+			if mutexMethod(callee) {
+				key := lockKey(pass, call)
+				if key == "" {
+					return true
+				}
+				switch {
+				case acquireMethods[callee.Name()]:
+					for _, h := range held {
+						report(edge{h, key}, site{pos: call.Pos()})
+					}
+					if contains(held, key) {
+						report(edge{key, key}, site{pos: call.Pos()})
+					} else {
+						held = append(held, key)
+					}
+				case releaseMethods[callee.Name()] && !deferred[call]:
+					held = remove(held, key)
+				}
+				return true
+			}
+			if callee.Pkg() == pass.Pkg {
+				fs.callees = append(fs.callees, callee)
+				if len(held) > 0 {
+					fs.pending = append(fs.pending, pendingCall{
+						callee: callee,
+						held:   append([]string(nil), held...),
+						pos:    call.Pos(),
+					})
+				}
+			}
+			return true
+		})
+		// Record every acquisition in the body for the transitive set.
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee, _ := typeutil.Callee(pass.TypesInfo, call).(*types.Func)
+			if callee == nil || !mutexMethod(callee) || !acquireMethods[callee.Name()] {
+				return true
+			}
+			if key := lockKey(pass, call); key != "" {
+				if _, dup := fs.direct[key]; !dup {
+					fs.direct[key] = call.Pos()
+				}
+			}
+			return true
+		})
+	})
+
+	// Transitive acquisition sets, memoized over the same-package call graph.
+	memo := map[*types.Func]map[string]bool{}
+	var acquires func(fn *types.Func, seen map[*types.Func]bool) map[string]bool
+	acquires = func(fn *types.Func, seen map[*types.Func]bool) map[string]bool {
+		if m, ok := memo[fn]; ok {
+			return m
+		}
+		if seen[fn] {
+			return nil
+		}
+		seen[fn] = true
+		fs := scans[fn]
+		if fs == nil {
+			return nil
+		}
+		out := map[string]bool{}
+		for k := range fs.direct {
+			out[k] = true
+		}
+		for _, c := range fs.callees {
+			for k := range acquires(c, seen) {
+				out[k] = true
+			}
+		}
+		memo[fn] = out
+		return out
+	}
+	for fn, fs := range scans {
+		for _, pc := range fs.pending {
+			for k := range acquires(pc.callee, map[*types.Func]bool{fn: true}) {
+				for _, h := range pc.held {
+					report(edge{h, k}, site{pos: pc.pos, via: pc.callee.Name()})
+				}
+			}
+		}
+	}
+
+	// Classify. Canonical-order violations are reported first and removed
+	// from the cycle graph: fixing the inversion breaks the cycle, so one
+	// finding per root cause.
+	diag := func(pos token.Pos, format string, args ...any) {
+		if !sup.Allowed(name, pos) {
+			pass.Reportf(pos, "lockorder: "+format, args...)
+		}
+	}
+	remaining := map[edge][]site{}
+	for e, sites := range edges {
+		if e.from == e.to {
+			for _, s := range sites {
+				diag(s.pos, "%s acquired%s while already held — self-deadlock", e.to, viaSuffix(s))
+			}
+			continue
+		}
+		fi, fok := canon[e.from]
+		ti, tok := canon[e.to]
+		if fok && tok && fi > ti {
+			for _, s := range sites {
+				diag(s.pos, "%s acquired%s while holding %s, against the canonical order in tools/caarlint/lockorder/order.txt (%s before %s)",
+					e.to, viaSuffix(s), e.from, e.to, e.from)
+			}
+			continue
+		}
+		remaining[e] = sites
+	}
+	// Cycles among the remaining edges: an edge is part of a cycle when its
+	// head can reach its tail.
+	adj := map[string][]string{}
+	for e := range remaining {
+		adj[e.from] = append(adj[e.from], e.to)
+	}
+	reaches := func(from, to string) bool {
+		seen := map[string]bool{}
+		stack := []string{from}
+		for len(stack) > 0 {
+			n := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if n == to {
+				return true
+			}
+			if seen[n] {
+				continue
+			}
+			seen[n] = true
+			stack = append(stack, adj[n]...)
+		}
+		return false
+	}
+	for e, sites := range remaining {
+		if reaches(e.to, e.from) {
+			for _, s := range sites {
+				diag(s.pos, "lock cycle: %s acquired%s while holding %s, but %s is elsewhere held while acquiring %s — ABBA deadlock",
+					e.to, viaSuffix(s), e.from, e.to, e.from)
+			}
+		}
+	}
+
+	sup.Finish(name)
+	return nil, nil
+}
+
+// viaSuffix renders the call-chain note for indirect acquisitions.
+func viaSuffix(s site) string {
+	if s.via == "" {
+		return ""
+	}
+	return fmt.Sprintf(" (via call to %s)", s.via)
+}
+
+// mutexMethod reports whether fn is a sync.Mutex / sync.RWMutex method.
+func mutexMethod(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	recv := sig.Recv().Type()
+	if ptr, ok := recv.(*types.Pointer); ok {
+		recv = ptr.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+		(obj.Name() == "Mutex" || obj.Name() == "RWMutex")
+}
+
+// lockKey names the mutex being locked: "<StructType>.<field>" for mutex
+// fields, the variable name otherwise, "" when the receiver shape is not
+// recognized.
+func lockKey(pass *analysis.Pass, call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	switch x := sel.X.(type) {
+	case *ast.SelectorExpr:
+		// base.field — name by the struct type that declares the field.
+		if fsel, ok := pass.TypesInfo.Selections[x]; ok && fsel.Kind() == types.FieldVal {
+			recv := fsel.Recv()
+			if ptr, ok := recv.(*types.Pointer); ok {
+				recv = ptr.Elem()
+			}
+			if named, ok := recv.(*types.Named); ok {
+				return named.Obj().Name() + "." + x.Sel.Name
+			}
+		}
+		return x.Sel.Name
+	case *ast.Ident:
+		return x.Name
+	}
+	return ""
+}
+
+func contains(s []string, v string) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// remove deletes the most recent occurrence of v.
+func remove(s []string, v string) []string {
+	for i := len(s) - 1; i >= 0; i-- {
+		if s[i] == v {
+			return append(s[:i], s[i+1:]...)
+		}
+	}
+	return s
+}

@@ -1,0 +1,13 @@
+package lockorder_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"caar/tools/caarlint/internal/atest"
+	"caar/tools/caarlint/lockorder"
+)
+
+func TestAnalyzer(t *testing.T) {
+	atest.Run(t, filepath.Join("..", "testdata"), lockorder.Analyzer, "lockorder")
+}

@@ -1,0 +1,78 @@
+// Package fixture exercises the atomicfield analyzer: plain access to
+// atomically-accessed fields and guarded-field access without the lock are
+// reported; consistent atomic use, *Locked helpers, constructors, and
+// annotated exceptions are not.
+package fixture
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type counter struct {
+	n     uint64 // accessed via sync/atomic functions everywhere
+	typed atomic.Uint64
+}
+
+func (c *counter) inc() {
+	atomic.AddUint64(&c.n, 1)
+	c.typed.Add(1)
+}
+
+func (c *counter) read() uint64 {
+	return atomic.LoadUint64(&c.n)
+}
+
+// mixed reads the atomic field plainly: a data race by construction.
+func (c *counter) mixed() uint64 {
+	return c.n // want `atomicfield: plain access to counter\.n, which is accessed atomically at`
+}
+
+// mixedWrite is the write-side variant.
+func (c *counter) mixedWrite() {
+	c.n = 0 // want `atomicfield: plain access to counter\.n, which is accessed atomically at`
+}
+
+// allowedRead documents a deliberately racy stats read.
+func (c *counter) allowedRead() uint64 {
+	return c.n //caarlint:allow atomicfield fixture: approximate stats read, staleness acceptable
+}
+
+type dimension struct {
+	mu    sync.Mutex
+	win   map[string]int // guarded by mu
+	names []string       // guarded by mu
+}
+
+// drain holds the mutex across every guarded access: conforming.
+func (d *dimension) drain() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.win["k"]++
+	d.names = append(d.names, "k")
+}
+
+// drainLocked is the caller-holds-the-lock convention: exempt.
+func (d *dimension) drainLocked() {
+	d.win["k"]++
+}
+
+// peek touches a guarded field with no lock in sight.
+func (d *dimension) peek() int {
+	return d.win["k"] // want `atomicfield: dimension\.win accessed without holding dimension\.mu`
+}
+
+// unlockTooEarly releases before the last guarded access.
+func (d *dimension) unlockTooEarly() {
+	d.mu.Lock()
+	d.win["k"]++
+	d.mu.Unlock()
+	d.names = nil // want `atomicfield: dimension\.names accessed without holding dimension\.mu`
+}
+
+// newDimension is a constructor: the value is unpublished, no lock needed.
+func newDimension() *dimension {
+	d := &dimension{}
+	d.win = make(map[string]int)
+	return d
+}

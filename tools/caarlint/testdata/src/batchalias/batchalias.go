@@ -1,0 +1,92 @@
+// Package fixture exercises the batchalias analyzer: batch parameters and
+// ring-popped entries retained past the hand-off are reported; value
+// copies, sanctioned append-spread copies, fan-out joins, and annotated
+// ownership transfers are not.
+package fixture
+
+import "sync"
+
+type Post struct{ Text string }
+
+type item struct{ v int }
+
+type ring struct{ buf []*item }
+
+func (r *ring) pop() *item {
+	if len(r.buf) == 0 {
+		return nil
+	}
+	it := r.buf[0]
+	r.buf = r.buf[1:]
+	return it
+}
+
+type Engine struct {
+	held   []Post
+	byUser map[string][]Post
+	ch     chan []Post
+	keep   []*item
+	wg     sync.WaitGroup
+}
+
+// PostBatch violates the contract three ways.
+func (e *Engine) PostBatch(batch []Post) {
+	e.held = batch // want `batchalias: batch parameter batch retained in field held`
+	e.ch <- batch  // want `batchalias: batch parameter batch sent to a channel`
+	go func() {    // want `batchalias: batch parameter batch captured by a spawned goroutine`
+		_ = batch
+	}()
+}
+
+// CheckInBatch shows the conforming patterns: per-element value copies,
+// the append-spread escape, and a goroutine joined before return.
+func (e *Engine) CheckInBatch(batch []Post) {
+	for i := range batch {
+		_ = batch[i].Text // element value copy: fine
+	}
+	cp := append([]Post(nil), batch...) // sanctioned copy
+	e.held = cp
+	e.wg.Add(1)
+	go func() { // joined below: the batch outlives the goroutine
+		defer e.wg.Done()
+		_ = batch
+	}()
+	e.wg.Wait()
+}
+
+// AppendBatch retains a re-slice: aliases propagate through b[:1] and the
+// finding lands on the store.
+func (e *Engine) AppendBatch(batch []Post) {
+	head := batch[:1]
+	e.held = head // want `batchalias: batch parameter batch retained in field held`
+}
+
+// IndexBatch retains through a map element of a field.
+func (e *Engine) IndexBatch(batch []Post) {
+	e.byUser["u"] = batch // want `batchalias: batch parameter batch retained in field byUser`
+}
+
+// AllowBatch documents a deliberate ownership transfer.
+func (e *Engine) AllowBatch(batch []Post) {
+	e.held = batch //caarlint:allow batchalias fixture: ownership transferred, producer never reuses
+}
+
+// drainTo retains a ring entry in a field.
+func (e *Engine) drainTo(r *ring) {
+	it := r.pop()
+	e.keep = append(e.keep, it) // want `batchalias: ring entry from pop\(\) retained in field keep`
+}
+
+// drainBatch accumulates popped entries into a local it returns: the
+// caller takes ownership of the fresh slice, not the ring's memory.
+func drainBatch(r *ring) []*item {
+	var out []*item
+	for {
+		it := r.pop()
+		if it == nil {
+			break
+		}
+		out = append(out, it)
+	}
+	return out
+}

@@ -1,0 +1,136 @@
+// Package fixture exercises the goroutinelife analyzer: forever-goroutines
+// with no shutdown path are reported; goroutines tied to a stop channel,
+// context argument, closeable channel range, waited WaitGroup, or bounded
+// work are not.
+package fixture
+
+import (
+	"sync"
+	"time"
+)
+
+type pipeline struct {
+	wake  chan struct{}
+	stop  chan struct{}
+	applq chan []int
+	wg    sync.WaitGroup
+}
+
+// committer selects on the pipeline's stop channel: conforming.
+func (p *pipeline) committer() {
+	for {
+		select {
+		case <-p.wake:
+		case <-p.stop:
+			return
+		}
+	}
+}
+
+// applier ranges over a closeable channel: conforming.
+func (p *pipeline) applier() {
+	for batch := range p.applq {
+		_ = batch
+	}
+}
+
+func (p *pipeline) Start() {
+	go p.committer()
+	go p.applier()
+}
+
+// idleTicker mirrors adserver's idle-fsync loop: the ticker receive alone
+// would be a leak, the ctx-style done channel makes it conforming.
+func idleTicker(done <-chan struct{}) {
+	go func() {
+		t := time.NewTicker(time.Second)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+			}
+		}
+	}()
+}
+
+// leakedTicker is the canonical violation: receiving only from a ticker .C
+// is not a shutdown path because the channel never closes.
+func leakedTicker() {
+	go func() { // want `goroutinelife: goroutine loops forever with no shutdown path`
+		t := time.NewTicker(time.Second)
+		for {
+			select {
+			case <-t.C:
+			}
+		}
+	}()
+}
+
+// leakedRange is the range-over-ticker variant of the same leak.
+func leakedRange() {
+	t := time.NewTicker(time.Second)
+	go func() { // want `goroutinelife: goroutine loops forever with no shutdown path`
+		for range t.C {
+		}
+	}()
+}
+
+// waited registers with a WaitGroup that Drain waits on: conforming.
+func (p *pipeline) waited() {
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		for {
+			select {
+			case <-p.wake:
+				return
+			}
+		}
+	}()
+}
+
+func (p *pipeline) Drain() {
+	p.wg.Wait()
+}
+
+// oneShot runs to completion; bounded goroutines need no shutdown signal.
+func oneShot(results chan<- int) {
+	go func() {
+		sum := 0
+		for i := 0; i < 100; i++ {
+			sum += i
+		}
+		results <- sum
+	}()
+}
+
+// byArgument passes the stop channel to a target whose body the analyzer
+// can also see; the argument alone already marks the contract.
+func byArgument(stop chan struct{}) {
+	go loopOn(stop)
+}
+
+func loopOn(stop chan struct{}) {
+	for {
+		select {
+		case <-stop:
+			return
+		}
+	}
+}
+
+// opaque spawns another package's function with no shutdown argument: the
+// contract is not visible at the launch site.
+func opaque() {
+	go time.Sleep(time.Second) // want `goroutinelife: cannot see the body of goroutine target time\.Sleep`
+}
+
+// allowed documents a deliberate process-lifetime goroutine.
+func allowed() {
+	go func() { //caarlint:allow goroutinelife fixture: deliberate process-lifetime loop
+		for {
+		}
+	}()
+}

@@ -1,0 +1,111 @@
+// Package fixture exercises the lockorder analyzer: nesting against the
+// canonical order (Engine.dirMu before shard.mu before Writer.mu), ABBA
+// cycles among unordered locks, and self-deadlocks are reported; canonical
+// nesting and annotated exceptions are not.
+package fixture
+
+import "sync"
+
+type shard struct{ mu sync.Mutex }
+
+type Engine struct {
+	dirMu sync.Mutex
+	sh    shard
+}
+
+type Writer struct{ mu sync.Mutex }
+
+// AddUser nests in the canonical order: directory writer lock, then the
+// shard core lock. No finding.
+func (e *Engine) AddUser() {
+	e.dirMu.Lock()
+	e.sh.mu.Lock()
+	e.sh.mu.Unlock()
+	e.dirMu.Unlock()
+}
+
+// badNest inverts the canonical order.
+func (e *Engine) badNest() {
+	e.sh.mu.Lock()
+	e.dirMu.Lock() // want `lockorder: Engine\.dirMu acquired while holding shard\.mu, against the canonical order`
+	e.dirMu.Unlock()
+	e.sh.mu.Unlock()
+}
+
+// badNestViaCall reaches the inversion through a same-package callee; the
+// finding lands on the call site and names the callee.
+func (e *Engine) badNestViaCall() {
+	e.sh.mu.Lock()
+	defer e.sh.mu.Unlock()
+	e.lockDir() // want `lockorder: Engine\.dirMu acquired \(via call to lockDir\) while holding shard\.mu, against the canonical order`
+}
+
+func (e *Engine) lockDir() {
+	e.dirMu.Lock()
+	e.dirMu.Unlock()
+}
+
+// journalUnderShard is allowed by the canonical order (Writer.mu is
+// innermost). No finding.
+func (e *Engine) journalUnderShard(w *Writer) {
+	e.sh.mu.Lock()
+	w.mu.Lock()
+	w.mu.Unlock()
+	e.sh.mu.Unlock()
+}
+
+// pair's locks are outside the canonical list; opposing nestings form an
+// ABBA cycle, reported at both sites.
+type pair struct{ a, b sync.Mutex }
+
+func (p *pair) lockAB() {
+	p.a.Lock()
+	p.b.Lock() // want `lockorder: lock cycle: pair\.b acquired while holding pair\.a`
+	p.b.Unlock()
+	p.a.Unlock()
+}
+
+func (p *pair) lockBA() {
+	p.b.Lock()
+	p.a.Lock() // want `lockorder: lock cycle: pair\.a acquired while holding pair\.b`
+	p.a.Unlock()
+	p.b.Unlock()
+}
+
+// selfy relocks a mutex it already holds.
+type selfy struct{ mu sync.Mutex }
+
+func (s *selfy) relock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.mu.Lock() // want `lockorder: selfy\.mu acquired while already held — self-deadlock`
+	s.mu.Unlock()
+}
+
+// quiet's inversion is a deliberate, documented exception.
+type quiet struct {
+	outer sync.Mutex
+	inner sync.Mutex
+}
+
+func (q *quiet) allowedInversion() {
+	q.inner.Lock()
+	q.outer.Lock() //caarlint:allow lockorder deliberate fixture exception: init-only path, no concurrent outer holder
+	q.outer.Unlock()
+	q.inner.Unlock()
+}
+
+func (q *quiet) opposing() {
+	q.outer.Lock()
+	q.inner.Lock() // want `lockorder: lock cycle: quiet\.inner acquired while holding quiet\.outer`
+	q.inner.Unlock()
+	q.outer.Unlock()
+}
+
+// stale directive: matches no finding, reported by Finish.
+//
+//caarlint:allow lockorder nothing wrong here // want `lockorder: stale caarlint:allow directive`
+func (q *quiet) clean() {
+	q.outer.Lock()
+	q.outer.Unlock()
+}

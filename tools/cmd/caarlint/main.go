@@ -1,4 +1,4 @@
-// Command caarlint is the project's static-analysis suite: five analyzers
+// Command caarlint is the project's static-analysis suite: nine analyzers
 // that mechanically enforce the serving engine's concurrency, observability
 // and durability invariants (see the individual package docs).
 //
@@ -11,24 +11,93 @@
 // or simply `make lint` / `make caarlint` from the repository root. The
 // x/tools dependency lives in this nested module (vendored), keeping the
 // main caar module dependency-free.
+//
+// `caarlint -list` prints the analyzer roster with each one's fixture
+// package, so a reviewer can see at a glance which invariants are
+// mechanically enforced and where they are exercised.
 package main
 
 import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
 	"golang.org/x/tools/go/analysis/unitchecker"
 
+	"caar/tools/caarlint/atomicfield"
+	"caar/tools/caarlint/batchalias"
 	"caar/tools/caarlint/cowmut"
 	"caar/tools/caarlint/errstatus"
 	"caar/tools/caarlint/fsyncrename"
+	"caar/tools/caarlint/goroutinelife"
+	"caar/tools/caarlint/lockorder"
 	"caar/tools/caarlint/metricname"
 	"caar/tools/caarlint/readpathlock"
 )
 
+var analyzers = []*analysis.Analyzer{
+	cowmut.Analyzer,
+	readpathlock.Analyzer,
+	metricname.Analyzer,
+	fsyncrename.Analyzer,
+	errstatus.Analyzer,
+	lockorder.Analyzer,
+	goroutinelife.Analyzer,
+	atomicfield.Analyzer,
+	batchalias.Analyzer,
+}
+
 func main() {
-	unitchecker.Main(
-		cowmut.Analyzer,
-		readpathlock.Analyzer,
-		metricname.Analyzer,
-		fsyncrename.Analyzer,
-		errstatus.Analyzer,
-	)
+	if len(os.Args) > 1 && os.Args[1] == "-list" {
+		list()
+		return
+	}
+	unitchecker.Main(analyzers...)
+}
+
+// list prints the analyzer roster: name, one-line purpose, and whether a
+// fixture package exercises it under tools/caarlint/testdata/src.
+func list() {
+	testdata := fixtureRoot()
+	fmt.Printf("caarlint: %d analyzers\n\n", len(analyzers))
+	for _, a := range analyzers {
+		fixtures := "no fixtures found"
+		if testdata != "" {
+			dir := filepath.Join(testdata, a.Name)
+			if entries, err := os.ReadDir(dir); err == nil {
+				n := 0
+				for _, e := range entries {
+					if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+						n++
+					}
+				}
+				fixtures = fmt.Sprintf("fixtures: testdata/src/%s (%d files)", a.Name, n)
+			}
+		}
+		fmt.Printf("  %-14s %s\n                 %s\n", a.Name, firstLine(a.Doc), fixtures)
+	}
+}
+
+// fixtureRoot locates tools/caarlint/testdata/src relative to this source
+// file (for -list run from a source checkout); "" when unavailable.
+func fixtureRoot() string {
+	_, file, _, ok := runtime.Caller(0)
+	if !ok {
+		return ""
+	}
+	dir := filepath.Join(filepath.Dir(file), "..", "..", "caarlint", "testdata", "src")
+	if _, err := os.Stat(dir); err != nil {
+		return ""
+	}
+	return dir
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
 }
